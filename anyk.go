@@ -1,0 +1,306 @@
+// Package repro is a from-scratch Go implementation of the systems
+// surveyed and unified in "Optimal Join Algorithms Meet Top-k"
+// (Tziavelis, Gatterbauer, Riedewald — SIGMOD 2020): classic top-k
+// middleware (TA/FA/NRA, rank join), (worst-case) optimal join
+// algorithms (Yannakakis, Generic-Join, Leapfrog Triejoin, AGM bounds,
+// width-based decompositions), and — the centre piece — any-k ranked
+// enumeration over join queries.
+//
+// This file is the high-level facade: declare a query (a hypergraph
+// over weighted relations), pick a ranking function and an algorithm
+// variant, and pull results in ranking order:
+//
+//	q := repro.NewQuery().
+//		Rel("R", []string{"A", "B"}, rTuples, rWeights).
+//		Rel("S", []string{"B", "C"}, sTuples, sWeights)
+//	it, err := q.Ranked(repro.SumCost, repro.Lazy)
+//	for {
+//		res, ok := it.Next()
+//		if !ok { break }
+//		fmt.Println(res.Tuple, res.Weight)
+//	}
+//
+// Acyclic queries run directly on the tree-based dynamic program.
+// Cyclic cycle queries of any length are decomposed automatically:
+// a Generic-Join bag for the triangle, the submodular-width three-tree
+// union for the 4-cycle, and the generic fhtw-2 fan plan for longer
+// cycles. Other cyclic shapes return an error with guidance.
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/decomp"
+	"repro/internal/dp"
+	"repro/internal/hypergraph"
+	"repro/internal/ranking"
+	"repro/internal/relation"
+	"repro/internal/yannakakis"
+)
+
+// Value is a domain value (attributes are integer-encoded; use
+// relation.Dictionary in cmd tools for string data).
+type Value = relation.Value
+
+// Tuple is a sequence of values.
+type Tuple = relation.Tuple
+
+// Result is one join result in ranking order.
+type Result = core.Result
+
+// Iterator yields join results in ranking order.
+type Iterator = core.Iterator
+
+// Variant selects the enumeration algorithm.
+type Variant = core.Variant
+
+// Re-exported algorithm variants. See internal/core for semantics.
+const (
+	Eager = core.Eager
+	Lazy  = core.Lazy
+	Quick = core.Quick
+	All   = core.All
+	Take2 = core.Take2
+	Rec   = core.Rec
+	Batch = core.Batch
+)
+
+// Ranking functions.
+var (
+	// SumCost ranks by ascending sum of weights (lightest first).
+	SumCost ranking.Aggregate = ranking.SumCost{}
+	// SumBenefit ranks by descending sum of weights (heaviest first).
+	SumBenefit ranking.Aggregate = ranking.SumBenefit{}
+	// MaxCost ranks by ascending maximum weight (bottleneck).
+	MaxCost ranking.Aggregate = ranking.MaxCost{}
+	// MinBenefit ranks by descending minimum weight.
+	MinBenefit ranking.Aggregate = ranking.MinBenefit{}
+	// ProductCost ranks by ascending product of positive weights.
+	ProductCost ranking.Aggregate = ranking.ProductCost{}
+)
+
+// Query is a join query under construction: one atom per relation, each
+// binding the relation's columns to named query variables.
+type Query struct {
+	edges []hypergraph.Edge
+	rels  []*relation.Relation
+	err   error
+}
+
+// NewQuery returns an empty query builder.
+func NewQuery() *Query { return &Query{} }
+
+// Rel adds a relation atom. vars names the query variable bound to each
+// column; tuples[i] has weight weights[i] (weights may be nil = all 0).
+func (q *Query) Rel(name string, vars []string, tuples []Tuple, weights []float64) *Query {
+	if q.err != nil {
+		return q
+	}
+	r := relation.New(name, vars...)
+	for i, t := range tuples {
+		w := 0.0
+		if weights != nil {
+			if i >= len(weights) {
+				q.err = fmt.Errorf("repro: relation %s has %d tuples but %d weights", name, len(tuples), len(weights))
+				return q
+			}
+			w = weights[i]
+		}
+		if len(t) != len(vars) {
+			q.err = fmt.Errorf("repro: relation %s tuple %d has arity %d, want %d", name, i, len(t), len(vars))
+			return q
+		}
+		r.AddTuple(t, w)
+	}
+	q.edges = append(q.edges, hypergraph.Edge{Name: name, Vars: vars})
+	q.rels = append(q.rels, r)
+	return q
+}
+
+// OutAttrs reports the output schema the iterators of this query will
+// use, or nil until Ranked has succeeded at least once for acyclic
+// queries. For the canonical cyclic shapes the schema is fixed:
+// (A,B,C) for triangles and (A,B,C,D) for 4-cycles.
+func (q *Query) OutAttrs() ([]string, error) {
+	h := hypergraph.New(q.edges...)
+	if tree, ok := h.BuildJoinTree(); ok {
+		seen := map[string]bool{}
+		var attrs []string
+		for _, u := range tree.Order {
+			for _, v := range h.Edges[u].Vars {
+				if !seen[v] {
+					seen[v] = true
+					attrs = append(attrs, v)
+				}
+			}
+		}
+		return attrs, nil
+	}
+	if l, _, ok := q.matchCycle(); ok {
+		switch l {
+		case 3:
+			return decomp.TriangleAttrs, nil
+		case 4:
+			return decomp.FourCycleAttrs, nil
+		default:
+			return decomp.CycleAttrs(l), nil
+		}
+	}
+	return nil, fmt.Errorf("repro: unsupported cyclic query shape")
+}
+
+// Ranked compiles the query and returns a ranked-enumeration iterator.
+// Acyclic queries use the T-DP any-k machinery directly; triangles and
+// 4-cycles (cyclic shapes) are decomposed automatically.
+func (q *Query) Ranked(agg ranking.Aggregate, v Variant) (Iterator, error) {
+	if q.err != nil {
+		return nil, q.err
+	}
+	if len(q.rels) == 0 {
+		return nil, fmt.Errorf("repro: empty query")
+	}
+	h := hypergraph.New(q.edges...)
+	if h.IsAcyclic() {
+		yq, err := yannakakis.NewQuery(h, q.rels)
+		if err != nil {
+			return nil, err
+		}
+		t, err := dp.Build(yq, agg)
+		if err != nil {
+			return nil, err
+		}
+		return core.New(t, v)
+	}
+	// Cyclic: recognise cycle queries up to variable renaming and route
+	// them to the best decomposition: Generic-Join bag for the triangle,
+	// the submodular-width plan for the 4-cycle, and the generic fhtw-2
+	// fan plan for longer cycles.
+	if shape, rels, ok := q.matchCycle(); ok {
+		switch shape {
+		case 3:
+			var three [3]*relation.Relation
+			copy(three[:], rels)
+			it, _, err := decomp.TriangleAnyK(three, agg)
+			return it, err
+		case 4:
+			var four [4]*relation.Relation
+			copy(four[:], rels)
+			it, _, err := decomp.FourCycleSubmodular(four, agg, v)
+			return it, err
+		default:
+			it, _, err := decomp.CycleSingleTree(rels, agg, v)
+			return it, err
+		}
+	}
+	return nil, fmt.Errorf("repro: cyclic query %s is not a supported shape (cycles of any length are built in; decompose other shapes manually with internal/decomp techniques)", h)
+}
+
+// TopK runs Ranked and collects the first k results.
+func (q *Query) TopK(agg ranking.Aggregate, v Variant, k int) ([]Result, error) {
+	it, err := q.Ranked(agg, v)
+	if err != nil {
+		return nil, err
+	}
+	return core.Collect(it, k), nil
+}
+
+// matchCycle detects whether the query is a variable-renaming of the
+// canonical l-cycle R1(A0,A1), ..., Rl(A_{l-1},A0) and returns the
+// relations reordered to follow the cycle.
+func (q *Query) matchCycle() (int, []*relation.Relation, bool) {
+	l := len(q.edges)
+	if l < 3 {
+		return 0, nil, false
+	}
+	for _, e := range q.edges {
+		if len(e.Vars) != 2 {
+			return 0, nil, false
+		}
+	}
+	// Walk the cycle: start at edge 0, chain second-var → first-var.
+	used := make([]bool, l)
+	order := []int{0}
+	used[0] = true
+	cur := q.edges[0].Vars[1]
+	for len(order) < l {
+		found := -1
+		for i, e := range q.edges {
+			if !used[i] && e.Vars[0] == cur {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			return 0, nil, false
+		}
+		used[found] = true
+		order = append(order, found)
+		cur = q.edges[found].Vars[1]
+	}
+	if cur != q.edges[0].Vars[0] {
+		return 0, nil, false
+	}
+	rels := make([]*relation.Relation, l)
+	for i, ei := range order {
+		rels[i] = q.rels[ei]
+	}
+	return l, rels, true
+}
+
+// Count returns the number of join results without materialising them.
+// Acyclic queries use the counting pass over the join tree (O(n) after
+// reduction); supported cyclic shapes enumerate through the ranked
+// iterator, which still avoids materialising the full output at once.
+func (q *Query) Count() (int, error) {
+	if q.err != nil {
+		return 0, q.err
+	}
+	if len(q.rels) == 0 {
+		return 0, fmt.Errorf("repro: empty query")
+	}
+	h := hypergraph.New(q.edges...)
+	if h.IsAcyclic() {
+		yq, err := yannakakis.NewQuery(h, q.rels)
+		if err != nil {
+			return 0, err
+		}
+		return yq.Count(), nil
+	}
+	it, err := q.Ranked(SumCost, Lazy)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for {
+		if _, ok := it.Next(); !ok {
+			return n, nil
+		}
+		n++
+	}
+}
+
+// IsEmpty answers the Boolean query "does the join have any result?"
+// with early termination (§1 of the tutorial).
+func (q *Query) IsEmpty() (bool, error) {
+	if q.err != nil {
+		return false, q.err
+	}
+	if len(q.rels) == 0 {
+		return false, fmt.Errorf("repro: empty query")
+	}
+	h := hypergraph.New(q.edges...)
+	if h.IsAcyclic() {
+		yq, err := yannakakis.NewQuery(h, q.rels)
+		if err != nil {
+			return false, err
+		}
+		return yq.IsEmpty(), nil
+	}
+	it, err := q.Ranked(SumCost, Lazy)
+	if err != nil {
+		return false, err
+	}
+	_, ok := it.Next()
+	return !ok, nil
+}

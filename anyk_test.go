@@ -1,0 +1,329 @@
+package repro
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestFacadeAcyclicPath(t *testing.T) {
+	q := NewQuery().
+		Rel("R", []string{"A", "B"}, []Tuple{{1, 10}, {1, 11}, {2, 10}}, []float64{1, 5, 2}).
+		Rel("S", []string{"B", "C"}, []Tuple{{10, 100}, {10, 101}, {11, 100}}, []float64{10, 1, 0})
+	got, err := q.TopK(SumCost, Lazy, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, 5}
+	if len(got) != 3 {
+		t.Fatalf("TopK returned %d results", len(got))
+	}
+	for i, r := range got {
+		if r.Weight != want[i] {
+			t.Errorf("rank %d weight = %g, want %g", i, r.Weight, want[i])
+		}
+	}
+}
+
+func TestFacadeOutAttrs(t *testing.T) {
+	q := NewQuery().
+		Rel("R", []string{"A", "B"}, []Tuple{{1, 2}}, nil).
+		Rel("S", []string{"B", "C"}, []Tuple{{2, 3}}, nil)
+	attrs, err := q.OutAttrs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(attrs) != 3 {
+		t.Fatalf("OutAttrs = %v", attrs)
+	}
+}
+
+func TestFacadeTriangle(t *testing.T) {
+	// Cyclic triangle: auto-decomposed. Edges 1→2→3→1 with weights.
+	edges := []Tuple{{1, 2}, {2, 3}, {3, 1}, {1, 3}}
+	ws := []float64{0.1, 0.2, 0.3, 9}
+	q := NewQuery().
+		Rel("E1", []string{"A", "B"}, edges, ws).
+		Rel("E2", []string{"B", "C"}, edges, ws).
+		Rel("E3", []string{"C", "A"}, edges, ws)
+	got, err := q.TopK(SumCost, Lazy, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("want one triangle, got %d", len(got))
+	}
+	if math.Abs(got[0].Weight-0.6) > 1e-9 {
+		t.Errorf("lightest triangle weight = %g, want 0.6", got[0].Weight)
+	}
+}
+
+func TestFacadeFourCycle(t *testing.T) {
+	g := workload.RandomGraph(10, 60, workload.UniformWeights(), 4)
+	var tuples []Tuple
+	var ws []float64
+	for i, tp := range g.Edges.Tuples {
+		tuples = append(tuples, tp)
+		ws = append(ws, g.Edges.Weights[i])
+	}
+	q := NewQuery().
+		Rel("E1", []string{"A", "B"}, tuples, ws).
+		Rel("E2", []string{"B", "C"}, tuples, ws).
+		Rel("E3", []string{"C", "D"}, tuples, ws).
+		Rel("E4", []string{"D", "A"}, tuples, ws)
+	it, err := q.Ranked(SumCost, Lazy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(-1)
+	count := 0
+	for {
+		r, ok := it.Next()
+		if !ok {
+			break
+		}
+		if r.Weight < prev-1e-12 {
+			t.Fatal("results not in ranking order")
+		}
+		prev = r.Weight
+		count++
+	}
+	if count == 0 {
+		t.Skip("random instance had no 4-cycles")
+	}
+}
+
+func TestFacadeCycleDetectionPermuted(t *testing.T) {
+	// The same 4-cycle declared in shuffled atom order must still match.
+	e := []Tuple{{1, 2}, {2, 1}}
+	q := NewQuery().
+		Rel("E3", []string{"C", "D"}, e, nil).
+		Rel("E1", []string{"A", "B"}, e, nil).
+		Rel("E4", []string{"D", "A"}, e, nil).
+		Rel("E2", []string{"B", "C"}, e, nil)
+	if _, err := q.Ranked(SumCost, Lazy); err != nil {
+		t.Fatalf("permuted 4-cycle not recognised: %v", err)
+	}
+}
+
+func TestFacadeErrors(t *testing.T) {
+	if _, err := NewQuery().Ranked(SumCost, Lazy); err == nil {
+		t.Error("empty query should fail")
+	}
+	q := NewQuery().Rel("R", []string{"A", "B"}, []Tuple{{1}}, nil)
+	if _, err := q.Ranked(SumCost, Lazy); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	q2 := NewQuery().Rel("R", []string{"A"}, []Tuple{{1}}, []float64{})
+	if _, err := q2.Ranked(SumCost, Lazy); err == nil {
+		t.Error("weight length mismatch should fail")
+	}
+	// A genuinely unsupported cyclic shape: two triangles sharing an edge
+	// (K4 minus an edge, not a simple cycle).
+	e := []Tuple{{1, 2}}
+	q3 := NewQuery().
+		Rel("E1", []string{"A", "B"}, e, nil).
+		Rel("E2", []string{"B", "C"}, e, nil).
+		Rel("E3", []string{"C", "A"}, e, nil).
+		Rel("E4", []string{"B", "D"}, e, nil).
+		Rel("E5", []string{"D", "C"}, e, nil)
+	if _, err := q3.Ranked(SumCost, Lazy); err == nil {
+		t.Error("non-cycle cyclic shape should report unsupported")
+	}
+}
+
+func TestFacadeFiveCycle(t *testing.T) {
+	// 5-cycles are handled by the generic fhtw-2 fan decomposition.
+	// Build a graph with exactly one directed 5-cycle 1→2→3→4→5→1.
+	e := []Tuple{{1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 1}, {2, 9}, {9, 4}}
+	w := []float64{1, 2, 3, 4, 5, 100, 100}
+	q := NewQuery().
+		Rel("E1", []string{"A", "B"}, e, w).
+		Rel("E2", []string{"B", "C"}, e, w).
+		Rel("E3", []string{"C", "D"}, e, w).
+		Rel("E4", []string{"D", "E"}, e, w).
+		Rel("E5", []string{"E", "A"}, e, w)
+	got, err := q.TopK(SumCost, Lazy, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("expected the 5-cycle, got %d results", len(got))
+	}
+	if got[0].Weight != 15 { // 1+2+3+4+5
+		t.Errorf("weight = %g, want 15", got[0].Weight)
+	}
+}
+
+func TestFacadeAllVariantsAgree(t *testing.T) {
+	inst := workload.Path(3, 50, 6, workload.UniformWeights(), 2)
+	build := func() *Query {
+		q := NewQuery()
+		for i, r := range inst.Rels {
+			q.Rel(r.Name, inst.H.Edges[i].Vars, r.Tuples, r.Weights)
+		}
+		return q
+	}
+	var ref []Result
+	for _, v := range []Variant{Eager, Lazy, Quick, All, Take2, Rec, Batch} {
+		got, err := build().TopK(SumCost, v, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = got
+			continue
+		}
+		if len(got) != len(ref) {
+			t.Fatalf("%s: %d results, ref %d", v, len(got), len(ref))
+		}
+		for i := range got {
+			if math.Abs(got[i].Weight-ref[i].Weight) > 1e-9 {
+				t.Fatalf("%s: weight mismatch at %d", v, i)
+			}
+		}
+	}
+}
+
+func TestFacadeCount(t *testing.T) {
+	q := NewQuery().
+		Rel("R", []string{"A", "B"}, []Tuple{{1, 10}, {1, 11}, {2, 10}}, nil).
+		Rel("S", []string{"B", "C"}, []Tuple{{10, 100}, {10, 101}, {11, 100}}, nil)
+	n, err := q.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("Count = %d, want 5", n)
+	}
+	empty, err := q.IsEmpty()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty {
+		t.Error("query has results")
+	}
+}
+
+func TestFacadeCountCyclic(t *testing.T) {
+	// Triangle 1→2→3→1: 3 rotations.
+	e := []Tuple{{1, 2}, {2, 3}, {3, 1}}
+	q := NewQuery().
+		Rel("E1", []string{"A", "B"}, e, nil).
+		Rel("E2", []string{"B", "C"}, e, nil).
+		Rel("E3", []string{"C", "A"}, e, nil)
+	n, err := q.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("triangle Count = %d, want 3 rotations", n)
+	}
+}
+
+func TestFacadeIsEmptyTrue(t *testing.T) {
+	q := NewQuery().
+		Rel("R", []string{"A", "B"}, []Tuple{{1, 2}}, nil).
+		Rel("S", []string{"B", "C"}, []Tuple{{9, 9}}, nil)
+	empty, err := q.IsEmpty()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !empty {
+		t.Error("disconnected join should be empty")
+	}
+}
+
+func TestFacadeOutAttrsCyclic(t *testing.T) {
+	e := []Tuple{{1, 2}}
+	tri := NewQuery().
+		Rel("E1", []string{"A", "B"}, e, nil).
+		Rel("E2", []string{"B", "C"}, e, nil).
+		Rel("E3", []string{"C", "A"}, e, nil)
+	attrs, err := tri.OutAttrs()
+	if err != nil || len(attrs) != 3 {
+		t.Fatalf("triangle OutAttrs = %v, %v", attrs, err)
+	}
+	c5 := NewQuery().
+		Rel("E1", []string{"A", "B"}, e, nil).
+		Rel("E2", []string{"B", "C"}, e, nil).
+		Rel("E3", []string{"C", "D"}, e, nil).
+		Rel("E4", []string{"D", "E"}, e, nil).
+		Rel("E5", []string{"E", "A"}, e, nil)
+	attrs, err = c5.OutAttrs()
+	if err != nil || len(attrs) != 5 {
+		t.Fatalf("C5 OutAttrs = %v, %v", attrs, err)
+	}
+	bad := NewQuery().
+		Rel("E1", []string{"A", "B"}, e, nil).
+		Rel("E2", []string{"B", "C"}, e, nil).
+		Rel("E3", []string{"C", "A"}, e, nil).
+		Rel("E4", []string{"B", "D"}, e, nil).
+		Rel("E5", []string{"D", "C"}, e, nil)
+	if _, err := bad.OutAttrs(); err == nil {
+		t.Error("unsupported shape should error in OutAttrs")
+	}
+}
+
+func TestFacadeTopKPropagatesErrors(t *testing.T) {
+	q := NewQuery().Rel("R", []string{"A", "B"}, []Tuple{{1}}, nil)
+	if _, err := q.TopK(SumCost, Lazy, 1); err == nil {
+		t.Error("TopK should propagate builder errors")
+	}
+	if _, err := q.Count(); err == nil {
+		t.Error("Count should propagate builder errors")
+	}
+	if _, err := q.IsEmpty(); err == nil {
+		t.Error("IsEmpty should propagate builder errors")
+	}
+	empty := NewQuery()
+	if _, err := empty.Count(); err == nil {
+		t.Error("Count on empty query should error")
+	}
+	if _, err := empty.IsEmpty(); err == nil {
+		t.Error("IsEmpty on empty query should error")
+	}
+}
+
+func TestFacadeFourCycleCount(t *testing.T) {
+	// Square 1→2→3→4→1: exactly 4 rotations.
+	e := []Tuple{{1, 2}, {2, 3}, {3, 4}, {4, 1}}
+	q := NewQuery().
+		Rel("E1", []string{"A", "B"}, e, nil).
+		Rel("E2", []string{"B", "C"}, e, nil).
+		Rel("E3", []string{"C", "D"}, e, nil).
+		Rel("E4", []string{"D", "A"}, e, nil)
+	n, err := q.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("4-cycle Count = %d, want 4 rotations", n)
+	}
+}
+
+func TestFacadeRankingFunctionsExported(t *testing.T) {
+	q := NewQuery().
+		Rel("R", []string{"A", "B"}, []Tuple{{1, 2}}, []float64{3}).
+		Rel("S", []string{"B", "C"}, []Tuple{{2, 4}}, []float64{5})
+	for _, agg := range []interface {
+		Name() string
+	}{SumCost, SumBenefit, MaxCost, MinBenefit, ProductCost} {
+		_ = agg.Name()
+	}
+	got, err := q.TopK(MaxCost, Lazy, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Weight != 5 {
+		t.Errorf("max-cost weight = %g, want 5", got[0].Weight)
+	}
+	got, err = q.TopK(ProductCost, Lazy, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Weight != 15 {
+		t.Errorf("product weight = %g, want 15", got[0].Weight)
+	}
+}

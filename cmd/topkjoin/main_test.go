@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunBasicJoin(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-k", "3", "-rank", "sum", "-variant", "Lazy",
+		"-rel", "Legs1:Src,Hub:testdata/legs1.csv",
+		"-rel", "Legs2:Hub,Dst:testdata/legs2.csv",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 4 { // header + 3 results
+		t.Fatalf("output lines = %d:\n%s", len(lines), s)
+	}
+	// Cheapest itinerary: providence→nyc→paris = 95+380 = 475.
+	if !strings.Contains(lines[1], "providence") || !strings.Contains(lines[1], "paris") || !strings.Contains(lines[1], "475") {
+		t.Errorf("top result wrong: %s", lines[1])
+	}
+	// Strings must decode back, not appear as codes.
+	if strings.Contains(s, "1099511627776") {
+		t.Error("dictionary codes leaked into output")
+	}
+}
+
+func TestRunAllResults(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-k", "0",
+		"-rel", "Legs1:Src,Hub:testdata/legs1.csv",
+		"-rel", "Legs2:Hub,Dst:testdata/legs2.csv",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	// 5 join results: boston→nyc×2, boston→chicago×1, providence→nyc×2.
+	if len(lines) != 6 {
+		t.Fatalf("output lines = %d, want 6 (header + 5)", len(lines))
+	}
+}
+
+func TestRunVariants(t *testing.T) {
+	for _, v := range []string{"Eager", "Rec", "Batch"} {
+		var out bytes.Buffer
+		err := run([]string{
+			"-k", "1", "-variant", v,
+			"-rel", "Legs1:Src,Hub:testdata/legs1.csv",
+			"-rel", "Legs2:Hub,Dst:testdata/legs2.csv",
+		}, &out)
+		if err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		if !strings.Contains(out.String(), "providence") {
+			t.Errorf("%s: wrong top result:\n%s", v, out.String())
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},                                  // no relations
+		{"-rel", "bad-spec"},                // malformed spec
+		{"-rel", "R:A,B:testdata/nope.csv"}, // missing file
+		{"-rel", "R:A:testdata/legs1.csv"},  // arity mismatch
+		{"-rank", "bogus", "-rel", "R:A,B:testdata/legs1.csv"}, // bad rank
+	}
+	for i, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestRunBadVariant(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-variant", "Nope",
+		"-rel", "Legs1:Src,Hub:testdata/legs1.csv",
+		"-rel", "Legs2:Hub,Dst:testdata/legs2.csv",
+	}, &out)
+	if err == nil {
+		t.Error("unknown variant should error")
+	}
+}

@@ -1,0 +1,53 @@
+// Quickstart: declare a two-relation join query, rank results by total
+// weight, and pull the top results one at a time — the any-k interface
+// of Part 3 of the tutorial.
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	// A toy flight network: R lists legs Boston→hub with prices; S lists
+	// legs hub→destination. We want the cheapest connecting itineraries,
+	// best first, without computing the full join.
+	legs1 := []repro.Tuple{
+		{1, 10}, // Boston(1) → NYC(10)
+		{1, 11}, // Boston(1) → Chicago(11)
+		{2, 10}, // Providence(2) → NYC(10)
+	}
+	prices1 := []float64{120, 180, 95}
+	legs2 := []repro.Tuple{
+		{10, 100}, // NYC → London(100)
+		{10, 101}, // NYC → Paris(101)
+		{11, 100}, // Chicago → London
+	}
+	prices2 := []float64{450, 380, 420}
+
+	q := repro.NewQuery().
+		Rel("Leg1", []string{"Src", "Hub"}, legs1, prices1).
+		Rel("Leg2", []string{"Hub", "Dst"}, legs2, prices2)
+
+	attrs, err := q.OutAttrs()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("itinerary schema: %v\n", attrs)
+
+	it, err := q.Ranked(repro.SumCost, repro.Lazy)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("cheapest itineraries, best first:")
+	rank := 1
+	for {
+		r, ok := it.Next()
+		if !ok {
+			break
+		}
+		fmt.Printf("  #%d  %v  total $%.0f\n", rank, r.Tuple, r.Weight)
+		rank++
+	}
+}

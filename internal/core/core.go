@@ -1,0 +1,98 @@
+// Package core implements ranked enumeration over join queries — the
+// "any-k" algorithms at the centre of Part 3 of the tutorial. Given the
+// T-DP of an acyclic query (internal/dp), the iterators here return join
+// results one by one in ranking order, without knowing k in advance:
+//
+//   - ANYK-PART (NewPart): the Lawler–Murty partitioning procedure with
+//     pluggable successor structures — variants Eager, Lazy, All, Take2
+//     and Quick, mirroring the companion paper's taxonomy.
+//   - ANYK-REC (NewRec): recursive enumeration à la Hoffman–Pavley /
+//     Jiménez–Marzal (REA), with per-(node, group) memoized solution
+//     lists shared across prefixes.
+//   - Batch (NewBatch): the non-any-k baseline — materialise the full
+//     output, sort, then iterate.
+//
+// Cyclic queries are handled by internal/decomp, which unions several
+// T-DPs and merges their iterators with Merge.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dp"
+	"repro/internal/relation"
+)
+
+// Result is one join result in ranking order.
+type Result struct {
+	// Tuple is the output tuple, aligned with the T-DP's OutAttrs.
+	Tuple relation.Tuple
+	// Weight is the aggregated weight under the T-DP's ranking function.
+	Weight float64
+}
+
+// Iterator yields join results in non-decreasing ranking order.
+type Iterator interface {
+	// Next returns the next-ranked result; ok is false when enumeration
+	// is complete.
+	Next() (r Result, ok bool)
+}
+
+// Variant names an any-k algorithm.
+type Variant string
+
+// The supported algorithm variants.
+const (
+	// Eager pre-sorts every candidate list at first touch.
+	Eager Variant = "Eager"
+	// Lazy sorts candidate lists incrementally with a heap (the
+	// best-overall PART variant in the companion paper).
+	Lazy Variant = "Lazy"
+	// Quick sorts candidate lists incrementally with lazy quicksort.
+	Quick Variant = "Quick"
+	// All pushes every alternative of a deviation at once (no per-list
+	// structure; the global queue does the sorting).
+	All Variant = "All"
+	// Take2 heapifies candidate lists; each candidate has at most two
+	// successors (its heap children).
+	Take2 Variant = "Take2"
+	// Rec is recursive enumeration (ANYK-REC), sharing ranked suffix
+	// solutions across prefixes.
+	Rec Variant = "Rec"
+	// Batch is the full-join-then-sort baseline.
+	Batch Variant = "Batch"
+)
+
+// Variants lists all variants in canonical report order.
+func Variants() []Variant {
+	return []Variant{Eager, Lazy, Quick, All, Take2, Rec, Batch}
+}
+
+// New returns the iterator implementing the given variant over t.
+func New(t *dp.TDP, v Variant) (Iterator, error) {
+	switch v {
+	case Eager, Lazy, Quick, All, Take2:
+		return NewPart(t, v)
+	case Rec:
+		return NewRec(t), nil
+	case Batch:
+		return NewBatch(t), nil
+	default:
+		return nil, fmt.Errorf("core: unknown variant %q", v)
+	}
+}
+
+// Collect drains up to k results from it (k ≤ 0 collects everything).
+func Collect(it Iterator, k int) []Result {
+	var out []Result
+	for {
+		r, ok := it.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, r)
+		if k > 0 && len(out) >= k {
+			return out
+		}
+	}
+}

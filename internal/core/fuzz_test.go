@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dp"
+	"repro/internal/ranking"
+	"repro/internal/workload"
+	"repro/internal/yannakakis"
+)
+
+// Fuzz-style cross-validation on random tree-shaped queries: every
+// variant must agree with Batch on arbitrary join-tree shapes, not just
+// the path/star workloads of the experiments.
+
+func runInstanceVariant(inst *workload.Instance, agg ranking.Aggregate, v Variant, k int) ([]Result, error) {
+	q, err := yannakakis.NewQuery(inst.H, inst.Rels)
+	if err != nil {
+		return nil, err
+	}
+	t, err := dp.Build(q, agg)
+	if err != nil {
+		return nil, err
+	}
+	it, err := New(t, v)
+	if err != nil {
+		return nil, err
+	}
+	return Collect(it, k), nil
+}
+
+func TestRandomTreeShapesAllVariants(t *testing.T) {
+	for seed := uint64(0); seed < 12; seed++ {
+		nRels := int(seed%4) + 2 // 2..5 relations
+		inst := workload.RandomTree(nRels, 35, 5, workload.UniformWeights(), seed*31+7)
+		ref, err := runInstanceVariant(inst, sum, Batch, 0)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, v := range Variants() {
+			if v == Batch {
+				continue
+			}
+			got, err := runInstanceVariant(inst, sum, v, 0)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, v, err)
+			}
+			if len(got) != len(ref) {
+				t.Fatalf("seed %d %s: %d results, batch %d (query %s)", seed, v, len(got), len(ref), inst.H)
+			}
+			for i := range got {
+				if math.Abs(got[i].Weight-ref[i].Weight) > 1e-9 {
+					t.Fatalf("seed %d %s rank %d: %g vs %g (query %s)", seed, v, i, got[i].Weight, ref[i].Weight, inst.H)
+				}
+			}
+		}
+		// NaiveLawler too.
+		q, _ := yannakakis.NewQuery(inst.H, inst.Rels)
+		tdp, err := dp.Build(q, sum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := Collect(NewNaiveLawler(tdp), 0)
+		if len(got) != len(ref) {
+			t.Fatalf("seed %d NaiveLawler: %d results, batch %d", seed, len(got), len(ref))
+		}
+		for i := range got {
+			if math.Abs(got[i].Weight-ref[i].Weight) > 1e-9 {
+				t.Fatalf("seed %d NaiveLawler rank %d: %g vs %g", seed, i, got[i].Weight, ref[i].Weight)
+			}
+		}
+	}
+}
+
+// Property: on random tree queries, partial enumeration (top-k) agrees
+// with the full enumeration prefix for every variant.
+func TestRandomTreePrefixProperty(t *testing.T) {
+	f := func(seed uint16, vIdx, kRaw uint8) bool {
+		variants := Variants()
+		v := variants[int(vIdx)%len(variants)]
+		k := int(kRaw)%20 + 1
+		inst := workload.RandomTree(3, 25, 4, workload.UniformWeights(), uint64(seed))
+		full, err := runInstanceVariant(inst, sum, Batch, 0)
+		if err != nil {
+			return false
+		}
+		got, err := runInstanceVariant(inst, sum, v, k)
+		if err != nil {
+			return false
+		}
+		want := k
+		if want > len(full) {
+			want = len(full)
+		}
+		if len(got) != want {
+			return false
+		}
+		for i := range got {
+			if math.Abs(got[i].Weight-full[i].Weight) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Deep chains (path of 8 relations) stress the DFS-preorder machinery.
+func TestDeepChainAllVariants(t *testing.T) {
+	inst := workload.Path(8, 12, 6, workload.UniformWeights(), 3)
+	ref, err := runInstanceVariant(inst, sum, Batch, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range Variants() {
+		if v == Batch {
+			continue
+		}
+		got, err := runInstanceVariant(inst, sum, v, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(ref) {
+			t.Fatalf("%s: %d vs %d", v, len(got), len(ref))
+		}
+		for i := range got {
+			if math.Abs(got[i].Weight-ref[i].Weight) > 1e-9 {
+				t.Fatalf("%s rank %d mismatch", v, i)
+			}
+		}
+	}
+}
+
+// Wide stars (7 children) stress multi-child successor generation.
+func TestWideStarAllVariants(t *testing.T) {
+	inst := workload.Star(7, 12, 4, workload.UniformWeights(), 5)
+	ref, err := runInstanceVariant(inst, sum, Batch, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref) == 0 {
+		t.Skip("empty star instance")
+	}
+	for _, v := range Variants() {
+		if v == Batch {
+			continue
+		}
+		got, err := runInstanceVariant(inst, sum, v, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(ref) {
+			t.Fatalf("%s: %d vs %d", v, len(got), len(ref))
+		}
+		for i := range got {
+			if math.Abs(got[i].Weight-ref[i].Weight) > 1e-9 {
+				t.Fatalf("%s rank %d mismatch", v, i)
+			}
+		}
+	}
+}

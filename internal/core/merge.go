@@ -1,0 +1,80 @@
+package core
+
+import (
+	"repro/internal/heap"
+	"repro/internal/ranking"
+	"repro/internal/relation"
+)
+
+// Merge combines several ranked iterators into one ranked iterator — the
+// union step for cyclic queries decomposed into multiple trees (§3's
+// submodular-width decompositions route disjoint subsets of the input to
+// different trees, so their outputs interleave by weight).
+type mergeIter struct {
+	agg   ranking.Aggregate
+	pq    *heap.Heap[mergeHead]
+	dedup map[string]bool
+	buf   []byte
+}
+
+type mergeHead struct {
+	r   Result
+	src Iterator
+}
+
+// Merge returns an iterator yielding the union of the inputs in ranking
+// order. When dedup is true, results with identical output tuples are
+// emitted once (needed when the union's branches can overlap; the
+// 4-cycle decomposition produces disjoint branches, so it passes false).
+func Merge(agg ranking.Aggregate, dedup bool, iters ...Iterator) Iterator {
+	m := &mergeIter{
+		agg: agg,
+		pq:  heap.New(func(a, b mergeHead) bool { return agg.Less(a.r.Weight, b.r.Weight) }),
+	}
+	if dedup {
+		m.dedup = make(map[string]bool)
+	}
+	for _, it := range iters {
+		if r, ok := it.Next(); ok {
+			m.pq.Push(mergeHead{r: r, src: it})
+		}
+	}
+	return m
+}
+
+func (m *mergeIter) Next() (Result, bool) {
+	for {
+		head, ok := m.pq.Pop()
+		if !ok {
+			return Result{}, false
+		}
+		if r, ok := head.src.Next(); ok {
+			m.pq.Push(mergeHead{r: r, src: head.src})
+		}
+		if m.dedup != nil {
+			m.buf = relation.AppendKey(m.buf[:0], head.r.Tuple)
+			k := string(m.buf)
+			if m.dedup[k] {
+				continue
+			}
+			m.dedup[k] = true
+		}
+		return head.r, true
+	}
+}
+
+// Limit wraps an iterator to stop after k results.
+func Limit(it Iterator, k int) Iterator { return &limitIter{it: it, left: k} }
+
+type limitIter struct {
+	it   Iterator
+	left int
+}
+
+func (l *limitIter) Next() (Result, bool) {
+	if l.left <= 0 {
+		return Result{}, false
+	}
+	l.left--
+	return l.it.Next()
+}

@@ -1,0 +1,166 @@
+package decomp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dp"
+	"repro/internal/hypergraph"
+	"repro/internal/ranking"
+	"repro/internal/relation"
+	"repro/internal/yannakakis"
+)
+
+// CycleAttrs returns the canonical output schema of CycleSingleTree for
+// an l-cycle: A0, A1, ..., A_{l-1}.
+func CycleAttrs(l int) []string {
+	attrs := make([]string, l)
+	for i := range attrs {
+		attrs[i] = fmt.Sprintf("A%d", i)
+	}
+	return attrs
+}
+
+// CycleSingleTree evaluates the l-cycle query
+// R1(A0,A1) ⋈ R2(A1,A2) ⋈ ... ⋈ Rl(A_{l-1},A0) with the textbook
+// fractional-hypertree-width-2 "fan" decomposition: l−2 bags
+// B_i(A0, A_i, A_{i+1}), i = 1..l−2, arranged in a path join tree.
+//
+//	B_1     = R1 ⋈ R2                      (covers R1, R2)
+//	B_i     = R_{i+1} × π_{A0}(R1)         (middle bags, 2 ≤ i ≤ l−3)
+//	B_{l-2} = R_{l-1} ⋈ R_l                (covers R_{l-1}, R_l)
+//
+// Every bag is O(n·d) ≤ O(n²) where d is the number of distinct A0
+// values — the Θ(n²) worst case being exactly why §3 calls single-tree
+// plans suboptimal for cycles (submodular width is lower). For l = 3
+// prefer TriangleAnyK and for l = 4 prefer FourCycleSubmodular; this
+// plan still accepts those shapes for comparison experiments. Output
+// tuples are ordered (A0,...,A_{l-1}).
+func CycleSingleTree(rels []*relation.Relation, agg ranking.Aggregate, v core.Variant) (core.Iterator, *Stats, error) {
+	l := len(rels)
+	if l < 3 {
+		return nil, nil, fmt.Errorf("decomp: cycle needs at least 3 relations, got %d", l)
+	}
+	for i, r := range rels {
+		if r.Arity() != 2 {
+			return nil, nil, fmt.Errorf("decomp: cycle relation %d has arity %d, want 2", i, r.Arity())
+		}
+	}
+	named := make([]*relation.Relation, l)
+	for i, r := range rels {
+		named[i] = rename(r, fmt.Sprintf("R%d", i+1), fmt.Sprintf("A%d", i), fmt.Sprintf("A%d", (i+1)%l))
+	}
+	if l == 3 {
+		// Two bags: B1 = R1⋈R2 over {A0,A1,A2}, B2 = R3 over {A2,A0}.
+		b1, err := joinBags("B1", named[0], named[1], []string{"A0", "A1", "A2"}, agg)
+		if err != nil {
+			return nil, nil, err
+		}
+		it, err := treeQuery(b1, named[2], agg, v, CycleAttrs(3))
+		if err != nil {
+			return nil, nil, err
+		}
+		return it, &Stats{BagSizes: [][2]int{{b1.Len(), named[2].Len()}}, TotalMaterialized: b1.Len()}, nil
+	}
+
+	bags := make([]*relation.Relation, 0, l-2)
+	b1, err := joinBags("B1", named[0], named[1], []string{"A0", "A1", "A2"}, agg)
+	if err != nil {
+		return nil, nil, err
+	}
+	bags = append(bags, b1)
+
+	// Distinct A0 values (from R1's first column), used to extend the
+	// middle bags. Weight contribution is the aggregate identity so each
+	// input tuple's weight still counts exactly once.
+	if l > 4 {
+		a0 := distinctValues(named[0], "A0")
+		for i := 2; i <= l-3; i++ {
+			bag := relation.New(fmt.Sprintf("B%d", i),
+				"A0", fmt.Sprintf("A%d", i), fmt.Sprintf("A%d", i+1))
+			src := named[i] // R_{i+1}(A_i, A_{i+1})
+			for ti, tp := range src.Tuples {
+				for _, v0 := range a0 {
+					bag.AddTuple(relation.Tuple{v0, tp[0], tp[1]}, src.Weights[ti])
+				}
+			}
+			bags = append(bags, bag)
+		}
+	}
+
+	bLast, err := joinBags(fmt.Sprintf("B%d", l-2), named[l-2], named[l-1],
+		[]string{"A0", fmt.Sprintf("A%d", l-2), fmt.Sprintf("A%d", l-1)}, agg)
+	if err != nil {
+		return nil, nil, err
+	}
+	bags = append(bags, bLast)
+
+	it, err := treeQueryMulti(bags, agg, v, CycleAttrs(l))
+	if err != nil {
+		return nil, nil, err
+	}
+	st := &Stats{}
+	for i := 0; i < len(bags); i += 2 {
+		pair := [2]int{bags[i].Len(), 0}
+		if i+1 < len(bags) {
+			pair[1] = bags[i+1].Len()
+		}
+		st.BagSizes = append(st.BagSizes, pair)
+	}
+	for _, b := range bags {
+		st.TotalMaterialized += b.Len()
+	}
+	return it, st, nil
+}
+
+// distinctValues returns the sorted distinct values of one attribute.
+func distinctValues(r *relation.Relation, attr string) []relation.Value {
+	c := r.AttrIndex(attr)
+	seen := make(map[relation.Value]bool)
+	var out []relation.Value
+	for _, t := range r.Tuples {
+		if !seen[t[c]] {
+			seen[t[c]] = true
+			out = append(out, t[c])
+		}
+	}
+	return out
+}
+
+// treeQueryMulti builds the acyclic query over an arbitrary set of bags
+// (GYO finds the join tree) and returns its any-k iterator with output
+// normalised to canonAttrs.
+func treeQueryMulti(bags []*relation.Relation, agg ranking.Aggregate, v core.Variant, canonAttrs []string) (core.Iterator, error) {
+	edges := make([]hypergraph.Edge, len(bags))
+	for i, b := range bags {
+		edges[i] = hypergraph.Edge{Name: b.Name, Vars: b.Attrs}
+	}
+	h := hypergraph.New(edges...)
+	q, err := yannakakis.NewQuery(h, bags)
+	if err != nil {
+		return nil, err
+	}
+	t, err := dp.Build(q, agg)
+	if err != nil {
+		return nil, err
+	}
+	it, err := core.New(t, v)
+	if err != nil {
+		return nil, err
+	}
+	perm := make([]int, len(canonAttrs))
+	for i, a := range canonAttrs {
+		found := -1
+		for j, b := range t.OutAttrs {
+			if a == b {
+				found = j
+				break
+			}
+		}
+		if found < 0 {
+			return nil, fmt.Errorf("decomp: attribute %s missing from tree output %v", a, t.OutAttrs)
+		}
+		perm[i] = found
+	}
+	return &projectIter{inner: it, perm: perm}, nil
+}

@@ -1,0 +1,153 @@
+package decomp
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+	"repro/internal/wcoj"
+	"repro/internal/workload"
+)
+
+// cycleReference materialises the l-cycle output with Generic-Join.
+func cycleReference(rels []*relation.Relation) *relation.Relation {
+	l := len(rels)
+	atoms := make([]wcoj.Atom, l)
+	for i, r := range rels {
+		atoms[i] = wcoj.Atom{Rel: r, Vars: []string{
+			fmt.Sprintf("A%d", i), fmt.Sprintf("A%d", (i+1)%l)}}
+	}
+	out, _, err := wcoj.Materialize(atoms, CycleAttrs(l), sum)
+	if err != nil {
+		panic(err)
+	}
+	out.SortByWeight()
+	return out
+}
+
+func checkCycleAgainstReference(t *testing.T, rels []*relation.Relation, v core.Variant) {
+	t.Helper()
+	want := cycleReference(rels)
+	it, _, err := CycleSingleTree(rels, sum, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := core.Collect(it, 0)
+	if len(got) != want.Len() {
+		t.Fatalf("l=%d: enumerated %d, reference %d", len(rels), len(got), want.Len())
+	}
+	gotRel := relation.New("got", CycleAttrs(len(rels))...)
+	for i, r := range got {
+		if math.Abs(r.Weight-want.Weights[i]) > 1e-9 {
+			t.Fatalf("rank %d: weight %g vs %g", i, r.Weight, want.Weights[i])
+		}
+		gotRel.AddTuple(r.Tuple, 0)
+	}
+	wantRel := relation.New("want", CycleAttrs(len(rels))...)
+	for _, tp := range want.Tuples {
+		wantRel.AddTuple(tp, 0)
+	}
+	if !gotRel.EqualAsSet(wantRel) {
+		t.Fatal("tuple multisets differ")
+	}
+}
+
+func TestCycleSingleTreeLengths(t *testing.T) {
+	for _, l := range []int{3, 4, 5, 6, 7} {
+		g := workload.RandomGraph(10, 50, workload.UniformWeights(), uint64(l))
+		rels := make([]*relation.Relation, l)
+		for i := range rels {
+			rels[i] = g.Edges
+		}
+		checkCycleAgainstReference(t, rels, core.Lazy)
+	}
+}
+
+func TestCycleSingleTreeDistinctRelations(t *testing.T) {
+	rels := make([]*relation.Relation, 5)
+	for i := range rels {
+		g := workload.RandomGraph(8, 40, workload.UniformWeights(), uint64(20+i))
+		rels[i] = g.Edges
+	}
+	checkCycleAgainstReference(t, rels, core.Rec)
+}
+
+func TestCycleSingleTreeValidation(t *testing.T) {
+	g := workload.RandomGraph(5, 10, workload.UniformWeights(), 1)
+	if _, _, err := CycleSingleTree([]*relation.Relation{g.Edges, g.Edges}, sum, core.Lazy); err == nil {
+		t.Error("l=2 should be rejected")
+	}
+	bad := relation.New("bad", "X", "Y", "Z")
+	if _, _, err := CycleSingleTree([]*relation.Relation{g.Edges, g.Edges, bad}, sum, core.Lazy); err == nil {
+		t.Error("arity-3 relation should be rejected")
+	}
+}
+
+func TestCycleSingleTreeEmptyOutput(t *testing.T) {
+	e := relation.New("E", "src", "dst")
+	e.Add(1, 2)
+	e.Add(2, 3) // no cycle
+	rels := []*relation.Relation{e, e, e, e, e}
+	it, _, err := CycleSingleTree(rels, sum, core.Lazy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := it.Next(); ok {
+		t.Error("acyclic edge set should yield no 5-cycles")
+	}
+}
+
+// Property: the fan decomposition matches GJ for random C5 instances.
+func TestCycleFanMatchesGJProperty(t *testing.T) {
+	f := func(seed uint16) bool {
+		g := workload.RandomGraph(7, 30, workload.UniformWeights(), uint64(seed))
+		rels := make([]*relation.Relation, 5)
+		for i := range rels {
+			rels[i] = g.Edges
+		}
+		want := cycleReference(rels)
+		it, _, err := CycleSingleTree(rels, sum, core.Take2)
+		if err != nil {
+			return false
+		}
+		got := core.Collect(it, 0)
+		if len(got) != want.Len() {
+			return false
+		}
+		for i := range got {
+			if math.Abs(got[i].Weight-want.Weights[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFourCycleFanEqualsSpecialised(t *testing.T) {
+	g := workload.RandomGraph(10, 80, workload.UniformWeights(), 9)
+	rels4 := [4]*relation.Relation{g.Edges, g.Edges, g.Edges, g.Edges}
+	itSub, _, err := FourCycleSubmodular(rels4, sum, core.Lazy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	itFan, _, err := CycleSingleTree(rels4[:], sum, core.Lazy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := core.Collect(itSub, 0)
+	b := core.Collect(itFan, 0)
+	if len(a) != len(b) {
+		t.Fatalf("submodular %d vs fan %d results", len(a), len(b))
+	}
+	for i := range a {
+		if math.Abs(a[i].Weight-b[i].Weight) > 1e-9 {
+			t.Fatalf("rank %d weight mismatch", i)
+		}
+	}
+}

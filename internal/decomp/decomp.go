@@ -1,0 +1,354 @@
+// Package decomp evaluates *cyclic* join queries by decomposing them
+// into acyclic queries over materialised bags, then running any-k over
+// each tree and merging the ranked streams (§3–§4 of the tutorial):
+//
+//   - Triangle: a single bag materialised by Generic-Join in O(n^1.5)
+//     (the AGM bound), enumerated lazily in ranking order.
+//   - FourCycleSingleTree: the fractional-hypertree-width-2 plan — two
+//     bags R1⋈R2 and R3⋈R4, each up to Θ(n²). This is the plan the
+//     tutorial says is *suboptimal*.
+//   - FourCycleSubmodular: the submodular-width-1.5 plan — three trees
+//     selected by the heaviness of the join values at B and D, with
+//     every bag both sized and *computable* in O(n^1.5) (each bag join
+//     drives from a filtered side and probes an index, so its cost is
+//     input + output). The three cases partition the output, so the
+//     ranked union needs no deduplication.
+package decomp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/dp"
+	"repro/internal/heap"
+	"repro/internal/hypergraph"
+	"repro/internal/ranking"
+	"repro/internal/relation"
+	"repro/internal/wcoj"
+	"repro/internal/yannakakis"
+)
+
+// Stats reports the decomposition work: what was materialised where.
+type Stats struct {
+	// BagSizes holds the materialised bag sizes per tree (two per tree).
+	BagSizes [][2]int
+	// HeavyB and HeavyD count heavy join values.
+	HeavyB, HeavyD int
+	// TotalMaterialized sums all bag sizes.
+	TotalMaterialized int
+}
+
+// FourCycleAttrs is the canonical output schema of the 4-cycle
+// constructors: the iterators yield tuples ordered (A, B, C, D).
+var FourCycleAttrs = []string{"A", "B", "C", "D"}
+
+// TriangleAttrs is the canonical output schema of TriangleAnyK.
+var TriangleAttrs = []string{"A", "B", "C"}
+
+// TriangleAnyK returns a ranked iterator over the triangle query
+// R1(A,B) ⋈ R2(B,C) ⋈ R3(C,A). All triangles are materialised with
+// Generic-Join (O(n^1.5) by AGM) and then enumerated lazily in ranking
+// order via an incremental heap — so time-to-first is O(n^1.5) and each
+// further result costs O(log n), matching the claim of §1 for the
+// 3-cycle.
+func TriangleAnyK(rels [3]*relation.Relation, agg ranking.Aggregate) (core.Iterator, *Stats, error) {
+	atoms := []wcoj.Atom{
+		{Rel: rels[0], Vars: []string{"A", "B"}},
+		{Rel: rels[1], Vars: []string{"B", "C"}},
+		{Rel: rels[2], Vars: []string{"C", "A"}},
+	}
+	out, _, err := wcoj.Materialize(atoms, TriangleAttrs, agg)
+	if err != nil {
+		return nil, nil, err
+	}
+	st := &Stats{BagSizes: [][2]int{{out.Len(), 0}}, TotalMaterialized: out.Len()}
+	return newSortedIter(out, agg), st, nil
+}
+
+// sortedIter enumerates a materialised relation in weight order using an
+// incremental heap sort (O(r) build, O(log r) per result).
+type sortedIter struct {
+	rel *relation.Relation
+	inc *heap.IncSort[int32]
+	k   int
+}
+
+func newSortedIter(rel *relation.Relation, agg ranking.Aggregate) core.Iterator {
+	rows := make([]int32, rel.Len())
+	for i := range rows {
+		rows[i] = int32(i)
+	}
+	return &sortedIter{
+		rel: rel,
+		inc: heap.NewIncSort(func(a, b int32) bool { return agg.Less(rel.Weights[a], rel.Weights[b]) }, rows),
+	}
+}
+
+func (s *sortedIter) Next() (core.Result, bool) {
+	row, ok := s.inc.Get(s.k)
+	if !ok {
+		return core.Result{}, false
+	}
+	s.k++
+	return core.Result{Tuple: s.rel.Tuples[row], Weight: s.rel.Weights[row]}, true
+}
+
+// projectIter reorders result tuples into a canonical attribute order.
+type projectIter struct {
+	inner core.Iterator
+	perm  []int // output position i takes inner tuple[perm[i]]
+}
+
+func (p *projectIter) Next() (core.Result, bool) {
+	r, ok := p.inner.Next()
+	if !ok {
+		return core.Result{}, false
+	}
+	out := make(relation.Tuple, len(p.perm))
+	for i, c := range p.perm {
+		out[i] = r.Tuple[c]
+	}
+	return core.Result{Tuple: out, Weight: r.Weight}, true
+}
+
+// treeQuery builds the 2-bag acyclic query bag1 ⋈ bag2 and returns its
+// any-k iterator with output tuples normalised to canonAttrs.
+func treeQuery(bag1, bag2 *relation.Relation, agg ranking.Aggregate, v core.Variant, canonAttrs []string) (core.Iterator, error) {
+	h := hypergraph.New(
+		hypergraph.Edge{Name: bag1.Name, Vars: bag1.Attrs},
+		hypergraph.Edge{Name: bag2.Name, Vars: bag2.Attrs},
+	)
+	q, err := yannakakis.NewQuery(h, []*relation.Relation{bag1, bag2})
+	if err != nil {
+		return nil, err
+	}
+	t, err := dp.Build(q, agg)
+	if err != nil {
+		return nil, err
+	}
+	it, err := core.New(t, v)
+	if err != nil {
+		return nil, err
+	}
+	perm := make([]int, len(canonAttrs))
+	for i, a := range canonAttrs {
+		found := -1
+		for j, b := range t.OutAttrs {
+			if a == b {
+				found = j
+				break
+			}
+		}
+		if found < 0 {
+			return nil, fmt.Errorf("decomp: attribute %s missing from tree output %v", a, t.OutAttrs)
+		}
+		perm[i] = found
+	}
+	return &projectIter{inner: it, perm: perm}, nil
+}
+
+// joinBags materialises the natural join of left and right (on their
+// shared attribute names) by driving from left and probing a hash index
+// on right — cost O(|left| + |output|). The output schema is outAttrs.
+func joinBags(name string, left, right *relation.Relation, outAttrs []string, agg ranking.Aggregate) (*relation.Relation, error) {
+	shared := left.SharedAttrs(right)
+	if len(shared) == 0 {
+		return nil, fmt.Errorf("decomp: bags %s/%s share no attributes", left.Name, right.Name)
+	}
+	ridx := relation.MustIndex(right, shared...)
+	lCols, err := left.AttrIndexes(shared)
+	if err != nil {
+		return nil, err
+	}
+	type src struct {
+		fromLeft bool
+		col      int
+	}
+	srcs := make([]src, len(outAttrs))
+	for i, a := range outAttrs {
+		if c := left.AttrIndex(a); c >= 0 {
+			srcs[i] = src{fromLeft: true, col: c}
+		} else if c := right.AttrIndex(a); c >= 0 {
+			srcs[i] = src{fromLeft: false, col: c}
+		} else {
+			return nil, fmt.Errorf("decomp: output attribute %s not found", a)
+		}
+	}
+	out := relation.New(name, outAttrs...)
+	key := make([]relation.Value, len(lCols))
+	for li, lt := range left.Tuples {
+		for k, c := range lCols {
+			key[k] = lt[c]
+		}
+		for _, ri := range ridx.Lookup(key) {
+			rt := right.Tuples[ri]
+			tup := make(relation.Tuple, len(srcs))
+			for i, s := range srcs {
+				if s.fromLeft {
+					tup[i] = lt[s.col]
+				} else {
+					tup[i] = rt[s.col]
+				}
+			}
+			out.AddTuple(tup, agg.Combine(left.Weights[li], right.Weights[ri]))
+		}
+	}
+	return out, nil
+}
+
+// rename returns a view of r with attributes renamed (tuples shared).
+func rename(r *relation.Relation, name string, attrs ...string) *relation.Relation {
+	out := relation.New(name, attrs...)
+	out.Tuples = r.Tuples
+	out.Weights = r.Weights
+	return out
+}
+
+// FourCycleSingleTree evaluates the 4-cycle query
+// R1(A,B) ⋈ R2(B,C) ⋈ R3(C,D) ⋈ R4(D,A) with the fhtw-2 single-tree
+// plan: bags W1(A,B,C) = R1⋈R2 and W2(A,C,D) = R3⋈R4, each up to Θ(n²).
+// Output tuples are ordered (A,B,C,D).
+func FourCycleSingleTree(rels [4]*relation.Relation, agg ranking.Aggregate, v core.Variant) (core.Iterator, *Stats, error) {
+	r1 := rename(rels[0], "R1", "A", "B")
+	r2 := rename(rels[1], "R2", "B", "C")
+	r3 := rename(rels[2], "R3", "C", "D")
+	r4 := rename(rels[3], "R4", "D", "A")
+	w1, err := joinBags("W1", r1, r2, []string{"A", "B", "C"}, agg)
+	if err != nil {
+		return nil, nil, err
+	}
+	w2, err := joinBags("W2", r3, r4, []string{"A", "C", "D"}, agg)
+	if err != nil {
+		return nil, nil, err
+	}
+	it, err := treeQuery(w1, w2, agg, v, FourCycleAttrs)
+	if err != nil {
+		return nil, nil, err
+	}
+	st := &Stats{BagSizes: [][2]int{{w1.Len(), w2.Len()}}, TotalMaterialized: w1.Len() + w2.Len()}
+	return it, st, nil
+}
+
+// FourCycleSubmodular evaluates the same 4-cycle query with the
+// submodular-width-1.5 plan. Let Δ2 = √|R2| and Δ4 = √|R4|; b is heavy
+// iff its fanout in R2 exceeds Δ2, d heavy iff its fanout in R4 exceeds
+// Δ4 (so at most √|R2| resp. √|R4| heavy values exist). Three disjoint
+// cases, each an acyclic 2-bag tree whose bags are driven from the
+// filtered side so that construction cost = input + output:
+//
+//	T1 (b light ∧ d light): W1(A,B,C) = R1 ⋈ σ_lightB R2   ≤ |R1|·Δ2
+//	                        W2(A,C,D) = R3 ⋈ σ_lightD R4   ≤ |R3|·Δ4
+//	T2 (b heavy):           V1(B,C,D) = σ_heavyB R2 ⋈ R3   ≤ √|R2|·|R3|
+//	                        V2(A,B,D) = σ_heavyB R1 ⋈ R4   ≤ √|R2|·|R4|
+//	T3 (b light ∧ d heavy): U1(D,A,B) = σ_heavyD R4 ⋈ σ_lightB R1
+//	                        U2(B,C,D) = σ_heavyD R3' ⋈ σ_lightB R2
+//
+// where σ_heavyD R3' filters R3 tuples whose D value is heavy (per-heavy-d
+// bound √|R4|·|R2|). The output predicates (heaviness of the result's b
+// and d values) partition the 4-cycle output, so the ranked union of the
+// three trees is exact without deduplication. Output tuples are ordered
+// (A,B,C,D).
+func FourCycleSubmodular(rels [4]*relation.Relation, agg ranking.Aggregate, v core.Variant) (core.Iterator, *Stats, error) {
+	r1 := rename(rels[0], "R1", "A", "B")
+	r2 := rename(rels[1], "R2", "B", "C")
+	r3 := rename(rels[2], "R3", "C", "D")
+	r4 := rename(rels[3], "R4", "D", "A")
+
+	deg2 := fanout(r2, "B")
+	deg4 := fanout(r4, "D")
+	d2 := int(math.Sqrt(float64(r2.Len())))
+	d4 := int(math.Sqrt(float64(r4.Len())))
+	heavyB := func(b relation.Value) bool { return deg2[b] > d2 }
+	heavyD := func(d relation.Value) bool { return deg4[d] > d4 }
+
+	st := &Stats{}
+	for b := range deg2 {
+		if heavyB(b) {
+			st.HeavyB++
+		}
+	}
+	for d := range deg4 {
+		if heavyD(d) {
+			st.HeavyD++
+		}
+	}
+
+	sel := func(r *relation.Relation, name string, col int, keep func(relation.Value) bool) *relation.Relation {
+		out := r.Select(func(t relation.Tuple, _ float64) bool { return keep(t[col]) })
+		out.Name = name
+		return out
+	}
+	not := func(f func(relation.Value) bool) func(relation.Value) bool {
+		return func(v relation.Value) bool { return !f(v) }
+	}
+
+	lightR2 := sel(r2, "R2l", 0, not(heavyB)) // B is column 0 of R2(B,C)
+	heavyR2 := sel(r2, "R2h", 0, heavyB)
+	lightR4 := sel(r4, "R4l", 0, not(heavyD)) // D is column 0 of R4(D,A)
+	heavyR1 := sel(r1, "R1h", 1, heavyB)      // B is column 1 of R1(A,B)
+	lightR1 := sel(r1, "R1l", 1, not(heavyB))
+	heavyR4 := sel(r4, "R4h", 0, heavyD)
+	heavyR3 := sel(r3, "R3h", 1, heavyD) // D is column 1 of R3(C,D)
+
+	// T1: b light ∧ d light.
+	w1, err := joinBags("W1", r1, lightR2, []string{"A", "B", "C"}, agg)
+	if err != nil {
+		return nil, nil, err
+	}
+	w2, err := joinBags("W2", r3, lightR4, []string{"A", "C", "D"}, agg)
+	if err != nil {
+		return nil, nil, err
+	}
+	t1, err := treeQuery(w1, w2, agg, v, FourCycleAttrs)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// T2: b heavy, d unrestricted. Bags share {B,D}? V1(B,C,D) and
+	// V2(A,B,D) share {B,D}: C only in V1, A only in V2 — valid tree.
+	v1, err := joinBags("V1", heavyR2, r3, []string{"B", "C", "D"}, agg)
+	if err != nil {
+		return nil, nil, err
+	}
+	v2, err := joinBags("V2", heavyR1, r4, []string{"A", "B", "D"}, agg)
+	if err != nil {
+		return nil, nil, err
+	}
+	t2, err := treeQuery(v1, v2, agg, v, FourCycleAttrs)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// T3: b light ∧ d heavy. U1(D,A,B) = σ_heavyD R4 ⋈ σ_lightB R1 on A;
+	// U2(B,C,D) = σ_heavyD R3 ⋈ σ_lightB R2 on C. Shared {B,D}: A only in
+	// U1, C only in U2 — valid tree.
+	u1, err := joinBags("U1", heavyR4, lightR1, []string{"D", "A", "B"}, agg)
+	if err != nil {
+		return nil, nil, err
+	}
+	u2, err := joinBags("U2", heavyR3, lightR2, []string{"B", "C", "D"}, agg)
+	if err != nil {
+		return nil, nil, err
+	}
+	t3, err := treeQuery(u1, u2, agg, v, FourCycleAttrs)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	st.BagSizes = [][2]int{{w1.Len(), w2.Len()}, {v1.Len(), v2.Len()}, {u1.Len(), u2.Len()}}
+	for _, bs := range st.BagSizes {
+		st.TotalMaterialized += bs[0] + bs[1]
+	}
+	return core.Merge(agg, false, t1, t2, t3), st, nil
+}
+
+// fanout counts tuples per value of attr.
+func fanout(r *relation.Relation, attr string) map[relation.Value]int {
+	c := r.AttrIndex(attr)
+	m := make(map[relation.Value]int)
+	for _, t := range r.Tuples {
+		m[t[c]]++
+	}
+	return m
+}

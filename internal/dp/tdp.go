@@ -1,0 +1,303 @@
+// Package dp builds the tree-based dynamic program (T-DP) that underlies
+// the any-k algorithms of Part 3 of the tutorial. Given an acyclic join
+// query, the relations are full-reduced and arranged along the join tree
+// in DFS preorder. Each tree node's tuples are partitioned into
+// *candidate groups* by their join key with the parent; every group
+// carries the suffix-optimal weight π of its best member, where
+//
+//	π(u, t) = w(t) ⊕ Σ_{c ∈ children(u)} bestπ(group of c selected by t)
+//
+// computed bottom-up (⊕ is the ranking aggregate's combine). A solution
+// assigns one tuple to every node such that adjacent tuples join; its
+// weight is the aggregate of all node weights. The top-1 solution falls
+// out of a greedy descent, and the enumeration algorithms in
+// internal/core produce all remaining solutions in weight order.
+package dp
+
+import (
+	"fmt"
+
+	"repro/internal/ranking"
+	"repro/internal/relation"
+	"repro/internal/yannakakis"
+)
+
+// TDP is the compiled dynamic program for one acyclic query instance.
+type TDP struct {
+	Agg ranking.Aggregate
+	// Nodes in DFS preorder: Nodes[0] is the root; every node's parent
+	// precedes it.
+	Nodes []*Node
+	// OutAttrs is the output schema (query variables in first-appearance
+	// order over the preorder).
+	OutAttrs []string
+	emits    []emitSpec
+}
+
+// Node is one join-tree node of the T-DP.
+type Node struct {
+	// Rel is the full-reduced relation, renamed to query variables.
+	Rel *relation.Relation
+	// Parent is the preorder position of the parent (-1 for the root).
+	Parent int
+	// Children are preorder positions of children.
+	Children []int
+	// Groups partitions Rel's rows by their join key with the parent.
+	// The root has exactly one group holding every row.
+	Groups []Group
+	// GroupOfRow maps each row to its group index.
+	GroupOfRow []int32
+	// ChildGroup[ci][row] is the group index in child Children[ci]
+	// selected by this node's row (-1 never occurs after full reduction).
+	ChildGroup [][]int32
+	// Pi[row] is the suffix-optimal weight of the subtree rooted here
+	// when this node picks row.
+	Pi []float64
+}
+
+// Group is a candidate set: the rows of a node sharing one parent key.
+type Group struct {
+	Rows []int32
+	// BestIdx is the position within Rows of the row minimising Pi
+	// (by the aggregate's order); BestPi is that value.
+	BestIdx int32
+	BestPi  float64
+}
+
+type emitSpec struct {
+	node   int
+	col    int
+	outPos int
+}
+
+// Build compiles the T-DP for the query with the given ranking aggregate.
+// The query result is empty iff the root node ends up with zero rows.
+func Build(q *yannakakis.Query, agg ranking.Aggregate) (*TDP, error) {
+	red := q.FullReduce()
+	tree := q.Tree
+	m := len(tree.Order)
+
+	// posOf maps hypergraph edge index -> preorder position.
+	posOf := make([]int, m)
+	for pos, edge := range tree.Order {
+		posOf[edge] = pos
+	}
+
+	t := &TDP{Agg: agg, Nodes: make([]*Node, m)}
+	for pos, edge := range tree.Order {
+		n := &Node{Rel: red[edge], Parent: -1}
+		if p := tree.Parent[edge]; p >= 0 {
+			n.Parent = posOf[p]
+		}
+		for _, c := range tree.Children[edge] {
+			n.Children = append(n.Children, posOf[c])
+		}
+		t.Nodes[pos] = n
+	}
+
+	// Output schema and emit map.
+	seen := make(map[string]bool)
+	for pos, n := range t.Nodes {
+		for col, v := range n.Rel.Attrs {
+			if !seen[v] {
+				seen[v] = true
+				t.emits = append(t.emits, emitSpec{node: pos, col: col, outPos: len(t.OutAttrs)})
+				t.OutAttrs = append(t.OutAttrs, v)
+			}
+		}
+	}
+
+	// Group rows by parent key.
+	for pos, n := range t.Nodes {
+		if n.Parent < 0 {
+			rows := make([]int32, n.Rel.Len())
+			for i := range rows {
+				rows[i] = int32(i)
+			}
+			n.Groups = []Group{{Rows: rows}}
+			n.GroupOfRow = make([]int32, n.Rel.Len())
+			continue
+		}
+		parent := t.Nodes[n.Parent]
+		shared := parent.Rel.SharedAttrs(n.Rel)
+		if len(shared) == 0 {
+			return nil, fmt.Errorf("dp: node %d shares no attributes with its parent (tree edge would be a cartesian product)", pos)
+		}
+		selfCols, err := n.Rel.AttrIndexes(shared)
+		if err != nil {
+			return nil, err
+		}
+		groupIndex := make(map[string]int32)
+		n.GroupOfRow = make([]int32, n.Rel.Len())
+		var buf []byte
+		key := make([]relation.Value, len(selfCols))
+		for row, tp := range n.Rel.Tuples {
+			for k, c := range selfCols {
+				key[k] = tp[c]
+			}
+			buf = relation.AppendKey(buf[:0], key)
+			gi, ok := groupIndex[string(buf)]
+			if !ok {
+				gi = int32(len(n.Groups))
+				groupIndex[string(buf)] = gi
+				n.Groups = append(n.Groups, Group{})
+			}
+			n.Groups[gi].Rows = append(n.Groups[gi].Rows, int32(row))
+			n.GroupOfRow[row] = gi
+		}
+		// Parent rows resolve to this node's groups.
+		pCols, err := parent.Rel.AttrIndexes(shared)
+		if err != nil {
+			return nil, err
+		}
+		cg := make([]int32, parent.Rel.Len())
+		for row, tp := range parent.Rel.Tuples {
+			for k, c := range pCols {
+				key[k] = tp[c]
+			}
+			buf = relation.AppendKey(buf[:0], key)
+			gi, ok := groupIndex[string(buf)]
+			if !ok {
+				gi = -1 // dangling parent row: impossible after full reduction
+			}
+			cg[row] = gi
+		}
+		// Locate this child's index within the parent's Children.
+		ci := -1
+		for i, c := range parent.Children {
+			if c == pos {
+				ci = i
+				break
+			}
+		}
+		if parent.ChildGroup == nil {
+			parent.ChildGroup = make([][]int32, len(parent.Children))
+		}
+		parent.ChildGroup[ci] = cg
+	}
+
+	// Bottom-up π computation (reverse preorder: children first).
+	for pos := m - 1; pos >= 0; pos-- {
+		n := t.Nodes[pos]
+		n.Pi = make([]float64, n.Rel.Len())
+		for row := range n.Rel.Tuples {
+			pi := n.Rel.Weights[row]
+			for ci, c := range n.Children {
+				gi := n.ChildGroup[ci][row]
+				if gi < 0 {
+					return nil, fmt.Errorf("dp: dangling row survived full reduction at node %d", pos)
+				}
+				pi = agg.Combine(pi, t.Nodes[c].Groups[gi].BestPi)
+			}
+			n.Pi[row] = pi
+		}
+		for gi := range n.Groups {
+			g := &n.Groups[gi]
+			if len(g.Rows) == 0 {
+				continue
+			}
+			g.BestIdx = 0
+			g.BestPi = n.Pi[g.Rows[0]]
+			for i := 1; i < len(g.Rows); i++ {
+				if agg.Less(n.Pi[g.Rows[i]], g.BestPi) {
+					g.BestIdx = int32(i)
+					g.BestPi = n.Pi[g.Rows[i]]
+				}
+			}
+		}
+	}
+	return t, nil
+}
+
+// Empty reports whether the query has no results.
+func (t *TDP) Empty() bool { return t.Nodes[0].Rel.Len() == 0 }
+
+// TopWeight returns the weight of the best solution. It must not be
+// called when Empty.
+func (t *TDP) TopWeight() float64 { return t.Nodes[0].Groups[0].BestPi }
+
+// GroupFor returns the group index of node pos selected by the current
+// assignment of its parent (rows must have the parent's row filled in).
+// For the root it is always 0.
+func (t *TDP) GroupFor(pos int, rows []int32) int32 {
+	n := t.Nodes[pos]
+	if n.Parent < 0 {
+		return 0
+	}
+	parent := t.Nodes[n.Parent]
+	ci := 0
+	for i, c := range parent.Children {
+		if c == pos {
+			ci = i
+			break
+		}
+	}
+	return parent.ChildGroup[ci][rows[n.Parent]]
+}
+
+// ChildIndex returns the position of child c within parent p's Children.
+func (t *TDP) ChildIndex(p, c int) int {
+	for i, cc := range t.Nodes[p].Children {
+		if cc == c {
+			return i
+		}
+	}
+	panic("dp: not a child")
+}
+
+// GreedyComplete fills rows[from..] with each node's group-best row,
+// descending in preorder. rows[0..from-1] must already be assigned.
+func (t *TDP) GreedyComplete(rows []int32, from int) {
+	for pos := from; pos < len(t.Nodes); pos++ {
+		n := t.Nodes[pos]
+		gi := t.GroupFor(pos, rows)
+		g := &n.Groups[gi]
+		rows[pos] = g.Rows[g.BestIdx]
+	}
+}
+
+// SolutionWeight computes the aggregate weight of a full assignment.
+func (t *TDP) SolutionWeight(rows []int32) float64 {
+	w := t.Agg.Identity()
+	for pos, n := range t.Nodes {
+		w = t.Agg.Combine(w, n.Rel.Weights[rows[pos]])
+	}
+	return w
+}
+
+// Emit renders a full assignment as an output tuple.
+func (t *TDP) Emit(rows []int32) relation.Tuple {
+	out := make(relation.Tuple, len(t.OutAttrs))
+	for _, sp := range t.emits {
+		out[sp.outPos] = t.Nodes[sp.node].Rel.Tuples[rows[sp.node]][sp.col]
+	}
+	return out
+}
+
+// NumSolutions counts the solutions of the T-DP (for tests and the batch
+// baseline's pre-sizing) by a bottom-up counting pass.
+func (t *TDP) NumSolutions() int {
+	m := len(t.Nodes)
+	counts := make([][]int, m)
+	for pos := m - 1; pos >= 0; pos-- {
+		n := t.Nodes[pos]
+		counts[pos] = make([]int, n.Rel.Len())
+		for row := range n.Rel.Tuples {
+			c := 1
+			for ci, child := range n.Children {
+				gi := n.ChildGroup[ci][row]
+				sub := 0
+				for _, r := range t.Nodes[child].Groups[gi].Rows {
+					sub += counts[child][r]
+				}
+				c *= sub
+			}
+			counts[pos][row] = c
+		}
+	}
+	total := 0
+	for _, c := range counts[0] {
+		total += c
+	}
+	return total
+}

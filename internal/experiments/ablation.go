@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/dp"
+	"repro/internal/factorized"
+	"repro/internal/stats"
+	"repro/internal/workload"
+	"repro/internal/yannakakis"
+)
+
+// E13 — the delay ablation of §4: "a direct application of the
+// [Lawler–Murty] procedure that solves each partition from scratch leads
+// to a delay that is polynomial in the size of the input [61]. However
+// … the delay can be reduced to O(log k) [90]." NaiveLawler recomputes
+// the DP per partition; Lazy reuses suffix-optimal weights through
+// incremental successor structures. Both produce identical output.
+func E13(ns []int, k int) *stats.Table {
+	t := stats.NewTable("E13: Lawler delay ablation — naive (recompute) vs Lazy (incremental)",
+		"n", "k", "naive_TTK", "naive_maxdelay", "lazy_TTK", "lazy_maxdelay", "delay_ratio")
+	for _, n := range ns {
+		inst := workload.Path(4, n, n/5+1, workload.UniformWeights(), 17)
+		q, err := yannakakis.NewQuery(inst.H, inst.Rels)
+		if err != nil {
+			panic(err)
+		}
+
+		naiveRec := stats.NewDelayRecorder()
+		tn, err := dp.Build(q, sum)
+		if err != nil {
+			panic(err)
+		}
+		itN := core.NewNaiveLawler(tn)
+		for i := 0; i < k; i++ {
+			if _, ok := itN.Next(); !ok {
+				break
+			}
+			naiveRec.Mark()
+		}
+
+		lazyRec := stats.NewDelayRecorder()
+		tl, err := dp.Build(q, sum)
+		if err != nil {
+			panic(err)
+		}
+		itL, err := core.New(tl, core.Lazy)
+		if err != nil {
+			panic(err)
+		}
+		for i := 0; i < k; i++ {
+			if _, ok := itL.Next(); !ok {
+				break
+			}
+			lazyRec.Mark()
+		}
+
+		ratio := float64(naiveRec.TTK(k)) / float64(maxDuration(lazyRec.TTK(k), 1))
+		t.Add(n, k, naiveRec.TTK(k), naiveRec.MaxDelay(), lazyRec.TTK(k), lazyRec.MaxDelay(), ratio)
+	}
+	return t
+}
+
+func maxDuration[T ~int64](a T, b T) T {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// E14 — memory ablation (Part 3's PART-vs-REC tradeoff): PART
+// materialises every emitted solution (O(k·|Q|) extra memory); REC
+// shares ranked suffixes across prefixes (factorised memory growing
+// with the materialised state lists instead). Measured as the heap
+// growth over a full enumeration.
+func E14(n int) *stats.Table {
+	t := stats.NewTable("E14: allocation footprint (path l=4) — full vs top-1000 enumeration",
+		"variant", "mode", "results", "alloc_MB", "time")
+	inst := workload.Path(4, n, n/5+1, workload.UniformWeights(), 19)
+	q, err := yannakakis.NewQuery(inst.H, inst.Rels)
+	if err != nil {
+		panic(err)
+	}
+	for _, mode := range []struct {
+		name  string
+		limit int
+	}{{"full", 0}, {"top-1000", 1000}} {
+		for _, v := range []core.Variant{core.Lazy, core.All, core.Rec, core.Batch} {
+			runtime.GC()
+			var before runtime.MemStats
+			runtime.ReadMemStats(&before)
+			rec := stats.NewDelayRecorder()
+			tdp, err := dp.Build(q, sum)
+			if err != nil {
+				panic(err)
+			}
+			it, err := core.New(tdp, v)
+			if err != nil {
+				panic(err)
+			}
+			count := 0
+			for {
+				if _, ok := it.Next(); !ok {
+					break
+				}
+				rec.Mark()
+				count++
+				if mode.limit > 0 && count >= mode.limit {
+					break
+				}
+			}
+			var after runtime.MemStats
+			runtime.ReadMemStats(&after)
+			allocMB := float64(after.TotalAlloc-before.TotalAlloc) / (1 << 20)
+			t.Add(string(v), mode.name, count, allocMB, rec.TTL())
+		}
+	}
+	return t
+}
+
+// E15 — factorized databases (Part 2): the d-representation of a join
+// result over the join tree is bounded by the input size, while the
+// flat output grows with the result count — "cleverly representing
+// (intermediate) results in a factorised format". Compression is the
+// flat cell count divided by the representation's singletons.
+func E15(ns []int) *stats.Table {
+	t := stats.NewTable("E15: factorized result representation (path l=4)",
+		"n", "results", "flat_cells", "singletons", "compression", "build_time")
+	for _, n := range ns {
+		inst := workload.Path(4, n, n/5+1, workload.UniformWeights(), 23)
+		q, err := yannakakis.NewQuery(inst.H, inst.Rels)
+		if err != nil {
+			panic(err)
+		}
+		timer := stats.StartTimer()
+		d, err := factorized.Build(q)
+		if err != nil {
+			panic(err)
+		}
+		build := timer.Elapsed()
+		t.Add(n, d.Count(), d.FlatCells(), d.Singletons(), d.CompressionRatio(), build)
+	}
+	return t
+}

@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The experiment functions are exercised at small scale: each must run,
+// produce the advertised columns, and exhibit the qualitative shape the
+// corresponding claim predicts.
+
+func parseIntCell(t *testing.T, cell string) int {
+	t.Helper()
+	v, err := strconv.Atoi(cell)
+	if err != nil {
+		t.Fatalf("cell %q is not an int: %v", cell, err)
+	}
+	return v
+}
+
+func TestE1Shape(t *testing.T) {
+	tb := E1([]int{200, 400})
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Binary intermediates are quadratic: at least (n/2)² (the hub value
+	// 1 contributes a few extra matches beyond the grid).
+	for i, n := range []int{200, 400} {
+		interm := parseIntCell(t, tb.Rows[i][3])
+		if interm < (n/2)*(n/2) {
+			t.Errorf("n=%d: binary intermediate = %d, want >= %d", n, interm, (n/2)*(n/2))
+		}
+		// GJ seeks well below the quadratic intermediate.
+		seeks := parseIntCell(t, tb.Rows[i][5])
+		if seeks >= interm {
+			t.Errorf("n=%d: GJ seeks %d not below binary intermediate %d", n, seeks, interm)
+		}
+	}
+}
+
+func TestE2Shape(t *testing.T) {
+	tb := E2([]int{200})
+	if len(tb.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	binaryInterm := parseIntCell(t, tb.Rows[0][2])
+	singleBags := parseIntCell(t, tb.Rows[0][4])
+	subBags := parseIntCell(t, tb.Rows[0][6])
+	if binaryInterm < 100*100 {
+		t.Errorf("binary intermediate = %d, expected quadratic", binaryInterm)
+	}
+	if singleBags < 100*100 {
+		t.Errorf("single-tree bags = %d, expected quadratic", singleBags)
+	}
+	if subBags > 200 {
+		t.Errorf("submodular bags = %d, expected near-zero on hub instance", subBags)
+	}
+}
+
+func TestE3Shape(t *testing.T) {
+	tb := E3([]int{300})
+	out := parseIntCell(t, tb.Rows[0][1])
+	interm := parseIntCell(t, tb.Rows[0][4])
+	if out != 0 {
+		t.Errorf("output = %d, want 0", out)
+	}
+	if interm != 300*300 {
+		t.Errorf("binary intermediate = %d, want %d", interm, 300*300)
+	}
+}
+
+func TestE4Shape(t *testing.T) {
+	tb := E4(400, []int{1, 10})
+	if len(tb.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(tb.Rows))
+	}
+	// Row 0: correlated k=1 — TA sorted accesses must be far below 2n.
+	taSorted := parseIntCell(t, tb.Rows[0][2])
+	if taSorted > 400 {
+		t.Errorf("correlated TA sorted = %d, expected early stop", taSorted)
+	}
+	// Hidden-winner rows: TA must scan deep.
+	for _, row := range tb.Rows {
+		if row[0] == "hidden-winner" {
+			deep := parseIntCell(t, row[2])
+			if deep < 400 {
+				t.Errorf("hidden-winner TA sorted = %d, expected deep scan", deep)
+			}
+		}
+	}
+}
+
+func TestE5Shape(t *testing.T) {
+	tb := E5(400, []int{1})
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	friendly := parseIntCell(t, tb.Rows[0][2])
+	adversarial := parseIntCell(t, tb.Rows[1][2])
+	if friendly*10 > adversarial {
+		t.Errorf("friendly pulls %d vs adversarial %d: expected a large gap", friendly, adversarial)
+	}
+}
+
+func TestE6Runs(t *testing.T) {
+	tb := E6([]int{200}, 10)
+	if len(tb.Rows) != 7 {
+		t.Fatalf("rows = %d, want 7 variants", len(tb.Rows))
+	}
+	// All variants enumerate the same count.
+	count := tb.Rows[0][2]
+	for _, row := range tb.Rows {
+		if row[2] != count {
+			t.Errorf("variant %s enumerated %s, others %s", row[1], row[2], count)
+		}
+	}
+}
+
+func TestE7Runs(t *testing.T) {
+	tb := E7(150)
+	if len(tb.Rows) != 7 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+}
+
+func TestE8Runs(t *testing.T) {
+	tb := E8([]int{150}, 10)
+	if len(tb.Rows) != 7 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+}
+
+func TestE9Runs(t *testing.T) {
+	tb := E9([]int{300}, 5)
+	if len(tb.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+}
+
+func TestE10Shape(t *testing.T) {
+	tb := E10(200)
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	if !strings.HasPrefix(tb.Rows[0][1], "1.5") {
+		t.Errorf("triangle rho* = %s, want 1.5", tb.Rows[0][1])
+	}
+	if tb.Rows[1][1] != "2" {
+		t.Errorf("4-cycle rho* = %s, want 2", tb.Rows[1][1])
+	}
+}
+
+func TestE11Runs(t *testing.T) {
+	tb := E11(150, []int{1, 10, 100})
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+}
+
+func TestE12Runs(t *testing.T) {
+	tb := E12(150)
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5 ranking functions", len(tb.Rows))
+	}
+	// Every ranking function enumerates the same number of results.
+	for _, row := range tb.Rows[1:] {
+		if row[1] != tb.Rows[0][1] {
+			t.Errorf("ranking %s enumerated %s results, others %s", row[0], row[1], tb.Rows[0][1])
+		}
+	}
+}
+
+func TestE13Shape(t *testing.T) {
+	tb := E13([]int{300}, 50)
+	if len(tb.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	ratio, err := strconv.ParseFloat(tb.Rows[0][6], 64)
+	if err != nil {
+		t.Fatalf("ratio cell: %v", err)
+	}
+	if ratio < 1 {
+		t.Errorf("naive/lazy delay ratio = %g, expected >= 1", ratio)
+	}
+}
+
+func TestE14Runs(t *testing.T) {
+	tb := E14(150)
+	if len(tb.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8 (4 variants × 2 modes)", len(tb.Rows))
+	}
+	// All variants in full mode enumerate the same count.
+	for _, row := range tb.Rows[1:4] {
+		if row[2] != tb.Rows[0][2] {
+			t.Errorf("variant %s count %s != %s", row[0], row[2], tb.Rows[0][2])
+		}
+	}
+}
+
+func TestE15Shape(t *testing.T) {
+	tb := E15([]int{300})
+	if len(tb.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	flat := parseIntCell(t, tb.Rows[0][2])
+	singles := parseIntCell(t, tb.Rows[0][3])
+	if singles > 4*300 {
+		t.Errorf("singletons = %d, must be bounded by input 4n", singles)
+	}
+	if flat <= singles {
+		t.Errorf("flat cells %d should exceed singletons %d on this workload", flat, singles)
+	}
+}

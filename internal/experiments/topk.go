@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"repro/internal/relation"
+	"repro/internal/stats"
+	"repro/internal/topk"
+	"repro/internal/workload"
+)
+
+func toLists(ws []*workload.ScoredList) []*topk.List {
+	out := make([]*topk.List, len(ws))
+	for i, w := range ws {
+		l, err := topk.NewList(w.IDs, w.Grades)
+		if err != nil {
+			panic(err)
+		}
+		out[i] = l
+	}
+	return out
+}
+
+// E4 — the middleware cost model of §2: sorted/random access counts for
+// TA, FA and NRA across correlation regimes and k. Expected shape: TA
+// accesses ≪ FA ≪ full scan on correlated inputs; the advantage shrinks
+// on anti-correlated inputs; and on the hidden-winner instance TA's
+// accesses approach the full scan — instance optimality does not mean
+// fast on adversarial data.
+func E4(n int, ks []int) *stats.Table {
+	t := stats.NewTable("E4: TA vs FA vs NRA — middleware access counts (m=2 lists)",
+		"input", "k", "TA_sorted", "TA_random", "FA_sorted", "FA_random", "NRA_sorted", "NRA_buffered")
+	type regime struct {
+		name  string
+		lists []*topk.List
+	}
+	regimes := []regime{
+		{"correlated", toLists(workload.Lists(2, n, workload.Correlated, 42))},
+		{"independent", toLists(workload.Lists(2, n, workload.Independent, 42))},
+		{"anti-correlated", toLists(workload.Lists(2, n, workload.AntiCorrelated, 42))},
+		{"hidden-winner", toLists(workload.HiddenTopLists(2, n, 42))},
+	}
+	agg := topk.SumAgg{}
+	for _, rg := range regimes {
+		for _, k := range ks {
+			want := topk.BruteForce(rg.lists, k, agg)
+			taRes, taStats := topk.TA(rg.lists, k, agg)
+			if !sameScores(taRes, want) {
+				panic("TA incorrect in experiment E4")
+			}
+			_, faStats := topk.FA(rg.lists, k, agg)
+			_, nraStats := topk.NRA(rg.lists, k)
+			t.Add(rg.name, k, taStats.Sorted, taStats.Random, faStats.Sorted, faStats.Random, nraStats.Sorted, nraStats.Buffered)
+		}
+	}
+	return t
+}
+
+func sameScores(a, b []topk.Candidate) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if diff := a[i].Score - b[i].Score; diff > 1e-9 || diff < -1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// E5 — §2's RAM-model critique of rank join: on friendly inputs (join
+// partners near the tops) HRJN stops after a handful of pulls; on the
+// adversarial instance (partners at the bottoms) it pulls nearly
+// everything and buffers large intermediate state, even for k = 1.
+func E5(n int, ks []int) *stats.Table {
+	t := stats.NewTable("E5: rank join — HRJN and J* on friendly vs adversarial inputs",
+		"input", "k", "hrjn_pulled", "hrjn_buffered", "hrjn_queue", "jstar_expanded", "jstar_queue")
+	for _, k := range ks {
+		rF, sF := rankJoinInstance(n, false)
+		opF := topk.NewHRJN(topk.NewScan(rF), topk.NewScan(sF))
+		topk.TopK(opF, k)
+		jF := topk.NewJStar(rF, sF)
+		topk.TopK(jF, k)
+		t.Add("friendly", k, opF.Stats.PulledLeft+opF.Stats.PulledRight, opF.Stats.Joined, opF.Stats.MaxQueue,
+			jF.Stats.Expanded, jF.Stats.MaxQueue)
+
+		rA, sA := rankJoinInstance(n, true)
+		opA := topk.NewHRJN(topk.NewScan(rA), topk.NewScan(sA))
+		topk.TopK(opA, k)
+		// J* explores Θ(n²) partial-match states on this instance (its
+		// documented worst case — looser bounds than HRJN's corner
+		// threshold), so skip it beyond moderate n to keep the harness
+		// responsive; -1 marks the skip.
+		jExp, jQ := -1, -1
+		if n <= 25000 {
+			jA := topk.NewJStar(rA, sA)
+			topk.TopK(jA, k)
+			jExp, jQ = jA.Stats.Expanded, jA.Stats.MaxQueue
+		}
+		t.Add("adversarial", k, opA.Stats.PulledLeft+opA.Stats.PulledRight, opA.Stats.Joined, opA.Stats.MaxQueue,
+			jExp, jQ)
+	}
+	return t
+}
+
+// rankJoinInstance builds R(A,B), S(B,C) with scores descending in rank.
+// In the friendly version tuple i joins tuple i (tops join tops); in the
+// adversarial version R's i-th best joins S's i-th worst.
+func rankJoinInstance(n int, adversarial bool) (*relation.Relation, *relation.Relation) {
+	r := relation.New("R", "A", "B")
+	s := relation.New("S", "B", "C")
+	for i := 0; i < n; i++ {
+		w := 1 - float64(i)/float64(n)
+		r.AddWeighted(w, relation.Value(i), relation.Value(i))
+		key := relation.Value(i)
+		if adversarial {
+			key = relation.Value(n - 1 - i)
+		}
+		s.AddWeighted(w, key, relation.Value(i))
+	}
+	return r, s
+}

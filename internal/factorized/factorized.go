@@ -1,0 +1,259 @@
+// Package factorized implements factorized (d-)representations of join
+// results — the Part 2 topic of the tutorial ("factorised databases aim
+// to reduce query complexity by cleverly representing (intermediate)
+// results in a factorised format", Olteanu & Závodný). A join result
+// set is stored as a DAG of union and product nodes over tuple
+// singletons: unions range over the tuples of one candidate group,
+// products combine a tuple with its children's sub-results, and
+// sharing (the "d" in d-representation) arises because distinct parent
+// tuples with the same join key point at the same child union.
+//
+// For tree-shaped queries the representation has size O(Σ|R_i|)
+// regardless of the flat output size, which can be exponentially larger
+// — the gap package tests and experiment E15 measure.
+package factorized
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+	"repro/internal/yannakakis"
+)
+
+// DRep is a factorized representation of an acyclic query's result.
+type DRep struct {
+	tree   *treeInfo
+	unions map[unionKey]*unionNode
+	root   *unionNode
+	// OutAttrs is the output schema of Enumerate.
+	OutAttrs []string
+	emits    []emitSpec
+}
+
+type treeInfo struct {
+	red      []*relation.Relation
+	order    []int
+	parent   []int
+	children [][]int
+	// childKeyCols[u][ci] = columns of u's relation forming the join key
+	// with child children[u][ci].
+	childKeyCols [][][]int
+	// selfKeyCols[u] = columns of u's relation forming the key by which
+	// u's tuples group under their parent.
+	selfKeyCols [][]int
+}
+
+type unionKey struct {
+	node int
+	key  string
+}
+
+// unionNode is a union over the tuples of one candidate group; each
+// member is implicitly a product of its singleton with the child unions
+// selected by its join keys.
+type unionNode struct {
+	node int
+	rows []int32
+	// childUnions[i][ci] is the union for rows[i]'s ci-th child.
+	childUnions [][]*unionNode
+	count       int // memoized result count of this sub-DAG
+}
+
+type emitSpec struct {
+	node   int
+	col    int
+	outPos int
+}
+
+// Build constructs the d-representation of q's result: full reduction,
+// then one pass creating shared union nodes per (tree node, join key).
+func Build(q *yannakakis.Query) (*DRep, error) {
+	red := q.FullReduce()
+	t := q.Tree
+	n := len(red)
+	info := &treeInfo{
+		red:          red,
+		order:        t.Order,
+		parent:       make([]int, n),
+		children:     make([][]int, n),
+		childKeyCols: make([][][]int, n),
+		selfKeyCols:  make([][]int, n),
+	}
+	for u := 0; u < n; u++ {
+		info.parent[u] = t.Parent[u]
+		info.children[u] = t.Children[u]
+	}
+	for u := 0; u < n; u++ {
+		info.childKeyCols[u] = make([][]int, len(info.children[u]))
+		for ci, c := range info.children[u] {
+			shared := red[u].SharedAttrs(red[c])
+			if len(shared) == 0 {
+				return nil, fmt.Errorf("factorized: tree edge %d-%d shares no attributes", u, c)
+			}
+			cols, err := red[u].AttrIndexes(shared)
+			if err != nil {
+				return nil, err
+			}
+			info.childKeyCols[u][ci] = cols
+			selfCols, err := red[c].AttrIndexes(shared)
+			if err != nil {
+				return nil, err
+			}
+			info.selfKeyCols[c] = selfCols
+		}
+	}
+	d := &DRep{tree: info, unions: make(map[unionKey]*unionNode)}
+
+	// Group every node's rows by self key so unions can be created by key.
+	groups := make([]map[string][]int32, n)
+	var buf []byte
+	for u := 0; u < n; u++ {
+		groups[u] = make(map[string][]int32)
+		for row, tp := range red[u].Tuples {
+			buf = keyOf(buf[:0], tp, info.selfKeyCols[u])
+			groups[u][string(buf)] = append(groups[u][string(buf)], int32(row))
+		}
+	}
+
+	// Build unions bottom-up (reverse preorder ensures children exist).
+	for oi := len(info.order) - 1; oi >= 0; oi-- {
+		u := info.order[oi]
+		for key, rows := range groups[u] {
+			un := &unionNode{node: u, rows: rows, count: -1}
+			un.childUnions = make([][]*unionNode, len(rows))
+			for i, row := range rows {
+				tp := red[u].Tuples[row]
+				cus := make([]*unionNode, len(info.children[u]))
+				for ci, c := range info.children[u] {
+					buf = keyOf(buf[:0], tp, info.childKeyCols[u][ci])
+					child := d.unions[unionKey{node: c, key: string(buf)}]
+					if child == nil {
+						return nil, fmt.Errorf("factorized: dangling tuple survived reduction at node %d", u)
+					}
+					cus[ci] = child
+				}
+				un.childUnions[i] = cus
+			}
+			d.unions[unionKey{node: u, key: key}] = un
+		}
+	}
+	root := info.order[0]
+	d.root = d.unions[unionKey{node: root, key: ""}]
+
+	// Output schema (first appearance over preorder).
+	seen := make(map[string]bool)
+	for _, u := range info.order {
+		for col, v := range red[u].Attrs {
+			if !seen[v] {
+				seen[v] = true
+				d.emits = append(d.emits, emitSpec{node: u, col: col, outPos: len(d.OutAttrs)})
+				d.OutAttrs = append(d.OutAttrs, v)
+			}
+		}
+	}
+	return d, nil
+}
+
+func keyOf(buf []byte, tp relation.Tuple, cols []int) []byte {
+	key := make([]relation.Value, len(cols))
+	for i, c := range cols {
+		key[i] = tp[c]
+	}
+	return relation.AppendKey(buf, key)
+}
+
+// Count returns the number of flat results, computed over the DAG with
+// memoization (each union counted once).
+func (d *DRep) Count() int {
+	if d.root == nil {
+		return 0
+	}
+	return d.countUnion(d.root)
+}
+
+func (d *DRep) countUnion(u *unionNode) int {
+	if u.count >= 0 {
+		return u.count
+	}
+	total := 0
+	for i := range u.rows {
+		c := 1
+		for _, cu := range u.childUnions[i] {
+			c *= d.countUnion(cu)
+		}
+		total += c
+	}
+	u.count = total
+	return total
+}
+
+// Singletons counts the tuple singletons of the representation — its
+// size in the factorized-database sense. Shared sub-DAGs count once.
+func (d *DRep) Singletons() int {
+	seen := make(map[*unionNode]bool)
+	total := 0
+	var visit func(*unionNode)
+	visit = func(u *unionNode) {
+		if seen[u] {
+			return
+		}
+		seen[u] = true
+		total += len(u.rows)
+		for _, cus := range u.childUnions {
+			for _, cu := range cus {
+				visit(cu)
+			}
+		}
+	}
+	if d.root != nil {
+		visit(d.root)
+	}
+	return total
+}
+
+// FlatCells returns the number of value cells a flat materialisation
+// would need: Count() × output arity.
+func (d *DRep) FlatCells() int { return d.Count() * len(d.OutAttrs) }
+
+// CompressionRatio is FlatCells / Singletons (≥ 1 whenever results
+// exist; grows with sharing).
+func (d *DRep) CompressionRatio() float64 {
+	s := d.Singletons()
+	if s == 0 {
+		return 1
+	}
+	return float64(d.FlatCells()) / float64(s)
+}
+
+// Enumerate materialises up to limit flat results from the DAG
+// (limit ≤ 0 = all), in unspecified order.
+func (d *DRep) Enumerate(limit int) []relation.Tuple {
+	if d.root == nil {
+		return nil
+	}
+	var out []relation.Tuple
+	rows := make(map[int]int32, len(d.tree.red))
+	var rec func(stack []*unionNode) bool
+	rec = func(stack []*unionNode) bool {
+		if len(stack) == 0 {
+			tup := make(relation.Tuple, len(d.OutAttrs))
+			for _, sp := range d.emits {
+				tup[sp.outPos] = d.tree.red[sp.node].Tuples[rows[sp.node]][sp.col]
+			}
+			out = append(out, tup)
+			return limit <= 0 || len(out) < limit
+		}
+		u := stack[0]
+		rest := stack[1:]
+		for i, row := range u.rows {
+			rows[u.node] = row
+			next := append(append([]*unionNode{}, u.childUnions[i]...), rest...)
+			if !rec(next) {
+				return false
+			}
+		}
+		return true
+	}
+	rec([]*unionNode{d.root})
+	return out
+}

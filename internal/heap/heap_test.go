@@ -1,0 +1,389 @@
+package heap
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func intLess(a, b int) bool { return a < b }
+
+func TestHeapEmpty(t *testing.T) {
+	h := New(intLess)
+	if h.Len() != 0 {
+		t.Fatalf("Len() = %d, want 0", h.Len())
+	}
+	if _, ok := h.Pop(); ok {
+		t.Error("Pop on empty heap reported ok")
+	}
+	if _, ok := h.Peek(); ok {
+		t.Error("Peek on empty heap reported ok")
+	}
+}
+
+func TestHeapPushPopOrdered(t *testing.T) {
+	h := New(intLess)
+	in := []int{5, 3, 8, 1, 9, 2, 7, 4, 6, 0}
+	for _, x := range in {
+		h.Push(x)
+	}
+	for want := 0; want < 10; want++ {
+		got, ok := h.Pop()
+		if !ok || got != want {
+			t.Fatalf("Pop = %d,%v, want %d,true", got, ok, want)
+		}
+	}
+}
+
+func TestHeapPeekDoesNotRemove(t *testing.T) {
+	h := New(intLess)
+	h.Push(2)
+	h.Push(1)
+	for i := 0; i < 3; i++ {
+		if v, ok := h.Peek(); !ok || v != 1 {
+			t.Fatalf("Peek = %d,%v, want 1,true", v, ok)
+		}
+	}
+	if h.Len() != 2 {
+		t.Fatalf("Len after Peek = %d, want 2", h.Len())
+	}
+}
+
+func TestNewFromSlice(t *testing.T) {
+	items := []int{9, 4, 7, 1, 3}
+	h := NewFromSlice(intLess, items)
+	var got []int
+	for {
+		v, ok := h.Pop()
+		if !ok {
+			break
+		}
+		got = append(got, v)
+	}
+	want := []int{1, 3, 4, 7, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("drain = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHeapClear(t *testing.T) {
+	h := New(intLess)
+	h.Push(1)
+	h.Push(2)
+	h.Clear()
+	if h.Len() != 0 {
+		t.Fatalf("Len after Clear = %d, want 0", h.Len())
+	}
+	h.Push(3)
+	if v, _ := h.Pop(); v != 3 {
+		t.Fatalf("Pop after Clear = %d, want 3", v)
+	}
+}
+
+func TestHeapDuplicates(t *testing.T) {
+	h := New(intLess)
+	for i := 0; i < 50; i++ {
+		h.Push(7)
+	}
+	for i := 0; i < 50; i++ {
+		if v, ok := h.Pop(); !ok || v != 7 {
+			t.Fatalf("Pop dup = %d,%v", v, ok)
+		}
+	}
+}
+
+// Property: draining a heap yields a sorted permutation of the input.
+func TestHeapDrainSortedProperty(t *testing.T) {
+	f := func(in []int16) bool {
+		h := New(func(a, b int16) bool { return a < b })
+		for _, x := range in {
+			h.Push(x)
+		}
+		prev := int16(-1 << 15)
+		count := 0
+		for {
+			v, ok := h.Pop()
+			if !ok {
+				break
+			}
+			if v < prev {
+				return false
+			}
+			prev = v
+			count++
+		}
+		return count == len(in)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: interleaved push/pop never violates min order w.r.t. a model.
+func TestHeapAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	h := New(intLess)
+	var model []int
+	for op := 0; op < 5000; op++ {
+		if rng.Intn(3) != 0 || len(model) == 0 {
+			x := rng.Intn(1000)
+			h.Push(x)
+			model = append(model, x)
+			sort.Ints(model)
+		} else {
+			v, ok := h.Pop()
+			if !ok {
+				t.Fatal("Pop failed with non-empty model")
+			}
+			if v != model[0] {
+				t.Fatalf("op %d: Pop = %d, model min = %d", op, v, model[0])
+			}
+			model = model[1:]
+		}
+	}
+}
+
+func TestTopKBasic(t *testing.T) {
+	tk := NewTopK(3, intLess)
+	for _, x := range []int{9, 1, 8, 2, 7, 3} {
+		tk.Add(x)
+	}
+	got := tk.Sorted()
+	want := []int{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("Sorted len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sorted = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTopKFewerThanK(t *testing.T) {
+	tk := NewTopK(10, intLess)
+	tk.Add(2)
+	tk.Add(1)
+	if _, ok := tk.Threshold(); ok {
+		t.Error("Threshold reported ok with fewer than k elements")
+	}
+	got := tk.Sorted()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("Sorted = %v, want [1 2]", got)
+	}
+}
+
+func TestTopKThreshold(t *testing.T) {
+	tk := NewTopK(2, intLess)
+	tk.Add(5)
+	tk.Add(3)
+	if th, ok := tk.Threshold(); !ok || th != 5 {
+		t.Fatalf("Threshold = %d,%v, want 5,true", th, ok)
+	}
+	if kept := tk.Add(4); !kept {
+		t.Error("Add(4) should displace 5")
+	}
+	if th, _ := tk.Threshold(); th != 4 {
+		t.Fatalf("Threshold = %d, want 4", th)
+	}
+	if kept := tk.Add(9); kept {
+		t.Error("Add(9) should be rejected")
+	}
+}
+
+func TestTopKNonPositiveK(t *testing.T) {
+	tk := NewTopK(0, intLess)
+	if tk.Add(1) {
+		t.Error("Add with k=0 kept an element")
+	}
+	if len(tk.Sorted()) != 0 {
+		t.Error("Sorted with k=0 non-empty")
+	}
+}
+
+// Property: TopK(k) over any input equals the first k of the sorted input.
+func TestTopKMatchesSortProperty(t *testing.T) {
+	f := func(in []int16, kRaw uint8) bool {
+		k := int(kRaw)%8 + 1
+		tk := NewTopK(k, func(a, b int16) bool { return a < b })
+		for _, x := range in {
+			tk.Add(x)
+		}
+		got := tk.Sorted()
+		ref := append([]int16(nil), in...)
+		sort.Slice(ref, func(i, j int) bool { return ref[i] < ref[j] })
+		if k > len(ref) {
+			k = len(ref)
+		}
+		if len(got) != k {
+			return false
+		}
+		for i := 0; i < k; i++ {
+			if got[i] != ref[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIncSortBasic(t *testing.T) {
+	s := NewIncSort(intLess, []int{4, 2, 9, 1, 7})
+	for i, want := range []int{1, 2, 4, 7, 9} {
+		got, ok := s.Get(i)
+		if !ok || got != want {
+			t.Fatalf("Get(%d) = %d,%v, want %d,true", i, got, ok, want)
+		}
+	}
+	if _, ok := s.Get(5); ok {
+		t.Error("Get past end reported ok")
+	}
+}
+
+func TestIncSortRandomAccessIsStable(t *testing.T) {
+	s := NewIncSort(intLess, []int{4, 2, 9, 1, 7})
+	if v, _ := s.Get(3); v != 7 {
+		t.Fatalf("Get(3) = %d, want 7", v)
+	}
+	// Earlier ranks must already be materialised and stable.
+	if s.SortedLen() < 4 {
+		t.Fatalf("SortedLen = %d, want >= 4", s.SortedLen())
+	}
+	if v, _ := s.Get(0); v != 1 {
+		t.Fatalf("Get(0) = %d, want 1", v)
+	}
+}
+
+func TestIncSortEmpty(t *testing.T) {
+	s := NewIncSort(intLess, nil)
+	if _, ok := s.Get(0); ok {
+		t.Error("Get(0) on empty reported ok")
+	}
+	if s.Total() != 0 {
+		t.Errorf("Total = %d, want 0", s.Total())
+	}
+}
+
+// Property: IncSort visits the same sequence as sort.
+func TestIncSortMatchesSortProperty(t *testing.T) {
+	f := func(in []int16) bool {
+		cp := append([]int16(nil), in...)
+		s := NewIncSort(func(a, b int16) bool { return a < b }, cp)
+		ref := append([]int16(nil), in...)
+		sort.Slice(ref, func(i, j int) bool { return ref[i] < ref[j] })
+		for i := range ref {
+			got, ok := s.Get(i)
+			if !ok || got != ref[i] {
+				return false
+			}
+		}
+		_, ok := s.Get(len(ref))
+		return !ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIncQuickBasic(t *testing.T) {
+	q := NewIncQuick(intLess, []int{4, 2, 9, 1, 7, 0, 3})
+	for i, want := range []int{0, 1, 2, 3, 4, 7, 9} {
+		got, ok := q.Get(i)
+		if !ok || got != want {
+			t.Fatalf("Get(%d) = %d,%v, want %d,true", i, got, ok, want)
+		}
+	}
+	if _, ok := q.Get(7); ok {
+		t.Error("Get past end reported ok")
+	}
+}
+
+func TestIncQuickAllEqual(t *testing.T) {
+	in := make([]int, 100)
+	for i := range in {
+		in[i] = 5
+	}
+	q := NewIncQuick(intLess, in)
+	for i := 0; i < 100; i++ {
+		got, ok := q.Get(i)
+		if !ok || got != 5 {
+			t.Fatalf("Get(%d) = %d,%v, want 5,true", i, got, ok)
+		}
+	}
+}
+
+func TestIncQuickLargeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	in := make([]int, 10000)
+	for i := range in {
+		in[i] = rng.Intn(500) // many duplicates
+	}
+	ref := append([]int(nil), in...)
+	sort.Ints(ref)
+	q := NewIncQuick(intLess, in)
+	// Access a scattering of ranks out of order.
+	for _, i := range []int{9999, 0, 5000, 1, 9998, 4999, 2500} {
+		got, ok := q.Get(i)
+		if !ok || got != ref[i] {
+			t.Fatalf("Get(%d) = %d,%v, want %d", i, got, ok, ref[i])
+		}
+	}
+	for i := range ref {
+		got, _ := q.Get(i)
+		if got != ref[i] {
+			t.Fatalf("full drain: Get(%d) = %d, want %d", i, got, ref[i])
+		}
+	}
+}
+
+// Property: IncQuick matches sort for arbitrary inputs.
+func TestIncQuickMatchesSortProperty(t *testing.T) {
+	f := func(in []int16) bool {
+		cp := append([]int16(nil), in...)
+		q := NewIncQuick(func(a, b int16) bool { return a < b }, cp)
+		ref := append([]int16(nil), in...)
+		sort.Slice(ref, func(i, j int) bool { return ref[i] < ref[j] })
+		for i := range ref {
+			got, ok := q.Get(i)
+			if !ok || got != ref[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkHeapPushPop(b *testing.B) {
+	h := New(intLess)
+	for i := 0; i < b.N; i++ {
+		h.Push(i * 2654435761 % 1000003)
+		if h.Len() > 1024 {
+			h.Pop()
+		}
+	}
+}
+
+func BenchmarkIncSortFirst10(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	base := make([]int, 100000)
+	for i := range base {
+		base[i] = rng.Int()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cp := append([]int(nil), base...)
+		s := NewIncSort(intLess, cp)
+		for j := 0; j < 10; j++ {
+			s.Get(j)
+		}
+	}
+}

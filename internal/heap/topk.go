@@ -1,0 +1,63 @@
+package heap
+
+// TopK collects the k smallest elements (by less) from a stream using a
+// bounded max-heap of size k. Add is O(log k); Sorted returns the
+// collected elements in ascending order.
+type TopK[T any] struct {
+	k    int
+	less func(a, b T) bool
+	// max-heap of the current k smallest: root is the largest kept element.
+	heap *Heap[T]
+}
+
+// NewTopK returns a collector for the k smallest elements. k must be
+// positive; a non-positive k collects nothing.
+func NewTopK[T any](k int, less func(a, b T) bool) *TopK[T] {
+	return &TopK[T]{
+		k:    k,
+		less: less,
+		heap: New(func(a, b T) bool { return less(b, a) }), // invert: max-heap
+	}
+}
+
+// Add offers x to the collector. It reports whether x was kept (i.e. x is
+// currently among the k smallest seen).
+func (t *TopK[T]) Add(x T) bool {
+	if t.k <= 0 {
+		return false
+	}
+	if t.heap.Len() < t.k {
+		t.heap.Push(x)
+		return true
+	}
+	worst, _ := t.heap.Peek()
+	if !t.less(x, worst) {
+		return false
+	}
+	t.heap.Pop()
+	t.heap.Push(x)
+	return true
+}
+
+// Threshold returns the current k-th smallest element (the largest kept).
+// It reports false if fewer than k elements have been kept.
+func (t *TopK[T]) Threshold() (T, bool) {
+	if t.heap.Len() < t.k {
+		var zero T
+		return zero, false
+	}
+	return t.heap.Peek()
+}
+
+// Len reports how many elements are currently kept (≤ k).
+func (t *TopK[T]) Len() int { return t.heap.Len() }
+
+// Sorted drains the collector and returns the kept elements in ascending
+// order. The collector is empty afterwards.
+func (t *TopK[T]) Sorted() []T {
+	out := make([]T, t.heap.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i], _ = t.heap.Pop()
+	}
+	return out
+}

@@ -1,0 +1,305 @@
+package hypergraph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPathIsAcyclic(t *testing.T) {
+	for l := 1; l <= 8; l++ {
+		h := Path(l)
+		if !h.IsAcyclic() {
+			t.Errorf("Path(%d) should be acyclic", l)
+		}
+	}
+}
+
+func TestStarIsAcyclic(t *testing.T) {
+	for l := 1; l <= 8; l++ {
+		if !Star(l).IsAcyclic() {
+			t.Errorf("Star(%d) should be acyclic", l)
+		}
+	}
+}
+
+func TestCycleIsCyclic(t *testing.T) {
+	for l := 3; l <= 8; l++ {
+		if Cycle(l).IsAcyclic() {
+			t.Errorf("Cycle(%d) should be cyclic", l)
+		}
+	}
+}
+
+func TestCycleTwoIsAcyclic(t *testing.T) {
+	// R1(A0,A1), R2(A1,A0) — same variable set, acyclic.
+	if !Cycle(2).IsAcyclic() {
+		t.Error("Cycle(2) should be acyclic (two edges on the same var pair)")
+	}
+}
+
+func TestSingleEdgeAcyclic(t *testing.T) {
+	h := New(E("R", "A", "B", "C"))
+	tree, ok := h.BuildJoinTree()
+	if !ok {
+		t.Fatal("single edge should be acyclic")
+	}
+	if tree.Root != 0 || tree.Parent[0] != -1 {
+		t.Error("single edge should be its own root")
+	}
+}
+
+func TestEmptyHypergraph(t *testing.T) {
+	h := New()
+	if _, ok := h.BuildJoinTree(); ok {
+		t.Error("empty hypergraph has no join tree")
+	}
+}
+
+func TestJoinTreeRunningIntersection(t *testing.T) {
+	for _, h := range []*Hypergraph{
+		Path(2), Path(5), Star(4),
+		New(E("R", "A", "B"), E("S", "B", "C"), E("T", "B", "D"), E("U", "D", "E")),
+		New(E("R", "A", "B", "C"), E("S", "B", "C"), E("T", "C", "D")),
+	} {
+		tree, ok := h.BuildJoinTree()
+		if !ok {
+			t.Fatalf("%s should be acyclic", h)
+		}
+		if v := h.VerifyRunningIntersection(tree); v != "" {
+			t.Errorf("%s: running intersection violated at %q", h, v)
+		}
+	}
+}
+
+func TestJoinTreeOrderIsPreorder(t *testing.T) {
+	h := Star(5)
+	tree, ok := h.BuildJoinTree()
+	if !ok {
+		t.Fatal("star should be acyclic")
+	}
+	if len(tree.Order) != len(h.Edges) {
+		t.Fatalf("Order covers %d nodes, want %d", len(tree.Order), len(h.Edges))
+	}
+	pos := make(map[int]int)
+	for i, u := range tree.Order {
+		pos[u] = i
+	}
+	for u, p := range tree.Parent {
+		if p >= 0 && pos[p] >= pos[u] {
+			t.Errorf("parent %d does not precede child %d in Order", p, u)
+		}
+	}
+}
+
+func TestVerifyRunningIntersectionDetectsViolation(t *testing.T) {
+	// Hand-build an invalid tree for Path(3): R1(A0,A1) R2(A1,A2) R3(A2,A3)
+	// with R1 and R3 adjacent — A1 and A2 both violate somewhere.
+	h := Path(3)
+	bad := &JoinTree{
+		Root:     0,
+		Parent:   []int{-1, 2, 0},
+		Children: [][]int{{2}, {}, {1}},
+	}
+	bad.Order = []int{0, 2, 1}
+	if v := h.VerifyRunningIntersection(bad); v == "" {
+		t.Error("invalid tree should violate running intersection")
+	}
+}
+
+func TestTriangleEdgeCoverNumber(t *testing.T) {
+	_, rho, err := Cycle(3).FractionalEdgeCover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rho-1.5) > 1e-6 {
+		t.Fatalf("triangle ρ* = %g, want 1.5", rho)
+	}
+}
+
+func TestCycleEdgeCoverNumbers(t *testing.T) {
+	// ρ*(C_l) = l/2 for all cycles.
+	for l := 3; l <= 7; l++ {
+		_, rho, err := Cycle(l).FractionalEdgeCover()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(rho-float64(l)/2) > 1e-6 {
+			t.Errorf("C%d ρ* = %g, want %g", l, rho, float64(l)/2)
+		}
+	}
+}
+
+func TestPathEdgeCoverNumbers(t *testing.T) {
+	// ρ*(Path_l) = ⌈(l+1)/2⌉: endpoints force their edges; alternating.
+	want := map[int]float64{1: 1, 2: 2, 3: 2, 4: 3, 5: 3, 6: 4}
+	for l, w := range want {
+		_, rho, err := Path(l).FractionalEdgeCover()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(rho-w) > 1e-6 {
+			t.Errorf("Path(%d) ρ* = %g, want %g", l, rho, w)
+		}
+	}
+}
+
+func TestAGMTriangle(t *testing.T) {
+	h := Cycle(3)
+	n := 10000.0
+	bound, err := h.AGMBound([]float64{n, n, n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Pow(n, 1.5)
+	if math.Abs(bound-want)/want > 1e-6 {
+		t.Fatalf("AGM(triangle, n=%g) = %g, want %g", n, bound, want)
+	}
+}
+
+func TestAGMFourCycle(t *testing.T) {
+	h := Cycle(4)
+	n := 1000.0
+	bound, err := h.AGMBound([]float64{n, n, n, n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := n * n
+	if math.Abs(bound-want)/want > 1e-6 {
+		t.Fatalf("AGM(C4) = %g, want %g", bound, want)
+	}
+}
+
+func TestAGMAsymmetricSizes(t *testing.T) {
+	// Triangle with one tiny relation: bound = sqrt(n·n·1)·... the LP
+	// puts weight 1 on the two large edges or uses the cheap edge fully.
+	h := Cycle(3)
+	n := 10000.0
+	bound, err := h.AGMBound([]float64{n, n, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cover: x3=1 (cost 0) covers A2,A0... vars of edge3 = (A2,A0);
+	// remaining A1 needs x1 or x2 = 1 → bound = n.
+	if math.Abs(bound-n)/n > 1e-6 {
+		t.Fatalf("AGM asymmetric = %g, want %g", bound, n)
+	}
+}
+
+func TestAGMZeroSize(t *testing.T) {
+	bound, err := Cycle(3).AGMBound([]float64{10, 10, 0})
+	if err != nil || bound != 0 {
+		t.Fatalf("AGM with empty relation = %g,%v, want 0,nil", bound, err)
+	}
+}
+
+func TestAGMErrors(t *testing.T) {
+	if _, err := Cycle(3).AGMBound([]float64{10, 10}); err == nil {
+		t.Error("wrong size count should fail")
+	}
+	if _, err := Cycle(3).AGMBound([]float64{10, 10, 0.5}); err == nil {
+		t.Error("fractional size < 1 should fail")
+	}
+}
+
+func TestVarsSortedDistinct(t *testing.T) {
+	h := New(E("R", "B", "A"), E("S", "A", "C"))
+	vars := h.Vars()
+	want := []string{"A", "B", "C"}
+	if len(vars) != 3 {
+		t.Fatalf("Vars = %v", vars)
+	}
+	for i := range want {
+		if vars[i] != want[i] {
+			t.Fatalf("Vars = %v, want %v", vars, want)
+		}
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	h := Path(2)
+	s := h.String()
+	if s != "Q :- R1(A0,A1), R2(A1,A2)" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+// Property: random acyclic-by-construction hypergraphs (random trees of
+// edges sharing one var with their parent) are recognised as acyclic and
+// produce valid join trees.
+func TestRandomTreeQueriesAcyclicProperty(t *testing.T) {
+	f := func(seed uint16) bool {
+		rnd := uint32(seed) + 1
+		next := func(n int) int {
+			rnd = rnd*1664525 + 1013904223
+			return int(rnd>>8) % n
+		}
+		k := next(6) + 2 // 2..7 edges
+		h := &Hypergraph{}
+		h.Edges = append(h.Edges, E("R0", "V0", "V1"))
+		varCount := 2
+		for i := 1; i < k; i++ {
+			// Attach to a random existing edge, sharing one of its vars.
+			p := h.Edges[next(len(h.Edges))]
+			shared := p.Vars[next(len(p.Vars))]
+			fresh := "V" + string(rune('0'+varCount%10)) + string(rune('a'+varCount/10))
+			varCount++
+			h.Edges = append(h.Edges, Edge{Name: "R" + string(rune('0'+i)), Vars: []string{shared, fresh}})
+		}
+		tree, ok := h.BuildJoinTree()
+		if !ok {
+			return false
+		}
+		return h.VerifyRunningIntersection(tree) == ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: AGM bound is monotone in relation sizes.
+func TestAGMMonotoneProperty(t *testing.T) {
+	h := Cycle(3)
+	f := func(a, b, c uint16, grow uint8) bool {
+		s1 := []float64{float64(a%1000) + 1, float64(b%1000) + 1, float64(c%1000) + 1}
+		s2 := []float64{s1[0] + float64(grow), s1[1], s1[2]}
+		b1, err1 := h.AGMBound(s1)
+		b2, err2 := h.AGMBound(s2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return b2 >= b1-1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestContainedEdgeIsEar(t *testing.T) {
+	// S's vars ⊆ R's vars: S must become R's child.
+	h := New(E("R", "A", "B", "C"), E("S", "B", "C"))
+	tree, ok := h.BuildJoinTree()
+	if !ok {
+		t.Fatal("contained edge should be acyclic")
+	}
+	if v := h.VerifyRunningIntersection(tree); v != "" {
+		t.Fatalf("running intersection violated at %s", v)
+	}
+}
+
+func TestDuplicateEdgesAcyclic(t *testing.T) {
+	h := New(E("R1", "A", "B"), E("R2", "A", "B"), E("R3", "A", "B"))
+	if !h.IsAcyclic() {
+		t.Fatal("duplicate var-set edges are acyclic (each is an ear of another)")
+	}
+}
+
+func TestIsolatedVariableEdge(t *testing.T) {
+	// An edge with entirely private vars attached via no shared var is
+	// GYO-acyclic (shared set empty ⊆ any witness) — the cartesian case
+	// dp.Build later rejects.
+	h := New(E("R", "A", "B"), E("S", "C", "D"))
+	if !h.IsAcyclic() {
+		t.Fatal("disconnected hypergraph is GYO-acyclic by convention")
+	}
+}

@@ -1,0 +1,310 @@
+package join
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ranking"
+	"repro/internal/relation"
+)
+
+var sum = ranking.SumCost{}
+
+func rel(name string, attrs []string, rows [][]relation.Value, weights []float64) *relation.Relation {
+	r := relation.New(name, attrs...)
+	for i, row := range rows {
+		w := 0.0
+		if weights != nil {
+			w = weights[i]
+		}
+		r.AddWeighted(w, row...)
+	}
+	return r
+}
+
+func TestHashJoinBasic(t *testing.T) {
+	r := rel("R", []string{"A", "B"}, [][]relation.Value{{1, 10}, {2, 20}}, []float64{1, 2})
+	s := rel("S", []string{"B", "C"}, [][]relation.Value{{10, 100}, {10, 101}, {30, 300}}, []float64{5, 6, 7})
+	out := HashJoin(r, s, sum, nil)
+	if out.Len() != 2 {
+		t.Fatalf("join size = %d, want 2", out.Len())
+	}
+	if len(out.Attrs) != 3 || out.Attrs[0] != "A" || out.Attrs[1] != "B" || out.Attrs[2] != "C" {
+		t.Fatalf("schema = %v", out.Attrs)
+	}
+	// (1,10,100) w=6 and (1,10,101) w=7.
+	for i, tp := range out.Tuples {
+		if tp[0] != 1 || tp[1] != 10 {
+			t.Errorf("row %d = %v", i, tp)
+		}
+	}
+	if out.Weights[0]+out.Weights[1] != 13 {
+		t.Errorf("weights = %v, want sum 13", out.Weights)
+	}
+}
+
+func TestHashJoinMultiAttr(t *testing.T) {
+	r := rel("R", []string{"A", "B"}, [][]relation.Value{{1, 2}, {1, 3}}, nil)
+	s := rel("S", []string{"A", "B", "C"}, [][]relation.Value{{1, 2, 9}, {1, 3, 8}, {1, 4, 7}}, nil)
+	out := HashJoin(r, s, sum, nil)
+	if out.Len() != 2 {
+		t.Fatalf("join size = %d, want 2", out.Len())
+	}
+	if len(out.Attrs) != 3 {
+		t.Fatalf("schema = %v, want [A B C]", out.Attrs)
+	}
+}
+
+func TestHashJoinCartesian(t *testing.T) {
+	r := rel("R", []string{"A"}, [][]relation.Value{{1}, {2}}, []float64{1, 2})
+	s := rel("S", []string{"B"}, [][]relation.Value{{10}, {20}, {30}}, []float64{1, 1, 1})
+	var stats Stats
+	out := HashJoin(r, s, sum, &stats)
+	if out.Len() != 6 {
+		t.Fatalf("cartesian size = %d, want 6", out.Len())
+	}
+	if stats.ProbeSteps != 6 {
+		t.Errorf("ProbeSteps = %d, want 6", stats.ProbeSteps)
+	}
+}
+
+func TestHashJoinEmptyInput(t *testing.T) {
+	r := rel("R", []string{"A", "B"}, nil, nil)
+	s := rel("S", []string{"B", "C"}, [][]relation.Value{{1, 2}}, nil)
+	if out := HashJoin(r, s, sum, nil); out.Len() != 0 {
+		t.Error("join with empty left should be empty")
+	}
+	if out := HashJoin(s, r, sum, nil); out.Len() != 0 {
+		t.Error("join with empty right should be empty")
+	}
+}
+
+func TestMergeJoinMatchesHashJoin(t *testing.T) {
+	r := rel("R", []string{"A", "B"}, [][]relation.Value{{1, 10}, {2, 10}, {3, 20}, {4, 30}}, []float64{1, 2, 3, 4})
+	s := rel("S", []string{"B", "C"}, [][]relation.Value{{10, 1}, {10, 2}, {20, 3}, {40, 4}}, []float64{5, 6, 7, 8})
+	hj := HashJoin(r, s, sum, nil)
+	mj := MergeJoin(r, s, sum)
+	if !hj.EqualAsSet(mj) {
+		t.Fatalf("hash join and merge join differ:\n%v\n%v", hj, mj)
+	}
+}
+
+// Property: hash join and merge join agree on random inputs.
+func TestJoinEquivalenceProperty(t *testing.T) {
+	f := func(rRows, sRows []uint8) bool {
+		r := relation.New("R", "A", "B")
+		for i, v := range rRows {
+			r.AddWeighted(float64(i), relation.Value(v%8), relation.Value(v%5))
+		}
+		s := relation.New("S", "B", "C")
+		for i, v := range sRows {
+			s.AddWeighted(float64(i), relation.Value(v%5), relation.Value(v%7))
+		}
+		return HashJoin(r, s, sum, nil).EqualAsSet(MergeJoin(r, s, sum))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: |R ⋈ S| equals the sum over keys of |R_key|·|S_key|.
+func TestJoinCardinalityProperty(t *testing.T) {
+	f := func(rRows, sRows []uint8) bool {
+		r := relation.New("R", "A", "B")
+		for _, v := range rRows {
+			r.Add(relation.Value(v), relation.Value(v%6))
+		}
+		s := relation.New("S", "B", "C")
+		for _, v := range sRows {
+			s.Add(relation.Value(v%6), relation.Value(v))
+		}
+		want := 0
+		rc := make(map[relation.Value]int)
+		for _, tp := range r.Tuples {
+			rc[tp[1]]++
+		}
+		for _, tp := range s.Tuples {
+			want += rc[tp[0]]
+		}
+		return HashJoin(r, s, sum, nil).Len() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSemiJoin(t *testing.T) {
+	r := rel("R", []string{"A", "B"}, [][]relation.Value{{1, 10}, {2, 20}, {3, 30}}, []float64{1, 2, 3})
+	s := rel("S", []string{"B", "C"}, [][]relation.Value{{10, 1}, {30, 2}}, nil)
+	out := SemiJoin(r, s)
+	if out.Len() != 2 {
+		t.Fatalf("semijoin size = %d, want 2", out.Len())
+	}
+	if out.Tuples[0][0] != 1 || out.Tuples[1][0] != 3 {
+		t.Errorf("semijoin rows = %v", out.Tuples)
+	}
+	if out.Weights[1] != 3 {
+		t.Error("semijoin should preserve weights")
+	}
+	if len(out.Attrs) != 2 {
+		t.Error("semijoin should preserve schema")
+	}
+}
+
+func TestSemiJoinNoSharedAttrs(t *testing.T) {
+	r := rel("R", []string{"A"}, [][]relation.Value{{1}}, nil)
+	s := rel("S", []string{"B"}, [][]relation.Value{{9}}, nil)
+	if out := SemiJoin(r, s); out.Len() != 1 {
+		t.Error("semijoin with non-empty unrelated relation keeps all tuples")
+	}
+	empty := rel("E", []string{"B"}, nil, nil)
+	if out := SemiJoin(r, empty); out.Len() != 0 {
+		t.Error("semijoin with empty unrelated relation is empty")
+	}
+}
+
+func TestPlanExecuteChain(t *testing.T) {
+	// Path: R(A,B) ⋈ S(B,C) ⋈ T(C,D).
+	r := rel("R", []string{"A", "B"}, [][]relation.Value{{1, 2}}, []float64{1})
+	s := rel("S", []string{"B", "C"}, [][]relation.Value{{2, 3}}, []float64{2})
+	u := rel("T", []string{"C", "D"}, [][]relation.Value{{3, 4}}, []float64{4})
+	res, stats := NewPlan(sum, r, s, u).Execute()
+	if res.Len() != 1 {
+		t.Fatalf("result size = %d, want 1", res.Len())
+	}
+	if res.Weights[0] != 7 {
+		t.Errorf("weight = %g, want 7", res.Weights[0])
+	}
+	if stats.OutputTuples != 1 || stats.IntermediateTuples != 1 || stats.MaxIntermediate != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestPlanEmptyAndSingle(t *testing.T) {
+	res, _ := NewPlan(sum).Execute()
+	if res.Len() != 0 {
+		t.Error("empty plan should return empty relation")
+	}
+	r := rel("R", []string{"A"}, [][]relation.Value{{1}}, nil)
+	res, stats := NewPlan(sum, r).Execute()
+	if res.Len() != 1 || stats.IntermediateTuples != 0 {
+		t.Error("single-relation plan is identity")
+	}
+}
+
+// The AGM-hard triangle instance from §3: every binary order produces a
+// quadratic intermediate even though the output is linear.
+func TestTriangleHardInstanceBlowup(t *testing.T) {
+	n := 100
+	r := relation.New("R", "A", "B")
+	s := relation.New("S", "B", "C")
+	u := relation.New("T", "C", "A")
+	for i := 1; i <= n/2; i++ {
+		r.Add(relation.Value(i), 1)
+		r.Add(1, relation.Value(i))
+		s.Add(relation.Value(i), 1)
+		s.Add(1, relation.Value(i))
+		u.Add(relation.Value(i), 1)
+		u.Add(1, relation.Value(i))
+	}
+	_, stats, _ := BestOfAllOrders(sum, r, s, u)
+	// Every pairwise join contains the (i,1,j) grid of size (n/2)².
+	wantMin := (n / 2) * (n / 2)
+	if stats.MaxIntermediate < wantMin {
+		t.Errorf("best-order max intermediate = %d, want >= %d", stats.MaxIntermediate, wantMin)
+	}
+}
+
+func TestBestOfAllOrdersPrefersGoodOrder(t *testing.T) {
+	// Chain where joining in the given order is cheap but one order is
+	// catastrophic: R tiny, S huge fanout.
+	r := rel("R", []string{"A", "B"}, [][]relation.Value{{1, 1}}, nil)
+	s := relation.New("S", "B", "C")
+	u := relation.New("T", "C", "D")
+	for i := 0; i < 100; i++ {
+		s.Add(relation.Value(i%3), relation.Value(i))
+		u.Add(relation.Value(i), relation.Value(i))
+	}
+	_, stats, order := BestOfAllOrders(sum, r, s, u)
+	if len(order) != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	// Best order starts from the selective R.
+	if order[0] != 0 {
+		t.Errorf("best order = %v, want leading 0", order)
+	}
+	if stats.MaxIntermediate > 40 {
+		t.Errorf("best-order max intermediate = %d, unexpectedly large", stats.MaxIntermediate)
+	}
+}
+
+func TestSortedByWeight(t *testing.T) {
+	r := rel("R", []string{"A"}, [][]relation.Value{{1}, {2}, {3}}, []float64{3, 1, 2})
+	s := SortedByWeight(r)
+	if s.Weights[0] != 1 || s.Weights[2] != 3 {
+		t.Errorf("sorted weights = %v", s.Weights)
+	}
+	if r.Weights[0] != 3 {
+		t.Error("SortedByWeight must not mutate input")
+	}
+}
+
+func TestValidateDisjointSchemas(t *testing.T) {
+	r := relation.New("R", "A")
+	s := relation.New("S", "A")
+	if err := ValidateDisjointSchemas(r, s); err == nil {
+		t.Error("shared attribute should be rejected")
+	}
+	u := relation.New("T", "B")
+	if err := ValidateDisjointSchemas(r, u); err != nil {
+		t.Errorf("disjoint schemas rejected: %v", err)
+	}
+}
+
+func TestMaxCostWeightCombination(t *testing.T) {
+	r := rel("R", []string{"A", "B"}, [][]relation.Value{{1, 2}}, []float64{5})
+	s := rel("S", []string{"B", "C"}, [][]relation.Value{{2, 3}}, []float64{3})
+	out := HashJoin(r, s, ranking.MaxCost{}, nil)
+	if out.Weights[0] != 5 {
+		t.Errorf("max-combined weight = %g, want 5", out.Weights[0])
+	}
+}
+
+func BenchmarkHashJoin(b *testing.B) {
+	r := relation.New("R", "A", "B")
+	s := relation.New("S", "B", "C")
+	for i := 0; i < 10000; i++ {
+		r.Add(relation.Value(i), relation.Value(i%100))
+		s.Add(relation.Value(i%100), relation.Value(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		HashJoin(r, s, sum, nil)
+	}
+}
+
+func TestMergeJoinMultiAttrShared(t *testing.T) {
+	r := rel("R", []string{"A", "B", "C"}, [][]relation.Value{
+		{1, 2, 3}, {1, 2, 4}, {5, 6, 7},
+	}, []float64{1, 2, 3})
+	s := rel("S", []string{"B", "C", "D"}, [][]relation.Value{
+		{2, 3, 9}, {2, 4, 8}, {2, 5, 7},
+	}, []float64{4, 5, 6})
+	hj := HashJoin(r, s, sum, nil)
+	mj := MergeJoin(r, s, sum)
+	if hj.Len() != 2 {
+		t.Fatalf("join size = %d, want 2", hj.Len())
+	}
+	if !hj.EqualAsSet(mj) {
+		t.Fatal("hash and merge join disagree on multi-attribute keys")
+	}
+}
+
+func TestMergeJoinDoesNotMutateInputs(t *testing.T) {
+	r := rel("R", []string{"A", "B"}, [][]relation.Value{{3, 1}, {1, 2}}, []float64{0, 0})
+	s := rel("S", []string{"B", "C"}, [][]relation.Value{{2, 5}, {1, 6}}, []float64{0, 0})
+	MergeJoin(r, s, sum)
+	if r.Tuples[0][0] != 3 || s.Tuples[0][0] != 2 {
+		t.Fatal("MergeJoin reordered its inputs")
+	}
+}

@@ -1,0 +1,197 @@
+// Package lp implements a small dense two-phase simplex solver for linear
+// programs of the covering form
+//
+//	minimize    c·x
+//	subject to  A·x ≥ b,  x ≥ 0
+//
+// which is exactly the shape of the fractional-edge-cover LP behind the
+// AGM bound (§3 of the tutorial): one variable per hyperedge, one
+// covering constraint per query variable. Problems in this module are
+// tiny (a handful of variables and constraints), so a dense tableau with
+// Bland's anti-cycling rule is simple and robust.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrInfeasible is returned when no x ≥ 0 satisfies A·x ≥ b.
+var ErrInfeasible = errors.New("lp: infeasible")
+
+// ErrUnbounded is returned when the objective can decrease without bound.
+var ErrUnbounded = errors.New("lp: unbounded")
+
+const eps = 1e-9
+
+// Solution holds an optimal solution of a covering LP.
+type Solution struct {
+	X     []float64 // optimal variable assignment
+	Value float64   // optimal objective c·X
+}
+
+// SolveCovering minimizes c·x subject to A·x ≥ b, x ≥ 0. All entries of b
+// must be ≥ 0 (true for covering problems). A has one row per constraint.
+func SolveCovering(c []float64, a [][]float64, b []float64) (*Solution, error) {
+	n := len(c)
+	m := len(a)
+	if len(b) != m {
+		return nil, fmt.Errorf("lp: %d constraint rows but %d right-hand sides", m, len(b))
+	}
+	for i, row := range a {
+		if len(row) != n {
+			return nil, fmt.Errorf("lp: row %d has %d coefficients, want %d", i, len(row), n)
+		}
+		if b[i] < 0 {
+			return nil, fmt.Errorf("lp: negative right-hand side b[%d]=%g not supported", i, b[i])
+		}
+	}
+	if m == 0 {
+		return &Solution{X: make([]float64, n), Value: 0}, nil
+	}
+
+	// Tableau columns: n original, m surplus, m artificial, 1 RHS.
+	// Row equations: A·x − s + art = b.
+	cols := n + 2*m + 1
+	tab := make([][]float64, m)
+	basis := make([]int, m)
+	for i := 0; i < m; i++ {
+		tab[i] = make([]float64, cols)
+		copy(tab[i], a[i])
+		tab[i][n+i] = -1      // surplus
+		tab[i][n+m+i] = 1     // artificial
+		tab[i][cols-1] = b[i] // RHS (≥ 0 by precondition)
+		basis[i] = n + m + i  // artificials start basic
+	}
+
+	// Phase 1: minimize the sum of artificials.
+	phase1 := make([]float64, cols-1)
+	for i := 0; i < m; i++ {
+		phase1[n+m+i] = 1
+	}
+	obj, err := iterate(tab, basis, phase1, cols, -1)
+	if err != nil {
+		return nil, err
+	}
+	if obj > eps {
+		return nil, ErrInfeasible
+	}
+	// Drive any remaining (degenerate, zero-valued) artificials out of the
+	// basis so phase 2 cannot reactivate them.
+	for i := 0; i < m; i++ {
+		if basis[i] < n+m {
+			continue
+		}
+		pivoted := false
+		for j := 0; j < n+m; j++ {
+			if math.Abs(tab[i][j]) > eps {
+				pivot(tab, basis, i, j)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// Entire row is zero: the constraint is redundant; leave the
+			// artificial basic at value zero. Forbid it from re-entering
+			// by keeping it out of the phase-2 pricing below.
+			continue
+		}
+	}
+
+	// Phase 2: minimize the true objective, artificial columns frozen.
+	phase2 := make([]float64, cols-1)
+	copy(phase2, c)
+	val, err := iterate(tab, basis, phase2, cols, n+m)
+	if err != nil {
+		return nil, err
+	}
+	x := make([]float64, n)
+	for i, bi := range basis {
+		if bi < n {
+			x[bi] = tab[i][cols-1]
+		}
+	}
+	return &Solution{X: x, Value: val}, nil
+}
+
+// iterate runs primal simplex on the tableau until optimal, minimizing
+// cost. Columns with index ≥ colLimit are excluded from pricing when
+// colLimit ≥ 0. It returns the objective value.
+func iterate(tab [][]float64, basis []int, cost []float64, cols, colLimit int) (float64, error) {
+	m := len(tab)
+	limit := len(cost)
+	if colLimit >= 0 && colLimit < limit {
+		limit = colLimit
+	}
+	// Reduced costs are computed directly: r_j = c_j − Σ_i c_{basis[i]}·tab[i][j].
+	for iterCount := 0; ; iterCount++ {
+		if iterCount > 10000 {
+			return 0, errors.New("lp: iteration limit exceeded (cycling?)")
+		}
+		// Bland's rule: entering column = smallest index with r_j < -eps.
+		enter := -1
+		for j := 0; j < limit; j++ {
+			r := cost[j]
+			for i := 0; i < m; i++ {
+				if cb := cost[basis[i]]; cb != 0 {
+					r -= cb * tab[i][j]
+				}
+			}
+			if r < -eps {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			// Optimal: objective = Σ c_basis · RHS.
+			obj := 0.0
+			for i := 0; i < m; i++ {
+				if cb := cost[basis[i]]; cb != 0 {
+					obj += cb * tab[i][cols-1]
+				}
+			}
+			return obj, nil
+		}
+		// Leaving row: min ratio RHS/coeff over positive coefficients,
+		// ties broken by smallest basis index (Bland).
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if tab[i][enter] > eps {
+				ratio := tab[i][cols-1] / tab[i][enter]
+				if ratio < bestRatio-eps || (math.Abs(ratio-bestRatio) <= eps && (leave < 0 || basis[i] < basis[leave])) {
+					bestRatio = ratio
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return 0, ErrUnbounded
+		}
+		pivot(tab, basis, leave, enter)
+	}
+}
+
+// pivot makes column enter basic in row leave.
+func pivot(tab [][]float64, basis []int, leave, enter int) {
+	m := len(tab)
+	cols := len(tab[0])
+	p := tab[leave][enter]
+	for j := 0; j < cols; j++ {
+		tab[leave][j] /= p
+	}
+	for i := 0; i < m; i++ {
+		if i == leave {
+			continue
+		}
+		f := tab[i][enter]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j < cols; j++ {
+			tab[i][j] -= f * tab[leave][j]
+		}
+	}
+	basis[leave] = enter
+}

@@ -1,0 +1,126 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Dictionary maps external string values to integer codes so that
+// string-keyed data (e.g. city names in the rank-join example) can flow
+// through the integer-domain engine. Codes start at DictBase so they
+// never collide with ordinary numeric CSV values, which makes decoding
+// mixed outputs unambiguous.
+type Dictionary struct {
+	toCode map[string]Value
+	toStr  []string
+}
+
+// DictBase is the first code a Dictionary assigns.
+const DictBase Value = 1 << 40
+
+// NewDictionary returns an empty dictionary.
+func NewDictionary() *Dictionary {
+	return &Dictionary{toCode: make(map[string]Value)}
+}
+
+// Code returns the code for s, assigning the next code on first sight.
+func (d *Dictionary) Code(s string) Value {
+	if c, ok := d.toCode[s]; ok {
+		return c
+	}
+	c := DictBase + Value(len(d.toStr))
+	d.toCode[s] = c
+	d.toStr = append(d.toStr, s)
+	return c
+}
+
+// Lookup returns the code for s and whether it exists.
+func (d *Dictionary) Lookup(s string) (Value, bool) {
+	c, ok := d.toCode[s]
+	return c, ok
+}
+
+// String returns the string for code c, or "" if out of range.
+func (d *Dictionary) String(c Value) string {
+	idx := c - DictBase
+	if idx < 0 || int(idx) >= len(d.toStr) {
+		return ""
+	}
+	return d.toStr[idx]
+}
+
+// Len reports the number of distinct strings.
+func (d *Dictionary) Len() int { return len(d.toStr) }
+
+// ReadCSV reads a relation from CSV. The first row is the header; the
+// last column is parsed as the float64 weight when weightCol is true,
+// otherwise all columns are values and weights default to 0. Non-numeric
+// value columns are dictionary-encoded through dict (which may be shared
+// across relations); numeric columns parse directly.
+func ReadCSV(r io.Reader, name string, weightCol bool, dict *Dictionary) (*Relation, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("relation %s: %w", name, err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("relation %s: empty CSV", name)
+	}
+	header := rows[0]
+	nattrs := len(header)
+	if weightCol {
+		nattrs--
+		if nattrs < 1 {
+			return nil, fmt.Errorf("relation %s: need at least one value column", name)
+		}
+	}
+	rel := New(name, header[:nattrs]...)
+	for ln, row := range rows[1:] {
+		if len(row) != len(header) {
+			return nil, fmt.Errorf("relation %s line %d: got %d fields, want %d", name, ln+2, len(row), len(header))
+		}
+		t := make(Tuple, nattrs)
+		for i := 0; i < nattrs; i++ {
+			if v, err := strconv.ParseInt(row[i], 10, 64); err == nil {
+				t[i] = v
+			} else if dict != nil {
+				t[i] = dict.Code(row[i])
+			} else {
+				return nil, fmt.Errorf("relation %s line %d: non-numeric value %q without dictionary", name, ln+2, row[i])
+			}
+		}
+		w := 0.0
+		if weightCol {
+			w, err = strconv.ParseFloat(row[nattrs], 64)
+			if err != nil {
+				return nil, fmt.Errorf("relation %s line %d: bad weight %q: %w", name, ln+2, row[nattrs], err)
+			}
+		}
+		rel.AddTuple(t, w)
+	}
+	return rel, nil
+}
+
+// WriteCSV writes the relation as CSV with a trailing "weight" column.
+func WriteCSV(w io.Writer, r *Relation) error {
+	cw := csv.NewWriter(w)
+	header := append(append([]string(nil), r.Attrs...), "weight")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(r.Attrs)+1)
+	for i, t := range r.Tuples {
+		for j, v := range t {
+			row[j] = strconv.FormatInt(v, 10)
+		}
+		row[len(r.Attrs)] = strconv.FormatFloat(r.Weights[i], 'g', -1, 64)
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

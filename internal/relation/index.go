@@ -1,0 +1,147 @@
+package relation
+
+import (
+	"fmt"
+	"math"
+)
+
+// AppendKey appends the binary encoding of vals to buf and returns the
+// extended buffer. The encoding is fixed-width (8 bytes per value,
+// big-endian with the sign bit flipped) so that byte-wise comparison of
+// keys equals lexicographic comparison of value vectors.
+func AppendKey(buf []byte, vals []Value) []byte {
+	for _, v := range vals {
+		u := uint64(v) ^ (1 << 63) // order-preserving for signed values
+		buf = append(buf,
+			byte(u>>56), byte(u>>48), byte(u>>40), byte(u>>32),
+			byte(u>>24), byte(u>>16), byte(u>>8), byte(u))
+	}
+	return buf
+}
+
+// appendFloatKey appends an order-irrelevant encoding of a float64 used
+// only for equality testing.
+func appendFloatKey(buf []byte, f float64) []byte {
+	u := floatBits(f)
+	return append(buf,
+		byte(u>>56), byte(u>>48), byte(u>>40), byte(u>>32),
+		byte(u>>24), byte(u>>16), byte(u>>8), byte(u))
+}
+
+// Index is a hash index over one or more columns of a relation, mapping
+// each distinct key to the row numbers holding it. A single-column index
+// uses a direct value map (the common case in graph workloads); wider
+// keys use the binary encoding from AppendKey.
+type Index struct {
+	rel    *Relation
+	cols   []int
+	single map[Value][]int32  // non-nil iff len(cols) == 1
+	multi  map[string][]int32 // non-nil iff len(cols) != 1
+}
+
+// NewIndex builds a hash index on the given attributes of r in O(|r|).
+// An index on zero attributes maps the empty key to every row.
+func NewIndex(r *Relation, attrs ...string) (*Index, error) {
+	cols, err := r.AttrIndexes(attrs)
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{rel: r, cols: cols}
+	if len(cols) == 1 {
+		c := cols[0]
+		ix.single = make(map[Value][]int32, len(r.Tuples))
+		for i, t := range r.Tuples {
+			ix.single[t[c]] = append(ix.single[t[c]], int32(i))
+		}
+		return ix, nil
+	}
+	ix.multi = make(map[string][]int32, len(r.Tuples))
+	var buf []byte
+	key := make([]Value, len(cols))
+	for i, t := range r.Tuples {
+		for j, c := range cols {
+			key[j] = t[c]
+		}
+		buf = AppendKey(buf[:0], key)
+		ix.multi[string(buf)] = append(ix.multi[string(buf)], int32(i))
+	}
+	return ix, nil
+}
+
+// MustIndex is NewIndex that panics on schema errors (for internal use
+// where attributes are known valid).
+func MustIndex(r *Relation, attrs ...string) *Index {
+	ix, err := NewIndex(r, attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return ix
+}
+
+// Relation returns the indexed relation.
+func (ix *Index) Relation() *Relation { return ix.rel }
+
+// Cols returns the indexed column positions.
+func (ix *Index) Cols() []int { return ix.cols }
+
+// Lookup returns the rows whose indexed columns equal key. The returned
+// slice is shared; callers must not mutate it.
+func (ix *Index) Lookup(key []Value) []int32 {
+	if len(key) != len(ix.cols) {
+		panic(fmt.Sprintf("index lookup arity %d != %d", len(key), len(ix.cols)))
+	}
+	if ix.single != nil {
+		return ix.single[key[0]]
+	}
+	var buf [64]byte
+	b := AppendKey(buf[:0], key)
+	return ix.multi[string(b)]
+}
+
+// LookupTuple extracts the key columns from t (a tuple of the indexed
+// relation's schema shape is not required: cols are positions in the
+// *indexed* relation, so t must be a tuple of the indexed relation) and
+// returns matching rows.
+func (ix *Index) LookupTuple(t Tuple) []int32 {
+	if ix.single != nil {
+		return ix.single[t[ix.cols[0]]]
+	}
+	var buf [64]byte
+	b := buf[:0]
+	key := make([]Value, len(ix.cols))
+	for j, c := range ix.cols {
+		key[j] = t[c]
+	}
+	b = AppendKey(b, key)
+	return ix.multi[string(b)]
+}
+
+// Keys returns the number of distinct keys.
+func (ix *Index) Keys() int {
+	if ix.single != nil {
+		return len(ix.single)
+	}
+	return len(ix.multi)
+}
+
+// MaxFanout returns the largest number of rows sharing one key (the
+// maximum degree), used by heavy/light decompositions and tests.
+func (ix *Index) MaxFanout() int {
+	max := 0
+	if ix.single != nil {
+		for _, rows := range ix.single {
+			if len(rows) > max {
+				max = len(rows)
+			}
+		}
+		return max
+	}
+	for _, rows := range ix.multi {
+		if len(rows) > max {
+			max = len(rows)
+		}
+	}
+	return max
+}
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }

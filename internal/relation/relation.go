@@ -1,0 +1,284 @@
+// Package relation implements the weighted relational substrate the rest
+// of the library builds on: schemas, tuples over an integer domain,
+// weighted relations, and the hash indexes used by join algorithms.
+//
+// Tuples carry a weight (the input to the ranking function); the weight
+// of a join result is the aggregate of the weights of its constituent
+// input tuples, matching the cost model of the tutorial's Part 3.
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Value is a domain value. All attributes share the integer domain;
+// command-line tools map external strings through a Dictionary.
+type Value = int64
+
+// Tuple is a sequence of values aligned with a relation's attributes.
+type Tuple []Value
+
+// Relation is a named, weighted relation. Tuples[i] has weight
+// Weights[i]. Relations are bags (duplicates allowed) unless deduplicated
+// explicitly.
+type Relation struct {
+	Name    string
+	Attrs   []string
+	Tuples  []Tuple
+	Weights []float64
+}
+
+// New returns an empty relation with the given name and attributes.
+func New(name string, attrs ...string) *Relation {
+	return &Relation{Name: name, Attrs: append([]string(nil), attrs...)}
+}
+
+// Add appends a tuple with weight 0. It panics if the arity mismatches.
+func (r *Relation) Add(vals ...Value) {
+	r.AddWeighted(0, vals...)
+}
+
+// AddWeighted appends a tuple with the given weight. It panics if the
+// arity mismatches, which always indicates a programming error.
+func (r *Relation) AddWeighted(weight float64, vals ...Value) {
+	if len(vals) != len(r.Attrs) {
+		panic(fmt.Sprintf("relation %s: tuple arity %d != schema arity %d", r.Name, len(vals), len(r.Attrs)))
+	}
+	t := make(Tuple, len(vals))
+	copy(t, vals)
+	r.Tuples = append(r.Tuples, t)
+	r.Weights = append(r.Weights, weight)
+}
+
+// AddTuple appends t (without copying) with the given weight.
+func (r *Relation) AddTuple(t Tuple, weight float64) {
+	if len(t) != len(r.Attrs) {
+		panic(fmt.Sprintf("relation %s: tuple arity %d != schema arity %d", r.Name, len(t), len(r.Attrs)))
+	}
+	r.Tuples = append(r.Tuples, t)
+	r.Weights = append(r.Weights, weight)
+}
+
+// Len reports the number of tuples.
+func (r *Relation) Len() int { return len(r.Tuples) }
+
+// Arity reports the number of attributes.
+func (r *Relation) Arity() int { return len(r.Attrs) }
+
+// AttrIndex returns the position of attr in the schema, or -1.
+func (r *Relation) AttrIndex(attr string) int {
+	for i, a := range r.Attrs {
+		if a == attr {
+			return i
+		}
+	}
+	return -1
+}
+
+// AttrIndexes maps attribute names to positions. It returns an error for
+// unknown attributes.
+func (r *Relation) AttrIndexes(attrs []string) ([]int, error) {
+	idx := make([]int, len(attrs))
+	for i, a := range attrs {
+		j := r.AttrIndex(a)
+		if j < 0 {
+			return nil, fmt.Errorf("relation %s: unknown attribute %q", r.Name, a)
+		}
+		idx[i] = j
+	}
+	return idx, nil
+}
+
+// HasAttr reports whether attr is in the schema.
+func (r *Relation) HasAttr(attr string) bool { return r.AttrIndex(attr) >= 0 }
+
+// SharedAttrs returns the attribute names present in both relations, in
+// r's schema order.
+func (r *Relation) SharedAttrs(other *Relation) []string {
+	var shared []string
+	for _, a := range r.Attrs {
+		if other.HasAttr(a) {
+			shared = append(shared, a)
+		}
+	}
+	return shared
+}
+
+// Clone returns a deep copy.
+func (r *Relation) Clone() *Relation {
+	c := &Relation{
+		Name:    r.Name,
+		Attrs:   append([]string(nil), r.Attrs...),
+		Tuples:  make([]Tuple, len(r.Tuples)),
+		Weights: append([]float64(nil), r.Weights...),
+	}
+	for i, t := range r.Tuples {
+		c.Tuples[i] = append(Tuple(nil), t...)
+	}
+	return c
+}
+
+// Project returns a new relation restricted to the given attributes
+// (duplicates preserved; weights carried over).
+func (r *Relation) Project(attrs ...string) (*Relation, error) {
+	idx, err := r.AttrIndexes(attrs)
+	if err != nil {
+		return nil, err
+	}
+	out := New(r.Name+"_proj", attrs...)
+	out.Tuples = make([]Tuple, 0, len(r.Tuples))
+	out.Weights = make([]float64, 0, len(r.Tuples))
+	for i, t := range r.Tuples {
+		nt := make(Tuple, len(idx))
+		for j, c := range idx {
+			nt[j] = t[c]
+		}
+		out.Tuples = append(out.Tuples, nt)
+		out.Weights = append(out.Weights, r.Weights[i])
+	}
+	return out, nil
+}
+
+// Select returns a new relation containing the tuples for which keep
+// returns true. Tuples are shared, not copied.
+func (r *Relation) Select(keep func(t Tuple, w float64) bool) *Relation {
+	out := New(r.Name+"_sel", r.Attrs...)
+	for i, t := range r.Tuples {
+		if keep(t, r.Weights[i]) {
+			out.Tuples = append(out.Tuples, t)
+			out.Weights = append(out.Weights, r.Weights[i])
+		}
+	}
+	return out
+}
+
+// SortByWeight sorts tuples by ascending weight (stable).
+func (r *Relation) SortByWeight() {
+	r.sortBy(func(i, j int) bool { return r.Weights[i] < r.Weights[j] })
+}
+
+// SortByCols sorts tuples lexicographically by the given attributes,
+// breaking ties by weight.
+func (r *Relation) SortByCols(attrs ...string) error {
+	idx, err := r.AttrIndexes(attrs)
+	if err != nil {
+		return err
+	}
+	r.sortBy(func(i, j int) bool {
+		a, b := r.Tuples[i], r.Tuples[j]
+		for _, c := range idx {
+			if a[c] != b[c] {
+				return a[c] < b[c]
+			}
+		}
+		return r.Weights[i] < r.Weights[j]
+	})
+	return nil
+}
+
+// sortBy sorts tuples and weights together with the given less on row
+// indices.
+func (r *Relation) sortBy(less func(i, j int) bool) {
+	rows := make([]int, len(r.Tuples))
+	for i := range rows {
+		rows[i] = i
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return less(rows[i], rows[j]) })
+	nt := make([]Tuple, len(rows))
+	nw := make([]float64, len(rows))
+	for i, row := range rows {
+		nt[i] = r.Tuples[row]
+		nw[i] = r.Weights[row]
+	}
+	r.Tuples, r.Weights = nt, nw
+}
+
+// Dedup removes duplicate tuples, keeping the lightest weight for each
+// distinct tuple. The relation is sorted by columns afterwards.
+func (r *Relation) Dedup() {
+	if len(r.Tuples) == 0 {
+		return
+	}
+	best := make(map[string]int, len(r.Tuples))
+	var buf []byte
+	order := make([]int, 0, len(r.Tuples))
+	for i, t := range r.Tuples {
+		buf = AppendKey(buf[:0], t)
+		k := string(buf)
+		if j, ok := best[k]; ok {
+			if r.Weights[i] < r.Weights[j] {
+				best[k] = i
+			}
+		} else {
+			best[k] = i
+			order = append(order, i)
+		}
+	}
+	nt := make([]Tuple, 0, len(best))
+	nw := make([]float64, 0, len(best))
+	for _, first := range order {
+		buf = AppendKey(buf[:0], r.Tuples[first])
+		i := best[string(buf)]
+		nt = append(nt, r.Tuples[i])
+		nw = append(nw, r.Weights[i])
+	}
+	r.Tuples, r.Weights = nt, nw
+}
+
+// EqualAsSet reports whether two relations contain the same set of
+// (tuple, weight) pairs, ignoring order and name. Schemas must match.
+func (r *Relation) EqualAsSet(other *Relation) bool {
+	if len(r.Attrs) != len(other.Attrs) {
+		return false
+	}
+	for i := range r.Attrs {
+		if r.Attrs[i] != other.Attrs[i] {
+			return false
+		}
+	}
+	if len(r.Tuples) != len(other.Tuples) {
+		return false
+	}
+	count := make(map[string]int, len(r.Tuples))
+	var buf []byte
+	for i, t := range r.Tuples {
+		buf = AppendKey(buf[:0], t)
+		buf = appendFloatKey(buf, r.Weights[i])
+		count[string(buf)]++
+	}
+	for i, t := range other.Tuples {
+		buf = AppendKey(buf[:0], t)
+		buf = appendFloatKey(buf, other.Weights[i])
+		count[string(buf)]--
+		if count[string(buf)] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// TotalWeight returns the sum of all tuple weights.
+func (r *Relation) TotalWeight() float64 {
+	var s float64
+	for _, w := range r.Weights {
+		s += w
+	}
+	return s
+}
+
+// String renders the relation as a small table (for tests and examples).
+func (r *Relation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s(%s) [%d tuples]\n", r.Name, strings.Join(r.Attrs, ","), len(r.Tuples))
+	n := len(r.Tuples)
+	const maxRows = 20
+	for i := 0; i < n && i < maxRows; i++ {
+		fmt.Fprintf(&b, "  %v w=%g\n", []Value(r.Tuples[i]), r.Weights[i])
+	}
+	if n > maxRows {
+		fmt.Fprintf(&b, "  ... (%d more)\n", n-maxRows)
+	}
+	return b.String()
+}

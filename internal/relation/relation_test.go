@@ -1,0 +1,395 @@
+package relation
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddAndLen(t *testing.T) {
+	r := New("R", "A", "B")
+	r.AddWeighted(1.5, 1, 2)
+	r.AddWeighted(2.5, 3, 4)
+	if r.Len() != 2 || r.Arity() != 2 {
+		t.Fatalf("Len=%d Arity=%d, want 2,2", r.Len(), r.Arity())
+	}
+	if r.Weights[0] != 1.5 || r.Tuples[1][1] != 4 {
+		t.Fatal("stored values wrong")
+	}
+}
+
+func TestAddArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on arity mismatch")
+		}
+	}()
+	r := New("R", "A", "B")
+	r.Add(1)
+}
+
+func TestAttrIndex(t *testing.T) {
+	r := New("R", "A", "B", "C")
+	if r.AttrIndex("B") != 1 {
+		t.Errorf("AttrIndex(B) = %d, want 1", r.AttrIndex("B"))
+	}
+	if r.AttrIndex("Z") != -1 {
+		t.Errorf("AttrIndex(Z) = %d, want -1", r.AttrIndex("Z"))
+	}
+	if _, err := r.AttrIndexes([]string{"A", "Z"}); err == nil {
+		t.Error("AttrIndexes with unknown attr should fail")
+	}
+}
+
+func TestSharedAttrs(t *testing.T) {
+	r := New("R", "A", "B", "C")
+	s := New("S", "B", "D", "A")
+	got := r.SharedAttrs(s)
+	if len(got) != 2 || got[0] != "A" || got[1] != "B" {
+		t.Fatalf("SharedAttrs = %v, want [A B]", got)
+	}
+}
+
+func TestProject(t *testing.T) {
+	r := New("R", "A", "B", "C")
+	r.AddWeighted(1, 10, 20, 30)
+	r.AddWeighted(2, 11, 21, 31)
+	p, err := r.Project("C", "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Arity() != 2 || p.Tuples[0][0] != 30 || p.Tuples[0][1] != 10 {
+		t.Fatalf("Project wrong: %v", p.Tuples)
+	}
+	if p.Weights[1] != 2 {
+		t.Error("Project lost weights")
+	}
+	if _, err := r.Project("Z"); err == nil {
+		t.Error("Project unknown attr should fail")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	r := New("R", "A")
+	for i := Value(0); i < 10; i++ {
+		r.AddWeighted(float64(i), i)
+	}
+	s := r.Select(func(tp Tuple, w float64) bool { return tp[0]%2 == 0 })
+	if s.Len() != 5 {
+		t.Fatalf("Select len = %d, want 5", s.Len())
+	}
+}
+
+func TestSortByWeight(t *testing.T) {
+	r := New("R", "A")
+	r.AddWeighted(3, 1)
+	r.AddWeighted(1, 2)
+	r.AddWeighted(2, 3)
+	r.SortByWeight()
+	if r.Weights[0] != 1 || r.Weights[2] != 3 {
+		t.Fatalf("SortByWeight order = %v", r.Weights)
+	}
+	if r.Tuples[0][0] != 2 {
+		t.Error("tuples not permuted with weights")
+	}
+}
+
+func TestSortByCols(t *testing.T) {
+	r := New("R", "A", "B")
+	r.AddWeighted(1, 2, 9)
+	r.AddWeighted(2, 1, 8)
+	r.AddWeighted(3, 2, 7)
+	if err := r.SortByCols("A", "B"); err != nil {
+		t.Fatal(err)
+	}
+	want := [][2]Value{{1, 8}, {2, 7}, {2, 9}}
+	for i, w := range want {
+		if r.Tuples[i][0] != w[0] || r.Tuples[i][1] != w[1] {
+			t.Fatalf("row %d = %v, want %v", i, r.Tuples[i], w)
+		}
+	}
+}
+
+func TestDedupKeepsLightest(t *testing.T) {
+	r := New("R", "A", "B")
+	r.AddWeighted(5, 1, 1)
+	r.AddWeighted(3, 1, 1)
+	r.AddWeighted(4, 2, 2)
+	r.AddWeighted(4, 1, 1)
+	r.Dedup()
+	if r.Len() != 2 {
+		t.Fatalf("Dedup len = %d, want 2", r.Len())
+	}
+	for i, tp := range r.Tuples {
+		if tp[0] == 1 && r.Weights[i] != 3 {
+			t.Errorf("dedup kept weight %g for (1,1), want 3", r.Weights[i])
+		}
+	}
+}
+
+func TestEqualAsSet(t *testing.T) {
+	a := New("A", "X")
+	b := New("B", "X")
+	a.AddWeighted(1, 7)
+	a.AddWeighted(2, 8)
+	b.AddWeighted(2, 8)
+	b.AddWeighted(1, 7)
+	if !a.EqualAsSet(b) {
+		t.Error("permuted relations should be set-equal")
+	}
+	b.AddWeighted(3, 9)
+	if a.EqualAsSet(b) {
+		t.Error("different cardinalities should not be equal")
+	}
+	c := New("C", "Y")
+	if a.EqualAsSet(c) {
+		t.Error("different schemas should not be equal")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	r := New("R", "A")
+	r.AddWeighted(1, 42)
+	c := r.Clone()
+	c.Tuples[0][0] = 99
+	c.Weights[0] = 9
+	if r.Tuples[0][0] != 42 || r.Weights[0] != 1 {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestStringTruncates(t *testing.T) {
+	r := New("R", "A")
+	for i := Value(0); i < 30; i++ {
+		r.Add(i)
+	}
+	s := r.String()
+	if !strings.Contains(s, "more") {
+		t.Error("String should truncate long relations")
+	}
+}
+
+func TestAppendKeyOrderPreserving(t *testing.T) {
+	f := func(a, b int64) bool {
+		ka := AppendKey(nil, []Value{a})
+		kb := AppendKey(nil, []Value{b})
+		return (a < b) == (bytes.Compare(ka, kb) < 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAppendKeyInjective(t *testing.T) {
+	f := func(a1, a2, b1, b2 int64) bool {
+		ka := AppendKey(nil, []Value{a1, a2})
+		kb := AppendKey(nil, []Value{b1, b2})
+		return bytes.Equal(ka, kb) == (a1 == b1 && a2 == b2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndexSingleColumn(t *testing.T) {
+	r := New("R", "A", "B")
+	r.Add(1, 10)
+	r.Add(2, 20)
+	r.Add(1, 11)
+	ix, err := NewIndex(r, "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := ix.Lookup([]Value{1})
+	if len(rows) != 2 {
+		t.Fatalf("Lookup(1) = %v, want 2 rows", rows)
+	}
+	if len(ix.Lookup([]Value{3})) != 0 {
+		t.Error("Lookup(3) should be empty")
+	}
+	if ix.Keys() != 2 {
+		t.Errorf("Keys = %d, want 2", ix.Keys())
+	}
+	if ix.MaxFanout() != 2 {
+		t.Errorf("MaxFanout = %d, want 2", ix.MaxFanout())
+	}
+}
+
+func TestIndexMultiColumn(t *testing.T) {
+	r := New("R", "A", "B", "C")
+	r.Add(1, 10, 100)
+	r.Add(1, 10, 101)
+	r.Add(1, 11, 102)
+	ix, err := NewIndex(r, "A", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(ix.Lookup([]Value{1, 10})); got != 2 {
+		t.Fatalf("Lookup(1,10) rows = %d, want 2", got)
+	}
+	if got := len(ix.LookupTuple(Tuple{1, 11, 999})); got != 1 {
+		t.Fatalf("LookupTuple rows = %d, want 1", got)
+	}
+	if ix.Keys() != 2 {
+		t.Errorf("Keys = %d, want 2", ix.Keys())
+	}
+}
+
+func TestIndexZeroColumns(t *testing.T) {
+	r := New("R", "A")
+	r.Add(1)
+	r.Add(2)
+	ix, err := NewIndex(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(ix.Lookup(nil)); got != 2 {
+		t.Fatalf("zero-col Lookup = %d rows, want 2", got)
+	}
+}
+
+func TestIndexUnknownAttr(t *testing.T) {
+	r := New("R", "A")
+	if _, err := NewIndex(r, "Z"); err == nil {
+		t.Error("NewIndex on unknown attr should fail")
+	}
+}
+
+// Property: index lookups return exactly the rows with matching values.
+func TestIndexMatchesScanProperty(t *testing.T) {
+	f := func(vals []uint8) bool {
+		r := New("R", "A")
+		for _, v := range vals {
+			r.Add(Value(v % 16))
+		}
+		ix := MustIndex(r, "A")
+		for key := Value(0); key < 16; key++ {
+			var want []int32
+			for i, tp := range r.Tuples {
+				if tp[0] == key {
+					want = append(want, int32(i))
+				}
+			}
+			got := ix.Lookup([]Value{key})
+			if len(got) != len(want) {
+				return false
+			}
+			sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+			for i := range want {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDictionaryRoundTrip(t *testing.T) {
+	d := NewDictionary()
+	a := d.Code("boston")
+	b := d.Code("portland")
+	if a2 := d.Code("boston"); a2 != a {
+		t.Error("Code not stable")
+	}
+	if d.String(b) != "portland" {
+		t.Errorf("String(%d) = %q", b, d.String(b))
+	}
+	if d.Len() != 2 {
+		t.Errorf("Len = %d, want 2", d.Len())
+	}
+	if _, ok := d.Lookup("seattle"); ok {
+		t.Error("Lookup of unseen string should fail")
+	}
+	if d.String(99) != "" {
+		t.Error("String out of range should be empty")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	r := New("R", "A", "B")
+	r.AddWeighted(1.5, 1, 2)
+	r.AddWeighted(2.25, 3, 4)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, "R", true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.EqualAsSet(got) {
+		t.Fatalf("round trip mismatch:\n%v\n%v", r, got)
+	}
+}
+
+func TestCSVWithDictionary(t *testing.T) {
+	in := "city,score\nboston,1.5\nportland,2.5\nboston,3.5\n"
+	d := NewDictionary()
+	r, err := ReadCSV(strings.NewReader(in), "cities", true, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+	if r.Tuples[0][0] != r.Tuples[2][0] {
+		t.Error("same string should map to same code")
+	}
+	if d.String(r.Tuples[1][0]) != "portland" {
+		t.Error("dictionary decode failed")
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader(""), "R", false, nil); err == nil {
+		t.Error("empty CSV should fail")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,w\nx,1\n"), "R", true, nil); err == nil {
+		t.Error("non-numeric without dictionary should fail")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,w\n1,notafloat\n"), "R", true, nil); err == nil {
+		t.Error("bad weight should fail")
+	}
+	if _, err := ReadCSV(strings.NewReader("w\n1\n"), "R", true, nil); err == nil {
+		t.Error("weight-only schema should fail")
+	}
+}
+
+func TestTotalWeight(t *testing.T) {
+	r := New("R", "A")
+	r.AddWeighted(1, 1)
+	r.AddWeighted(2, 2)
+	if r.TotalWeight() != 3 {
+		t.Errorf("TotalWeight = %g, want 3", r.TotalWeight())
+	}
+}
+
+func BenchmarkIndexBuildSingle(b *testing.B) {
+	r := New("R", "A", "B")
+	for i := 0; i < 100000; i++ {
+		r.Add(Value(i%1000), Value(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MustIndex(r, "A")
+	}
+}
+
+func BenchmarkIndexLookup(b *testing.B) {
+	r := New("R", "A", "B")
+	for i := 0; i < 100000; i++ {
+		r.Add(Value(i%1000), Value(i))
+	}
+	ix := MustIndex(r, "A")
+	key := []Value{500}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Lookup(key)
+	}
+}

@@ -1,0 +1,137 @@
+package topk
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/relation"
+	"repro/internal/workload"
+)
+
+func TestJStarBinaryBasic(t *testing.T) {
+	r := weightedRel("R", []string{"A", "B"},
+		[][]relation.Value{{1, 10}, {2, 20}}, []float64{0.9, 0.5})
+	s := weightedRel("S", []string{"B", "C"},
+		[][]relation.Value{{10, 100}, {20, 200}}, []float64{0.8, 0.7})
+	j := NewJStar(r, s)
+	res := TopK(j, 10)
+	if len(res) != 2 {
+		t.Fatalf("results = %d, want 2", len(res))
+	}
+	if math.Abs(res[0].Score-1.7) > 1e-9 || math.Abs(res[1].Score-1.2) > 1e-9 {
+		t.Errorf("scores = %g, %g; want 1.7, 1.2", res[0].Score, res[1].Score)
+	}
+	if len(j.Attrs()) != 3 {
+		t.Errorf("schema = %v", j.Attrs())
+	}
+}
+
+func TestJStarMatchesBruteForceThreeWay(t *testing.T) {
+	rng := workload.NewRand(21)
+	mk := func(name, a1, a2 string) *relation.Relation {
+		r := relation.New(name, a1, a2)
+		for i := 0; i < 40; i++ {
+			r.AddWeighted(rng.Float64(), relation.Value(rng.Intn(5)), relation.Value(rng.Intn(5)))
+		}
+		return r
+	}
+	rels := []*relation.Relation{mk("R", "A", "B"), mk("S", "B", "C"), mk("T", "C", "D")}
+	want := bruteForceJoin(rels)
+	j := NewJStar(rels...)
+	got := TopK(j, len(want)+10)
+	if len(got) != len(want) {
+		t.Fatalf("J* yielded %d, brute force %d", len(got), len(want))
+	}
+	for i := range got {
+		if math.Abs(got[i].Score-want[i]) > 1e-9 {
+			t.Fatalf("rank %d: J* %g != %g", i, got[i].Score, want[i])
+		}
+	}
+}
+
+func TestJStarAgreesWithHRJNProperty(t *testing.T) {
+	f := func(seed uint16) bool {
+		rng := workload.NewRand(uint64(seed))
+		mk := func(name, a1, a2 string) *relation.Relation {
+			r := relation.New(name, a1, a2)
+			n := rng.Intn(30) + 1
+			for i := 0; i < n; i++ {
+				r.AddWeighted(rng.Float64(), relation.Value(rng.Intn(4)), relation.Value(rng.Intn(4)))
+			}
+			return r
+		}
+		rels := []*relation.Relation{mk("R", "A", "B"), mk("S", "B", "C")}
+		root, _ := RankJoinTree(rels[0], rels[1])
+		want := TopK(root, 1<<30)
+		j := NewJStar(rels...)
+		got := TopK(j, 1<<30)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if math.Abs(got[i].Score-want[i].Score) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJStarEmptyStream(t *testing.T) {
+	r := relation.New("R", "A", "B")
+	s := relation.New("S", "B", "C")
+	s.AddWeighted(1, 1, 2)
+	j := NewJStar(r, s)
+	if res := TopK(j, 5); len(res) != 0 {
+		t.Fatalf("empty input join yielded %d results", len(res))
+	}
+}
+
+func TestJStarTopKEarlyStop(t *testing.T) {
+	// Friendly instance: J* should expand few states for k=1.
+	n := 2000
+	r := relation.New("R", "A", "B")
+	s := relation.New("S", "B", "C")
+	for i := 0; i < n; i++ {
+		w := 1 - float64(i)/float64(n)
+		r.AddWeighted(w, relation.Value(i), relation.Value(i))
+		s.AddWeighted(w, relation.Value(i), relation.Value(i))
+	}
+	j := NewJStar(r, s)
+	res := TopK(j, 1)
+	if len(res) != 1 {
+		t.Fatal("no result")
+	}
+	if math.Abs(res[0].Score-2.0) > 1e-9 {
+		t.Errorf("top score = %g, want 2.0", res[0].Score)
+	}
+	if j.Stats.Expanded > 50 {
+		t.Errorf("J* expanded %d states for the friendly top-1, expected a handful", j.Stats.Expanded)
+	}
+}
+
+func TestJStarDescendingOrder(t *testing.T) {
+	rng := workload.NewRand(9)
+	r := relation.New("R", "A", "B")
+	s := relation.New("S", "B", "C")
+	for i := 0; i < 50; i++ {
+		r.AddWeighted(rng.Float64(), relation.Value(rng.Intn(6)), relation.Value(rng.Intn(6)))
+		s.AddWeighted(rng.Float64(), relation.Value(rng.Intn(6)), relation.Value(rng.Intn(6)))
+	}
+	j := NewJStar(r, s)
+	prev := math.Inf(1)
+	for {
+		_, sc, ok := j.Next()
+		if !ok {
+			break
+		}
+		if sc > prev+1e-12 {
+			t.Fatalf("J* order violated: %g after %g", sc, prev)
+		}
+		prev = sc
+	}
+}

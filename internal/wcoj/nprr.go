@@ -1,0 +1,134 @@
+package wcoj
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/ranking"
+	"repro/internal/relation"
+)
+
+// TriangleNPRR enumerates the triangle join R1(A,B) ⋈ R2(B,C) ⋈ R3(C,A)
+// with the NPRR-style heavy/light strategy (Ngo–Porat–Ré–Rudra, the
+// other worst-case-optimal algorithm §3 names alongside Generic-Join):
+// values of A are *heavy* when their fanout in R1 exceeds √|R2|.
+//
+//   - Light a: enumerate its ≤ √|R2| partners b and probe R2's (b,·)
+//     lists against a hash of R3's (·,a) partners — work bounded by
+//     Σ_light deg(a)·deg(b) ≤ ... |R1|·√|R2| plus output.
+//   - Heavy a (≤ |R1|/√|R2| of them): scan all of R2 once per heavy
+//     value and probe R1/R3 by hash — |R1|/√|R2| · |R2| = |R1|·√|R2|.
+//
+// Total O(n^1.5 + out) for |R_i| = n, matching the AGM bound like
+// Generic-Join but through data partitioning instead of per-variable
+// intersection. Results go to emit in unspecified order; weights
+// combine with agg.
+func TriangleNPRR(r1, r2, r3 *relation.Relation, agg ranking.Aggregate, emit Emit) *Instr {
+	instr := &Instr{}
+	// Index structures: R1 by A, R2 by B and by (B,C), R3 by its A column.
+	r1byA := relation.MustIndex(r1, r1.Attrs[0])
+	r2byB := relation.MustIndex(r2, r2.Attrs[0])
+	r2byBC := relation.MustIndex(r2, r2.Attrs[0], r2.Attrs[1])
+	r3byA := relation.MustIndex(r3, r3.Attrs[1])
+
+	threshold := int(math.Sqrt(float64(r2.Len()))) + 1
+
+	// Distinct A values, split by heaviness of their R1 fanout.
+	seen := map[relation.Value]bool{}
+	var avals []relation.Value
+	for _, t := range r1.Tuples {
+		if !seen[t[0]] {
+			seen[t[0]] = true
+			avals = append(avals, t[0])
+		}
+	}
+	sort.Slice(avals, func(i, j int) bool { return avals[i] < avals[j] })
+
+	stopped := false
+	emitTriangle := func(a, b, c relation.Value, w float64) {
+		instr.Emits++
+		if !emit(relation.Tuple{a, b, c}, w) {
+			stopped = true
+		}
+	}
+
+	for _, a := range avals {
+		if stopped {
+			return instr
+		}
+		r1rows := r1byA.Lookup([]relation.Value{a})
+		r3rows := r3byA.Lookup([]relation.Value{a}) // (c, a) partners
+		if len(r3rows) == 0 {
+			continue
+		}
+		// Hash of c-values closing back to a, with their r3 rows.
+		cBack := make(map[relation.Value][]int32, len(r3rows))
+		for _, row := range r3rows {
+			c := r3.Tuples[row][0]
+			cBack[c] = append(cBack[c], row)
+		}
+		if len(r1rows) <= threshold {
+			// Light: walk a's partners b, then close the triangle through
+			// the *smaller* of b's forward list and a's backward list —
+			// the min-side probing NPRR's n^1.5 analysis relies on.
+			for _, row1 := range r1rows {
+				b := r1.Tuples[row1][1]
+				r2rows := r2byB.Lookup([]relation.Value{b})
+				if len(r2rows) <= len(cBack) {
+					for _, row2 := range r2rows {
+						instr.Seeks++
+						c := r2.Tuples[row2][1]
+						for _, row3 := range cBack[c] {
+							w := agg.Combine(agg.Combine(r1.Weights[row1], r2.Weights[row2]), r3.Weights[row3])
+							emitTriangle(a, b, c, w)
+							if stopped {
+								return instr
+							}
+						}
+					}
+				} else {
+					for c, rows3 := range cBack {
+						instr.Seeks++
+						for _, row2 := range r2byBC.Lookup([]relation.Value{b, c}) {
+							for _, row3 := range rows3 {
+								w := agg.Combine(agg.Combine(r1.Weights[row1], r2.Weights[row2]), r3.Weights[row3])
+								emitTriangle(a, b, c, w)
+								if stopped {
+									return instr
+								}
+							}
+						}
+					}
+				}
+			}
+		} else {
+			// Heavy: scan R2 once, probing b against a's partners and c
+			// against the closing set.
+			bFwd := make(map[relation.Value][]int32, len(r1rows))
+			for _, row := range r1rows {
+				bFwd[r1.Tuples[row][1]] = append(bFwd[r1.Tuples[row][1]], row)
+			}
+			for row2, t2 := range r2.Tuples {
+				instr.Seeks++
+				rows1 := bFwd[t2[0]]
+				if len(rows1) == 0 {
+					continue
+				}
+				rows3 := cBack[t2[1]]
+				if len(rows3) == 0 {
+					continue
+				}
+				for _, row1 := range rows1 {
+					for _, row3 := range rows3 {
+						w := agg.Combine(agg.Combine(r1.Weights[row1], r2.Weights[int32(row2)]), r3.Weights[row3])
+						emitTriangle(a, t2[0], t2[1], w)
+						if stopped {
+							return instr
+						}
+					}
+				}
+			}
+		}
+	}
+	return instr
+}

@@ -1,0 +1,146 @@
+package workload
+
+import (
+	"math"
+	"sort"
+)
+
+// mathPow wraps math.Pow for the Zipf table construction.
+func mathPow(a, b float64) float64 { return math.Pow(a, b) }
+
+// ScoredList is one ranked input of the top-k middleware model: object
+// identifiers with grades, to be accessed in descending-grade order.
+type ScoredList struct {
+	// IDs[i] is the object at rank i (0 = best), Grades[i] its grade.
+	IDs    []int
+	Grades []float64
+}
+
+// Correlation shapes how an object's grades relate across lists.
+type Correlation int
+
+const (
+	// Independent grades are drawn independently per list.
+	Independent Correlation = iota
+	// Correlated grades share a per-object quality with small noise, so
+	// top objects cluster near the top of every list (TA's best case).
+	Correlated
+	// AntiCorrelated grades trade off across lists: objects good in one
+	// list are bad in the others (TA's hard case).
+	AntiCorrelated
+)
+
+// Lists generates m ranked lists over n objects with the given
+// correlation structure. Each list is sorted by descending grade.
+func Lists(m, n int, corr Correlation, seed uint64) []*ScoredList {
+	rng := NewRand(seed)
+	grades := make([][]float64, m)
+	for l := range grades {
+		grades[l] = make([]float64, n)
+	}
+	for o := 0; o < n; o++ {
+		switch corr {
+		case Independent:
+			for l := 0; l < m; l++ {
+				grades[l][o] = rng.Float64()
+			}
+		case Correlated:
+			q := rng.Float64()
+			for l := 0; l < m; l++ {
+				g := q + (rng.Float64()-0.5)*0.1
+				grades[l][o] = clamp01(g)
+			}
+		case AntiCorrelated:
+			// Points near the simplex surface: grades sum to ~1.
+			q := rng.Float64()
+			for l := 0; l < m; l++ {
+				var g float64
+				if l%2 == 0 {
+					g = q + (rng.Float64()-0.5)*0.05
+				} else {
+					g = 1 - q + (rng.Float64()-0.5)*0.05
+				}
+				grades[l][o] = clamp01(g)
+			}
+		}
+	}
+	out := make([]*ScoredList, m)
+	for l := 0; l < m; l++ {
+		sl := &ScoredList{IDs: make([]int, n), Grades: make([]float64, n)}
+		order := argsortDesc(grades[l])
+		for rank, o := range order {
+			sl.IDs[rank] = o
+			sl.Grades[rank] = grades[l][o]
+		}
+		out[l] = sl
+	}
+	return out
+}
+
+// HiddenTopLists builds the adversarial middleware input of §2: the
+// object with the best aggregate score sits at the *bottom* of every
+// list. Every other object has one high grade and one low grade, so
+// their aggregates are mediocre, while the hidden winner has grade
+// just-below-median everywhere, placing it deep in each sorted list.
+func HiddenTopLists(m, n int, seed uint64) []*ScoredList {
+	rng := NewRand(seed)
+	grades := make([][]float64, m)
+	for l := range grades {
+		grades[l] = make([]float64, n)
+	}
+	for o := 0; o < n-1; o++ {
+		hot := o % m // one list where this object shines
+		for l := 0; l < m; l++ {
+			if l == hot {
+				grades[l][o] = 0.9 + 0.1*rng.Float64()
+			} else {
+				grades[l][o] = 0.1 * rng.Float64()
+			}
+		}
+	}
+	// The hidden winner: 0.85 everywhere — aggregate m·0.85 beats
+	// 0.9 + (m-1)·0.1, but rank-wise it is below every hot object.
+	winner := n - 1
+	for l := 0; l < m; l++ {
+		grades[l][winner] = 0.85
+	}
+	out := make([]*ScoredList, m)
+	for l := 0; l < m; l++ {
+		sl := &ScoredList{IDs: make([]int, n), Grades: make([]float64, n)}
+		order := argsortDesc(grades[l])
+		for rank, o := range order {
+			sl.IDs[rank] = o
+			sl.Grades[rank] = grades[l][o]
+		}
+		out[l] = sl
+	}
+	return out
+}
+
+func clamp01(g float64) float64 {
+	if g < 0 {
+		return 0
+	}
+	if g > 1 {
+		return 1
+	}
+	return g
+}
+
+// argsortDesc returns the indices of xs sorted by descending value
+// (stable).
+func argsortDesc(xs []float64) []int {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Insertion-free approach: simple merge sort via sort.SliceStable is
+	// unavailable here without importing sort — use it.
+	stableSort(idx, func(a, b int) bool { return xs[a] > xs[b] })
+	return idx
+}
+
+// stableSort sorts idx with the given less predicate.
+func stableSort(idx []int, less func(a, b int) bool) {
+	sort.SliceStable(idx, func(i, j int) bool { return less(idx[i], idx[j]) })
+}

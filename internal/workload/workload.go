@@ -1,0 +1,312 @@
+// Package workload generates the deterministic synthetic inputs used by
+// the experiments: path/star/cycle query instances, the AGM-hard
+// triangle instance from §3 of the tutorial, hub-skewed graphs for the
+// 4-cycle experiments, weighted random graphs, and ranked score lists
+// for the top-k middleware experiments (correlated, independent,
+// anti-correlated).
+//
+// All generators take an explicit seed and use splitmix64, so every
+// experiment is exactly reproducible.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/hypergraph"
+	"repro/internal/relation"
+)
+
+// Rand is a splitmix64 pseudo-random generator. The zero value is a
+// valid generator seeded with 0.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a generator with the given seed.
+func NewRand(seed uint64) *Rand { return &Rand{state: seed} }
+
+// Uint64 returns the next pseudo-random 64-bit value.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("workload: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Zipf samples from an approximate Zipf distribution over [0, n) with
+// exponent s > 0 using inverse-CDF on a precomputed table.
+type Zipf struct {
+	cdf []float64
+	rng *Rand
+}
+
+// NewZipf builds a Zipf sampler over [0, n) with exponent s.
+func NewZipf(rng *Rand, s float64, n int) *Zipf {
+	cdf := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / powF(float64(i+1), s)
+		cdf[i] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	return &Zipf{cdf: cdf, rng: rng}
+}
+
+// Next returns a Zipf-distributed value in [0, n).
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// powF is a small positive-base power (avoids importing math in the hot
+// path; exactness is irrelevant for workload shaping).
+func powF(base, exp float64) float64 {
+	// exp is typically 0.5..2; use exp/log via Newton is overkill —
+	// handle the common integer-ish cases and fall back to repeated
+	// square root composition.
+	switch exp {
+	case 1:
+		return base
+	case 2:
+		return base * base
+	}
+	// General: base^exp = e^(exp·ln base); implement with math since this
+	// is not hot after table construction.
+	return mathPow(base, exp)
+}
+
+// Instance is a query instance: a hypergraph and matching relations.
+type Instance struct {
+	H    *hypergraph.Hypergraph
+	Rels []*relation.Relation
+}
+
+// WeightFn draws a tuple weight.
+type WeightFn func(r *Rand) float64
+
+// UniformWeights returns weights uniform in [0, 1).
+func UniformWeights() WeightFn { return func(r *Rand) float64 { return r.Float64() } }
+
+// ZeroWeights returns constant-zero weights.
+func ZeroWeights() WeightFn { return func(*Rand) float64 { return 0 } }
+
+// Path generates an l-relation path query instance: each relation has n
+// tuples with endpoints uniform in [0, domain).
+func Path(l, n, domain int, w WeightFn, seed uint64) *Instance {
+	rng := NewRand(seed)
+	h := hypergraph.Path(l)
+	rels := make([]*relation.Relation, l)
+	for i := 0; i < l; i++ {
+		r := relation.New(fmt.Sprintf("R%d", i+1), "X", "Y")
+		for t := 0; t < n; t++ {
+			r.AddWeighted(w(rng), relation.Value(rng.Intn(domain)), relation.Value(rng.Intn(domain)))
+		}
+		rels[i] = r
+	}
+	return &Instance{H: h, Rels: rels}
+}
+
+// Star generates an l-relation star query instance R_i(A0, A_i).
+func Star(l, n, domain int, w WeightFn, seed uint64) *Instance {
+	rng := NewRand(seed)
+	h := hypergraph.Star(l)
+	rels := make([]*relation.Relation, l)
+	for i := 0; i < l; i++ {
+		r := relation.New(fmt.Sprintf("R%d", i+1), "X", "Y")
+		for t := 0; t < n; t++ {
+			r.AddWeighted(w(rng), relation.Value(rng.Intn(domain)), relation.Value(rng.Intn(domain)))
+		}
+		rels[i] = r
+	}
+	return &Instance{H: h, Rels: rels}
+}
+
+// Cycle generates an l-relation cycle query instance over a single random
+// directed graph with nEdges edges on nVertices vertices: every relation
+// is a copy of the edge list (a self-join), matching the graph-pattern
+// framing of §1.
+func Cycle(l, nEdges, nVertices int, w WeightFn, seed uint64) *Instance {
+	rng := NewRand(seed)
+	h := hypergraph.Cycle(l)
+	edges := relation.New("E", "src", "dst")
+	for t := 0; t < nEdges; t++ {
+		edges.AddWeighted(w(rng), relation.Value(rng.Intn(nVertices)), relation.Value(rng.Intn(nVertices)))
+	}
+	rels := make([]*relation.Relation, l)
+	for i := range rels {
+		c := edges.Clone()
+		c.Name = fmt.Sprintf("R%d", i+1)
+		rels[i] = c
+	}
+	return &Instance{H: h, Rels: rels}
+}
+
+// HardTriangle builds the AGM-hard triangle instance of §3:
+// R = S = T = {(i,1) : i ∈ [n/2]} ∪ {(1,j) : j ∈ [n/2]}. Every binary
+// join order produces Θ(n²) intermediate tuples while the output is Θ(n).
+func HardTriangle(n int, w WeightFn, seed uint64) *Instance {
+	rng := NewRand(seed)
+	h := hypergraph.Cycle(3)
+	mk := func(name string) *relation.Relation {
+		r := relation.New(name, "src", "dst")
+		for i := 1; i <= n/2; i++ {
+			r.AddWeighted(w(rng), relation.Value(i), 1)
+			r.AddWeighted(w(rng), 1, relation.Value(i))
+		}
+		return r
+	}
+	return &Instance{H: h, Rels: []*relation.Relation{mk("R1"), mk("R2"), mk("R3")}}
+}
+
+// FourCycleHub builds the Boolean-4-cycle separator instance: a directed
+// hub with n/2 in-edges and n/2 out-edges. Every pairwise join of the
+// edge relation with itself is Θ(n²) (all length-2 paths run through the
+// hub), yet the graph has no directed 4-cycle at all, so output-sensitive
+// algorithms finish in near-linear time.
+func FourCycleHub(n int, w WeightFn, seed uint64) *Instance {
+	rng := NewRand(seed)
+	h := hypergraph.Cycle(4)
+	half := n / 2
+	hub := relation.Value(0)
+	edges := relation.New("E", "src", "dst")
+	for i := 1; i <= half; i++ {
+		edges.AddWeighted(w(rng), relation.Value(i), hub)           // i → hub
+		edges.AddWeighted(w(rng), hub, relation.Value(half+int(i))) // hub → j
+	}
+	rels := make([]*relation.Relation, 4)
+	for i := range rels {
+		c := edges.Clone()
+		c.Name = fmt.Sprintf("R%d", i+1)
+		rels[i] = c
+	}
+	return &Instance{H: h, Rels: rels}
+}
+
+// Graph is a weighted directed graph represented as an edge relation
+// E(src, dst) with per-edge weights.
+type Graph struct {
+	Edges    *relation.Relation
+	Vertices int
+}
+
+// RandomGraph samples a directed graph with nEdges edges over nVertices
+// vertices, weights drawn from w.
+func RandomGraph(nVertices, nEdges int, w WeightFn, seed uint64) *Graph {
+	rng := NewRand(seed)
+	e := relation.New("E", "src", "dst")
+	for i := 0; i < nEdges; i++ {
+		e.AddWeighted(w(rng), relation.Value(rng.Intn(nVertices)), relation.Value(rng.Intn(nVertices)))
+	}
+	return &Graph{Edges: e, Vertices: nVertices}
+}
+
+// SkewedGraph samples a graph whose source vertices follow a Zipf
+// distribution, creating the heavy hubs that exercise heavy/light
+// decompositions.
+func SkewedGraph(nVertices, nEdges int, zipfS float64, w WeightFn, seed uint64) *Graph {
+	rng := NewRand(seed)
+	z := NewZipf(rng, zipfS, nVertices)
+	e := relation.New("E", "src", "dst")
+	for i := 0; i < nEdges; i++ {
+		e.AddWeighted(w(rng), relation.Value(z.Next()), relation.Value(rng.Intn(nVertices)))
+	}
+	return &Graph{Edges: e, Vertices: nVertices}
+}
+
+// CycleQueryOn builds the l-cycle self-join query over a graph's edges.
+func CycleQueryOn(g *Graph, l int) *Instance {
+	h := hypergraph.Cycle(l)
+	rels := make([]*relation.Relation, l)
+	for i := range rels {
+		c := g.Edges.Clone()
+		c.Name = fmt.Sprintf("R%d", i+1)
+		rels[i] = c
+	}
+	return &Instance{H: h, Rels: rels}
+}
+
+// RandomTree generates a random tree-shaped acyclic query with nRels
+// binary relations: relation i ≥ 1 shares one variable with a randomly
+// chosen earlier relation and introduces one fresh variable. Used by
+// fuzz-style tests to exercise arbitrary join-tree shapes (deep chains,
+// wide stars and everything between).
+func RandomTree(nRels, tuplesPerRel, domain int, w WeightFn, seed uint64) *Instance {
+	if nRels < 1 {
+		panic("workload: RandomTree needs at least one relation")
+	}
+	rng := NewRand(seed)
+	edges := make([]hypergraph.Edge, nRels)
+	edges[0] = hypergraph.E("R1", "V0", "V1")
+	fresh := 2
+	for i := 1; i < nRels; i++ {
+		parent := edges[rng.Intn(i)]
+		shared := parent.Vars[rng.Intn(len(parent.Vars))]
+		nv := fmt.Sprintf("V%d", fresh)
+		fresh++
+		vars := []string{shared, nv}
+		if rng.Intn(2) == 0 { // randomise column order
+			vars = []string{nv, shared}
+		}
+		edges[i] = hypergraph.Edge{Name: fmt.Sprintf("R%d", i+1), Vars: vars}
+	}
+	h := hypergraph.New(edges...)
+	rels := make([]*relation.Relation, nRels)
+	for i := range rels {
+		r := relation.New(edges[i].Name, "X", "Y")
+		for t := 0; t < tuplesPerRel; t++ {
+			r.AddWeighted(w(rng), relation.Value(rng.Intn(domain)), relation.Value(rng.Intn(domain)))
+		}
+		rels[i] = r
+	}
+	return &Instance{H: h, Rels: rels}
+}
+
+// PreferentialGraph samples a directed graph by preferential attachment
+// (Barabási–Albert flavour): each new edge's source is drawn
+// proportionally to current out-degree + 1, its target uniformly. The
+// resulting heavy-tailed degree distribution mimics the real graphs
+// (social networks, citation graphs) used in the companion paper's
+// evaluation, exercising the heavy cases of the decompositions harder
+// than uniform graphs do.
+func PreferentialGraph(nVertices, nEdges int, w WeightFn, seed uint64) *Graph {
+	rng := NewRand(seed)
+	e := relation.New("E", "src", "dst")
+	// endpoints repeats every chosen source so sampling from it is
+	// degree-proportional; seeded with one appearance per vertex.
+	endpoints := make([]int, 0, nVertices+nEdges)
+	for v := 0; v < nVertices; v++ {
+		endpoints = append(endpoints, v)
+	}
+	for i := 0; i < nEdges; i++ {
+		src := endpoints[rng.Intn(len(endpoints))]
+		dst := rng.Intn(nVertices)
+		e.AddWeighted(w(rng), relation.Value(src), relation.Value(dst))
+		endpoints = append(endpoints, src)
+	}
+	return &Graph{Edges: e, Vertices: nVertices}
+}

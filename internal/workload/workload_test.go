@@ -1,0 +1,319 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/relation"
+)
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+	c := NewRand(43)
+	same := true
+	a2 := NewRand(42)
+	for i := 0; i < 10; i++ {
+		if a2.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should give different streams")
+	}
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 1000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %g out of [0,1)", f)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRand(1).Intn(0)
+}
+
+func TestZipfSkew(t *testing.T) {
+	rng := NewRand(11)
+	z := NewZipf(rng, 1.2, 1000)
+	counts := make([]int, 1000)
+	for i := 0; i < 20000; i++ {
+		counts[z.Next()]++
+	}
+	// Rank 0 should be sampled far more often than rank 100.
+	if counts[0] < 5*counts[100]+1 {
+		t.Errorf("Zipf not skewed: counts[0]=%d counts[100]=%d", counts[0], counts[100])
+	}
+}
+
+func TestPathInstanceShape(t *testing.T) {
+	inst := Path(4, 100, 20, UniformWeights(), 1)
+	if len(inst.Rels) != 4 || len(inst.H.Edges) != 4 {
+		t.Fatalf("path instance has %d rels, %d edges", len(inst.Rels), len(inst.H.Edges))
+	}
+	for _, r := range inst.Rels {
+		if r.Len() != 100 {
+			t.Errorf("relation %s has %d tuples, want 100", r.Name, r.Len())
+		}
+		for _, tp := range r.Tuples {
+			if tp[0] < 0 || tp[0] >= 20 || tp[1] < 0 || tp[1] >= 20 {
+				t.Fatalf("value out of domain: %v", tp)
+			}
+		}
+	}
+	if !inst.H.IsAcyclic() {
+		t.Error("path hypergraph must be acyclic")
+	}
+}
+
+func TestStarInstanceShape(t *testing.T) {
+	inst := Star(3, 50, 10, ZeroWeights(), 2)
+	if len(inst.Rels) != 3 {
+		t.Fatal("wrong relation count")
+	}
+	for _, r := range inst.Rels {
+		for _, w := range r.Weights {
+			if w != 0 {
+				t.Fatal("ZeroWeights should yield zero weights")
+			}
+		}
+	}
+}
+
+func TestCycleInstanceSelfJoin(t *testing.T) {
+	inst := Cycle(4, 60, 15, UniformWeights(), 3)
+	if len(inst.Rels) != 4 {
+		t.Fatal("wrong relation count")
+	}
+	for i := 1; i < 4; i++ {
+		if !inst.Rels[i].EqualAsSet(relCopyName(inst.Rels[0], inst.Rels[i].Name)) {
+			t.Error("cycle query must self-join the same edge list")
+		}
+	}
+	if inst.H.IsAcyclic() {
+		t.Error("cycle hypergraph must be cyclic")
+	}
+}
+
+func relCopyName(r *relation.Relation, name string) *relation.Relation {
+	c := r.Clone()
+	c.Name = name
+	return c
+}
+
+func TestHardTriangleStructure(t *testing.T) {
+	inst := HardTriangle(100, ZeroWeights(), 0)
+	for _, r := range inst.Rels {
+		if r.Len() != 100 {
+			t.Fatalf("hard triangle relation size = %d, want 100", r.Len())
+		}
+	}
+	// Every tuple touches value 1.
+	for _, tp := range inst.Rels[0].Tuples {
+		if tp[0] != 1 && tp[1] != 1 {
+			t.Fatalf("tuple %v does not touch the hub", tp)
+		}
+	}
+}
+
+func TestFourCycleHubHasNoDirectedCycle(t *testing.T) {
+	inst := FourCycleHub(200, ZeroWeights(), 0)
+	e := inst.Rels[0]
+	// Out-neighbours of second-half vertices must be empty: no directed
+	// 4-cycle can exist because flow is first-half → hub → second-half.
+	outOfSecondHalf := 0
+	for _, tp := range e.Tuples {
+		if tp[0] > 100 {
+			outOfSecondHalf++
+		}
+	}
+	if outOfSecondHalf != 0 {
+		t.Errorf("second-half vertices have %d out-edges, want 0", outOfSecondHalf)
+	}
+	// The hub makes pairwise joins quadratic: check hub in-degree and
+	// out-degree are both n/2.
+	in, out := 0, 0
+	for _, tp := range e.Tuples {
+		if tp[1] == 0 {
+			in++
+		}
+		if tp[0] == 0 {
+			out++
+		}
+	}
+	if in != 100 || out != 100 {
+		t.Errorf("hub degrees in=%d out=%d, want 100,100", in, out)
+	}
+}
+
+func TestRandomGraphShape(t *testing.T) {
+	g := RandomGraph(50, 300, UniformWeights(), 9)
+	if g.Edges.Len() != 300 {
+		t.Fatalf("edges = %d, want 300", g.Edges.Len())
+	}
+	for _, tp := range g.Edges.Tuples {
+		if tp[0] < 0 || tp[0] >= 50 || tp[1] < 0 || tp[1] >= 50 {
+			t.Fatal("vertex out of range")
+		}
+	}
+}
+
+func TestSkewedGraphHasHubs(t *testing.T) {
+	g := SkewedGraph(1000, 5000, 1.5, UniformWeights(), 4)
+	ix := relation.MustIndex(g.Edges, "src")
+	if ix.MaxFanout() < 50 {
+		t.Errorf("skewed graph max out-degree = %d, expected a heavy hub", ix.MaxFanout())
+	}
+}
+
+func TestCycleQueryOn(t *testing.T) {
+	g := RandomGraph(10, 20, UniformWeights(), 5)
+	inst := CycleQueryOn(g, 3)
+	if len(inst.Rels) != 3 {
+		t.Fatal("wrong relation count")
+	}
+	if inst.Rels[0].Len() != 20 {
+		t.Fatal("edges not copied")
+	}
+}
+
+func TestListsSortedDescending(t *testing.T) {
+	for _, corr := range []Correlation{Independent, Correlated, AntiCorrelated} {
+		lists := Lists(3, 200, corr, 6)
+		if len(lists) != 3 {
+			t.Fatal("wrong list count")
+		}
+		for _, l := range lists {
+			if len(l.IDs) != 200 {
+				t.Fatal("wrong list length")
+			}
+			for i := 1; i < len(l.Grades); i++ {
+				if l.Grades[i] > l.Grades[i-1] {
+					t.Fatalf("list not sorted at %d", i)
+				}
+			}
+		}
+	}
+}
+
+func TestListsArePermutations(t *testing.T) {
+	lists := Lists(2, 100, Independent, 8)
+	for _, l := range lists {
+		seen := make(map[int]bool)
+		for _, id := range l.IDs {
+			if seen[id] || id < 0 || id >= 100 {
+				t.Fatal("IDs must be a permutation of [0,n)")
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestCorrelatedListsAgreeAtTop(t *testing.T) {
+	lists := Lists(2, 1000, Correlated, 10)
+	// The top-20 of both lists should share many objects.
+	top := make(map[int]bool)
+	for _, id := range lists[0].IDs[:20] {
+		top[id] = true
+	}
+	shared := 0
+	for _, id := range lists[1].IDs[:20] {
+		if top[id] {
+			shared++
+		}
+	}
+	if shared < 8 {
+		t.Errorf("correlated lists share only %d of top-20", shared)
+	}
+}
+
+func TestHiddenTopListsBuriesWinner(t *testing.T) {
+	m, n := 2, 500
+	lists := HiddenTopLists(m, n, 3)
+	winner := n - 1
+	for li, l := range lists {
+		rank := -1
+		for i, id := range l.IDs {
+			if id == winner {
+				rank = i
+				break
+			}
+		}
+		if rank < n/4 {
+			t.Errorf("list %d: winner at rank %d, should be deep", li, rank)
+		}
+	}
+	// And the winner really does have the best aggregate.
+	agg := make(map[int]float64)
+	for _, l := range lists {
+		for i, id := range l.IDs {
+			agg[id] += l.Grades[i]
+		}
+	}
+	best, bestScore := -1, -1.0
+	for id, s := range agg {
+		if s > bestScore {
+			best, bestScore = id, s
+		}
+	}
+	if best != winner {
+		t.Errorf("best aggregate object = %d, want %d", best, winner)
+	}
+}
+
+// Property: generators are deterministic in their seed.
+func TestGeneratorDeterminismProperty(t *testing.T) {
+	f := func(seed uint32) bool {
+		a := Path(3, 30, 10, UniformWeights(), uint64(seed))
+		b := Path(3, 30, 10, UniformWeights(), uint64(seed))
+		for i := range a.Rels {
+			if !a.Rels[i].EqualAsSet(b.Rels[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPreferentialGraphHeavyTail(t *testing.T) {
+	g := PreferentialGraph(2000, 10000, UniformWeights(), 7)
+	if g.Edges.Len() != 10000 {
+		t.Fatalf("edges = %d", g.Edges.Len())
+	}
+	ix := relation.MustIndex(g.Edges, "src")
+	// Preferential attachment should produce a hub far above the uniform
+	// expectation (10000/2000 = 5 per vertex; a uniform graph's max is
+	// ~15 at this size).
+	if ix.MaxFanout() < 30 {
+		t.Errorf("max out-degree = %d, expected a heavy tail", ix.MaxFanout())
+	}
+	for _, tp := range g.Edges.Tuples {
+		if tp[0] < 0 || tp[0] >= 2000 || tp[1] < 0 || tp[1] >= 2000 {
+			t.Fatal("vertex out of range")
+		}
+	}
+}
+
+func TestPreferentialGraphDeterministic(t *testing.T) {
+	a := PreferentialGraph(100, 500, UniformWeights(), 9)
+	b := PreferentialGraph(100, 500, UniformWeights(), 9)
+	if !a.Edges.EqualAsSet(b.Edges) {
+		t.Error("same seed must give same graph")
+	}
+}

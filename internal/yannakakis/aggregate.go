@@ -1,0 +1,109 @@
+package yannakakis
+
+import (
+	"math"
+
+	"repro/internal/relation"
+)
+
+// Semiring defines a commutative semiring (⊕, ⊗) for aggregate
+// evaluation over join trees — the FAQ/AJAR-style extension of Part 2
+// of the tutorial ("support for aggregates"): each input tuple carries
+// an annotation; a join result's annotation is the ⊗ of its tuples'
+// annotations; the query aggregate is the ⊕ over all results. The
+// evaluation below runs in O(n) after the full reducer, never touching
+// the (possibly huge) result set.
+type Semiring struct {
+	Name string
+	// Zero is the ⊕ identity, One the ⊗ identity.
+	Zero, One float64
+	Add       func(a, b float64) float64 // ⊕
+	Mul       func(a, b float64) float64 // ⊗
+}
+
+// CountingSemiring counts results: annotations 1, ⊕ = +, ⊗ = ×.
+func CountingSemiring() *Semiring {
+	return &Semiring{
+		Name: "count", Zero: 0, One: 1,
+		Add: func(a, b float64) float64 { return a + b },
+		Mul: func(a, b float64) float64 { return a * b },
+	}
+}
+
+// SumWeightSemiring sums result weights over all results when tuples
+// are annotated with their weights under (⊕,⊗) = (+,×) on the expanded
+// polynomial — note this computes Σ_results Π_tuples w(t), i.e. the
+// product aggregate summed; to sum *additive* result weights use
+// AnnotatedEval with the tropical semiring per result instead.
+func SumWeightSemiring() *Semiring {
+	return &Semiring{
+		Name: "sum-product", Zero: 0, One: 1,
+		Add: func(a, b float64) float64 { return a + b },
+		Mul: func(a, b float64) float64 { return a * b },
+	}
+}
+
+// MinTropicalSemiring computes the minimum additive result weight (the
+// top-1 of SumCost ranking) without enumeration: ⊕ = min, ⊗ = +.
+func MinTropicalSemiring() *Semiring {
+	return &Semiring{
+		Name: "min-sum", Zero: math.Inf(1), One: 0,
+		Add: math.Min,
+		Mul: func(a, b float64) float64 { return a + b },
+	}
+}
+
+// MaxTropicalSemiring computes the maximum additive result weight.
+func MaxTropicalSemiring() *Semiring {
+	return &Semiring{
+		Name: "max-sum", Zero: math.Inf(-1), One: 0,
+		Add: math.Max,
+		Mul: func(a, b float64) float64 { return a + b },
+	}
+}
+
+// AnnotatedEval evaluates the semiring aggregate over all join results,
+// annotating each input tuple with annotate(nodeIndex, row, weight).
+// Passing nil annotates every tuple with its weight. Runs one full
+// reduction plus one bottom-up pass: O(n) data complexity.
+func (q *Query) AnnotatedEval(s *Semiring, annotate func(node, row int, w float64) float64) float64 {
+	if annotate == nil {
+		annotate = func(_, _ int, w float64) float64 { return w }
+	}
+	red := q.FullReduce()
+	order := q.Tree.Order
+	// ann[u][row] aggregates the subtree rooted at u for that row.
+	ann := make([][]float64, len(red))
+	for oi := len(order) - 1; oi >= 0; oi-- {
+		u := order[oi]
+		r := red[u]
+		ann[u] = make([]float64, r.Len())
+		for row := range r.Tuples {
+			ann[u][row] = annotate(u, row, r.Weights[row])
+		}
+		for _, c := range q.Tree.Children[u] {
+			shared := r.SharedAttrs(red[c])
+			idx := relation.MustIndex(red[c], shared...)
+			uCols, err := r.AttrIndexes(shared)
+			if err != nil {
+				panic(err)
+			}
+			key := make([]relation.Value, len(uCols))
+			for row, tp := range r.Tuples {
+				for k, col := range uCols {
+					key[k] = tp[col]
+				}
+				sub := s.Zero
+				for _, crow := range idx.Lookup(key) {
+					sub = s.Add(sub, ann[c][crow])
+				}
+				ann[u][row] = s.Mul(ann[u][row], sub)
+			}
+		}
+	}
+	total := s.Zero
+	for _, v := range ann[q.Tree.Root] {
+		total = s.Add(total, v)
+	}
+	return total
+}

@@ -1,0 +1,182 @@
+// Package yannakakis implements the Yannakakis algorithm for acyclic
+// join queries (§3 of the tutorial): a full reducer built from two
+// semi-join sweeps over a join tree, followed by either full-output
+// evaluation in O(n + r) or constant-delay enumeration of the results.
+//
+// The full reducer leaves the database globally consistent: every tuple
+// that survives participates in at least one result, so the join phase
+// never generates dangling intermediate tuples.
+package yannakakis
+
+import (
+	"fmt"
+
+	"repro/internal/hypergraph"
+	"repro/internal/join"
+	"repro/internal/ranking"
+	"repro/internal/relation"
+)
+
+// Query is an acyclic join query: relations aligned one-to-one with the
+// hypergraph's edges, plus a join tree over them.
+type Query struct {
+	Rels []*relation.Relation
+	H    *hypergraph.Hypergraph
+	Tree *hypergraph.JoinTree
+}
+
+// NewQuery validates that rels match the hypergraph's edges (names and
+// arities) and that the hypergraph is acyclic, then returns the query
+// with its join tree.
+func NewQuery(h *hypergraph.Hypergraph, rels []*relation.Relation) (*Query, error) {
+	if len(rels) != len(h.Edges) {
+		return nil, fmt.Errorf("yannakakis: %d relations for %d hyperedges", len(rels), len(h.Edges))
+	}
+	for i, e := range h.Edges {
+		if len(e.Vars) != rels[i].Arity() {
+			return nil, fmt.Errorf("yannakakis: edge %s has %d vars but relation %s arity %d",
+				e.Name, len(e.Vars), rels[i].Name, rels[i].Arity())
+		}
+	}
+	tree, ok := h.BuildJoinTree()
+	if !ok {
+		return nil, fmt.Errorf("yannakakis: query %s is cyclic", h)
+	}
+	return &Query{Rels: rels, H: h, Tree: tree}, nil
+}
+
+// queryRel returns the relation for tree node i with its attributes
+// renamed to the hypergraph's variables, so joins are by query variable
+// rather than by the relation's own attribute names. The tuples are
+// shared with the input relation.
+func (q *Query) queryRel(i int) *relation.Relation {
+	e := q.H.Edges[i]
+	r := q.Rels[i]
+	out := relation.New(r.Name, e.Vars...)
+	out.Tuples = r.Tuples
+	out.Weights = r.Weights
+	return out
+}
+
+// FullReduce runs the full reducer and returns the reduced relations
+// (renamed to query variables), aligned with tree nodes. The input
+// relations are not modified.
+func (q *Query) FullReduce() []*relation.Relation {
+	n := len(q.Rels)
+	red := make([]*relation.Relation, n)
+	for i := 0; i < n; i++ {
+		red[i] = q.queryRel(i)
+	}
+	order := q.Tree.Order
+	// Bottom-up pass: children reduce parents (visit in reverse preorder
+	// so every node's children have already been processed).
+	for oi := len(order) - 1; oi >= 0; oi-- {
+		u := order[oi]
+		for _, c := range q.Tree.Children[u] {
+			red[u] = join.SemiJoin(red[u], red[c])
+		}
+	}
+	// Top-down pass: parents reduce children.
+	for _, u := range order {
+		if p := q.Tree.Parent[u]; p >= 0 {
+			red[u] = join.SemiJoin(red[u], red[p])
+		}
+	}
+	return red
+}
+
+// Evaluate computes the full join result with the Yannakakis algorithm:
+// full reduction followed by joins along the tree. Tuple weights combine
+// with agg. The output schema lists query variables in first-appearance
+// order over the tree's DFS preorder.
+func (q *Query) Evaluate(agg ranking.Aggregate) *relation.Relation {
+	red := q.FullReduce()
+	order := q.Tree.Order
+	// Join children into parents bottom-up. After full reduction every
+	// partial join is a subset of the final output projected onto the
+	// subtree's variables, so intermediates stay output-bounded.
+	acc := make([]*relation.Relation, len(red))
+	copy(acc, red)
+	for oi := len(order) - 1; oi >= 0; oi-- {
+		u := order[oi]
+		for _, c := range q.Tree.Children[u] {
+			acc[u] = join.HashJoin(acc[u], acc[c], agg, nil)
+		}
+	}
+	return acc[q.Tree.Root]
+}
+
+// Count returns the number of join results without materialising them,
+// via a bottom-up counting pass over the reduced relations (the standard
+// aggregate-over-join-tree trick).
+func (q *Query) Count() int {
+	red := q.FullReduce()
+	order := q.Tree.Order
+	// counts[u][row] = number of results of u's subtree consistent with
+	// that row of u's reduced relation.
+	counts := make([][]int, len(red))
+	for i, r := range red {
+		counts[i] = make([]int, r.Len())
+		for j := range counts[i] {
+			counts[i][j] = 1
+		}
+	}
+	for oi := len(order) - 1; oi >= 0; oi-- {
+		u := order[oi]
+		for _, c := range q.Tree.Children[u] {
+			shared := red[u].SharedAttrs(red[c])
+			idx := relation.MustIndex(red[c], shared...)
+			uCols, _ := red[u].AttrIndexes(shared)
+			key := make([]relation.Value, len(uCols))
+			for j, tp := range red[u].Tuples {
+				for k, col := range uCols {
+					key[k] = tp[col]
+				}
+				sum := 0
+				for _, row := range idx.Lookup(key) {
+					sum += counts[c][row]
+				}
+				counts[u][j] *= sum
+			}
+		}
+	}
+	total := 0
+	for _, v := range counts[q.Tree.Root] {
+		total += v
+	}
+	return total
+}
+
+// IsEmpty reports whether the query has no results, in O(n) after the
+// bottom-up semi-join pass (the Boolean query of §1).
+func (q *Query) IsEmpty() bool {
+	n := len(q.Rels)
+	red := make([]*relation.Relation, n)
+	for i := 0; i < n; i++ {
+		red[i] = q.queryRel(i)
+	}
+	order := q.Tree.Order
+	for oi := len(order) - 1; oi >= 0; oi-- {
+		u := order[oi]
+		for _, c := range q.Tree.Children[u] {
+			red[u] = join.SemiJoin(red[u], red[c])
+		}
+	}
+	return red[q.Tree.Root].Len() == 0
+}
+
+// OutputAttrs returns the output schema: query variables in
+// first-appearance order over the tree's DFS preorder.
+func (q *Query) OutputAttrs() []string {
+	seen := make(map[string]bool)
+	var attrs []string
+	for _, u := range q.Tree.Order {
+		for _, v := range q.H.Edges[u].Vars {
+			if !seen[v] {
+				seen[v] = true
+				attrs = append(attrs, v)
+			}
+		}
+	}
+	return attrs
+}

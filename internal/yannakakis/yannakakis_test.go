@@ -1,0 +1,342 @@
+package yannakakis
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hypergraph"
+	"repro/internal/join"
+	"repro/internal/ranking"
+	"repro/internal/relation"
+)
+
+var sum = ranking.SumCost{}
+
+// pathData builds relations for Path(l) with the given edge lists.
+func pathData(l int, edges [][][2]relation.Value) []*relation.Relation {
+	rels := make([]*relation.Relation, l)
+	for i := 0; i < l; i++ {
+		r := relation.New("R"+string(rune('1'+i)), "X", "Y")
+		for _, e := range edges[i] {
+			r.AddWeighted(float64(e[0]+e[1]), e[0], e[1])
+		}
+		rels[i] = r
+	}
+	return rels
+}
+
+func mustQuery(t *testing.T, h *hypergraph.Hypergraph, rels []*relation.Relation) *Query {
+	t.Helper()
+	q, err := NewQuery(h, rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestNewQueryValidation(t *testing.T) {
+	h := hypergraph.Path(2)
+	r := relation.New("R1", "X", "Y")
+	if _, err := NewQuery(h, []*relation.Relation{r}); err == nil {
+		t.Error("relation count mismatch should fail")
+	}
+	bad := relation.New("R2", "X")
+	if _, err := NewQuery(h, []*relation.Relation{r, bad}); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	ch := hypergraph.Cycle(3)
+	r2 := relation.New("R2", "X", "Y")
+	r3 := relation.New("R3", "X", "Y")
+	if _, err := NewQuery(ch, []*relation.Relation{r, r2, r3}); err == nil {
+		t.Error("cyclic query should fail")
+	}
+}
+
+func TestEvaluateTwoPath(t *testing.T) {
+	h := hypergraph.Path(2) // R1(A0,A1), R2(A1,A2)
+	rels := pathData(2, [][][2]relation.Value{
+		{{1, 10}, {2, 20}},
+		{{10, 100}, {10, 101}, {30, 300}},
+	})
+	q := mustQuery(t, h, rels)
+	out := q.Evaluate(sum)
+	if out.Len() != 2 {
+		t.Fatalf("output size = %d, want 2", out.Len())
+	}
+	// Weights: (1,10,100): (1+10)+(10+100)=121; (1,10,101): 11+111=122.
+	total := out.Weights[0] + out.Weights[1]
+	if total != 243 {
+		t.Errorf("total weight = %g, want 243", total)
+	}
+}
+
+func TestEvaluateMatchesBinaryPlan(t *testing.T) {
+	h := hypergraph.Path(3)
+	rels := pathData(3, [][][2]relation.Value{
+		{{1, 2}, {1, 3}, {4, 5}},
+		{{2, 6}, {3, 6}, {3, 7}, {5, 8}},
+		{{6, 9}, {7, 9}, {8, 10}, {11, 12}},
+	})
+	q := mustQuery(t, h, rels)
+	got := q.Evaluate(sum)
+
+	// Reference: binary plan over renamed relations.
+	renamed := make([]*relation.Relation, 3)
+	for i := range rels {
+		renamed[i] = relation.New(rels[i].Name, h.Edges[i].Vars...)
+		renamed[i].Tuples = rels[i].Tuples
+		renamed[i].Weights = rels[i].Weights
+	}
+	want, _ := join.NewPlan(sum, renamed[0], renamed[1], renamed[2]).Execute()
+	if got.Len() != want.Len() {
+		t.Fatalf("Yannakakis size %d != plan size %d", got.Len(), want.Len())
+	}
+	// The two evaluators may order output attributes differently; compare
+	// after projecting onto a common order (Project preserves weights).
+	gotAligned, err := got.Project(want.Attrs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gotAligned.EqualAsSet(want) {
+		t.Errorf("result sets differ:\n%v\n%v", gotAligned, want)
+	}
+}
+
+func TestFullReduceRemovesDanglingTuples(t *testing.T) {
+	h := hypergraph.Path(2)
+	rels := pathData(2, [][][2]relation.Value{
+		{{1, 10}, {2, 99}}, // (2,99) dangles
+		{{10, 100}, {55, 500}},
+	})
+	q := mustQuery(t, h, rels)
+	red := q.FullReduce()
+	if red[0].Len() != 1 || red[1].Len() != 1 {
+		t.Fatalf("reduced sizes = %d,%d, want 1,1", red[0].Len(), red[1].Len())
+	}
+	if red[0].Tuples[0][0] != 1 || red[1].Tuples[0][1] != 100 {
+		t.Error("wrong tuples survived reduction")
+	}
+}
+
+// Global consistency: every tuple surviving the full reducer participates
+// in at least one result.
+func TestFullReduceGlobalConsistencyProperty(t *testing.T) {
+	f := func(e1, e2, e3 []uint8) bool {
+		mk := func(name string, data []uint8, mod relation.Value) *relation.Relation {
+			r := relation.New(name, "X", "Y")
+			for i, v := range data {
+				r.AddWeighted(float64(i), relation.Value(v)%mod, relation.Value(v/3)%mod)
+			}
+			return r
+		}
+		rels := []*relation.Relation{mk("R1", e1, 5), mk("R2", e2, 5), mk("R3", e3, 5)}
+		h := hypergraph.Path(3)
+		q, err := NewQuery(h, rels)
+		if err != nil {
+			return false
+		}
+		red := q.FullReduce()
+		out := q.Evaluate(sum)
+		// Project output onto each node's vars; reduced relation must be a
+		// subset of it (as value sets).
+		for i := range red {
+			if out.Len() == 0 {
+				if red[i].Len() != 0 {
+					return false
+				}
+				continue
+			}
+			proj, err := out.Project(h.Edges[i].Vars...)
+			if err != nil {
+				return false
+			}
+			present := make(map[string]bool)
+			var buf []byte
+			for _, tp := range proj.Tuples {
+				buf = relation.AppendKey(buf[:0], tp)
+				present[string(buf)] = true
+			}
+			for _, tp := range red[i].Tuples {
+				buf = relation.AppendKey(buf[:0], tp)
+				if !present[string(buf)] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCountMatchesEvaluate(t *testing.T) {
+	h := hypergraph.Star(3)
+	r1 := relation.New("R1", "X", "Y")
+	r2 := relation.New("R2", "X", "Y")
+	r3 := relation.New("R3", "X", "Y")
+	for i := relation.Value(0); i < 6; i++ {
+		r1.Add(i%3, i)
+		r2.Add(i%3, i+10)
+		r3.Add(i%2, i+20)
+	}
+	q := mustQuery(t, h, []*relation.Relation{r1, r2, r3})
+	if got, want := q.Count(), q.Evaluate(sum).Len(); got != want {
+		t.Fatalf("Count = %d, Evaluate size = %d", got, want)
+	}
+}
+
+func TestIsEmpty(t *testing.T) {
+	h := hypergraph.Path(2)
+	rels := pathData(2, [][][2]relation.Value{
+		{{1, 10}},
+		{{11, 100}}, // no join partner
+	})
+	q := mustQuery(t, h, rels)
+	if !q.IsEmpty() {
+		t.Error("disconnected path should be empty")
+	}
+	rels2 := pathData(2, [][][2]relation.Value{
+		{{1, 10}},
+		{{10, 100}},
+	})
+	q2 := mustQuery(t, h, rels2)
+	if q2.IsEmpty() {
+		t.Error("connected path should be non-empty")
+	}
+}
+
+func TestEnumeratorMatchesEvaluate(t *testing.T) {
+	h := hypergraph.Star(3)
+	r1 := relation.New("R1", "X", "Y")
+	r2 := relation.New("R2", "X", "Y")
+	r3 := relation.New("R3", "X", "Y")
+	for i := relation.Value(0); i < 8; i++ {
+		r1.AddWeighted(float64(i), i%4, i)
+		r2.AddWeighted(float64(2*i), i%4, i+10)
+		r3.AddWeighted(float64(3*i), i%3, i+20)
+	}
+	q := mustQuery(t, h, []*relation.Relation{r1, r2, r3})
+	want := q.Evaluate(sum)
+
+	e := NewEnumerator(q, sum)
+	results := e.Drain(0)
+	if len(results) != want.Len() {
+		t.Fatalf("enumerated %d results, Evaluate has %d", len(results), want.Len())
+	}
+	got := relation.New("enum", e.OutputAttrs()...)
+	for _, r := range results {
+		got.AddTuple(r.Tuple, r.Weight)
+	}
+	// Align schemas: project Evaluate output onto enumerator's order.
+	wantProj, err := want.Project(e.OutputAttrs()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantProj.Weights = want.Weights
+	if !got.EqualAsSet(wantProj) {
+		t.Errorf("enumerator results differ from Evaluate\n%v\n%v", got, wantProj)
+	}
+}
+
+func TestEnumeratorEmptyResult(t *testing.T) {
+	h := hypergraph.Path(2)
+	rels := pathData(2, [][][2]relation.Value{{{1, 2}}, {{3, 4}}})
+	q := mustQuery(t, h, rels)
+	e := NewEnumerator(q, sum)
+	if _, ok := e.Next(); ok {
+		t.Error("empty join should yield nothing")
+	}
+	if _, ok := e.Next(); ok {
+		t.Error("Next after exhaustion should keep returning false")
+	}
+}
+
+func TestEnumeratorDrainLimit(t *testing.T) {
+	h := hypergraph.Path(2)
+	r1 := relation.New("R1", "X", "Y")
+	r2 := relation.New("R2", "X", "Y")
+	for i := relation.Value(0); i < 10; i++ {
+		r1.Add(0, i)
+		r2.Add(i, i)
+	}
+	q := mustQuery(t, h, []*relation.Relation{r1, r2})
+	e := NewEnumerator(q, sum)
+	if got := e.Drain(3); len(got) != 3 {
+		t.Fatalf("Drain(3) = %d results", len(got))
+	}
+}
+
+// Property: enumerator yields exactly Count() results on random star data.
+func TestEnumeratorCountProperty(t *testing.T) {
+	f := func(d1, d2 []uint8) bool {
+		r1 := relation.New("R1", "X", "Y")
+		for i, v := range d1 {
+			r1.AddWeighted(float64(i), relation.Value(v%4), relation.Value(v%7))
+		}
+		r2 := relation.New("R2", "X", "Y")
+		for i, v := range d2 {
+			r2.AddWeighted(float64(i), relation.Value(v%4), relation.Value(v%5))
+		}
+		h := hypergraph.Star(2)
+		q, err := NewQuery(h, []*relation.Relation{r1, r2})
+		if err != nil {
+			return false
+		}
+		return len(NewEnumerator(q, sum).Drain(0)) == q.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Yannakakis intermediates stay output-bounded on the skewed instance
+// where binary plans blow up: R(A,B) with hub, S(B,C) fanout, T(C,D)
+// selective.
+func TestYannakakisAvoidsBlowup(t *testing.T) {
+	n := relation.Value(200)
+	r1 := relation.New("R1", "A", "B")
+	r2 := relation.New("R2", "B", "C")
+	r3 := relation.New("R3", "C", "D")
+	for i := relation.Value(0); i < n; i++ {
+		r1.Add(i, 0)   // all point at hub 0
+		r2.Add(0, i)   // hub fans out
+		r3.Add(n+7, i) // none of r2's C values match
+	}
+	h := hypergraph.Path(3)
+	q := mustQuery(t, h, []*relation.Relation{r1, r2, r3})
+	if !q.IsEmpty() {
+		t.Fatal("query should be empty")
+	}
+	red := q.FullReduce()
+	for i, r := range red {
+		if r.Len() != 0 {
+			t.Errorf("reduced relation %d has %d tuples, want 0", i, r.Len())
+		}
+	}
+	// Contrast: the binary plan materialises n² intermediate tuples.
+	renamed := make([]*relation.Relation, 3)
+	for i, r := range []*relation.Relation{r1, r2, r3} {
+		renamed[i] = relation.New(r.Name, h.Edges[i].Vars...)
+		renamed[i].Tuples = r.Tuples
+		renamed[i].Weights = r.Weights
+	}
+	_, stats := join.NewPlan(sum, renamed[0], renamed[1], renamed[2]).Execute()
+	if stats.MaxIntermediate != int(n)*int(n) {
+		t.Errorf("binary plan max intermediate = %d, want %d", stats.MaxIntermediate, int(n)*int(n))
+	}
+}
+
+func TestOutputAttrsCoverAllVars(t *testing.T) {
+	h := hypergraph.Star(4)
+	rels := make([]*relation.Relation, 4)
+	for i := range rels {
+		rels[i] = relation.New("R", "X", "Y")
+		rels[i].Add(1, relation.Value(i))
+	}
+	q := mustQuery(t, h, rels)
+	attrs := q.OutputAttrs()
+	if len(attrs) != 5 {
+		t.Fatalf("OutputAttrs = %v, want 5 vars", attrs)
+	}
+}
