@@ -7,18 +7,27 @@
 // enumeration over join queries.
 //
 // This file is the high-level facade: declare a query (a hypergraph
-// over weighted relations), pick a ranking function and an algorithm
-// variant, and pull results in ranking order:
+// over weighted relations), compile it once, then execute it as many
+// times as you like with per-call options:
 //
 //	q := repro.NewQuery().
 //		Rel("R", []string{"A", "B"}, rTuples, rWeights).
 //		Rel("S", []string{"B", "C"}, sTuples, sWeights)
-//	it, err := q.Ranked(repro.SumCost, repro.Lazy)
+//	p, err := repro.Compile(q) // hypergraph analysis + planning, once
+//	it, err := p.Run(repro.WithRanking(repro.SumCost), repro.WithK(10))
+//	defer it.Close()
 //	for {
 //		res, ok := it.Next()
 //		if !ok { break }
 //		fmt.Println(res.Tuple, res.Weight)
 //	}
+//	if err := it.Err(); err != nil { ... } // closed / canceled / clean drain
+//
+// Prepared handles are safe for concurrent Run calls, so one Compile
+// can serve many top-k requests with different k, ranking functions
+// (WithRanking), algorithm variants (WithVariant), and cancellation
+// contexts (WithContext). The one-shot helpers Ranked, TopK, Count and
+// IsEmpty remain as thin wrappers that compile and execute in one step.
 //
 // Acyclic queries run directly on the tree-based dynamic program.
 // Cyclic cycle queries of any length are decomposed automatically:
@@ -32,11 +41,9 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/decomp"
-	"repro/internal/dp"
 	"repro/internal/hypergraph"
 	"repro/internal/ranking"
 	"repro/internal/relation"
-	"repro/internal/yannakakis"
 )
 
 // Value is a domain value (attributes are integer-encoded; use
@@ -49,7 +56,10 @@ type Tuple = relation.Tuple
 // Result is one join result in ranking order.
 type Result = core.Result
 
-// Iterator yields join results in ranking order.
+// Iterator yields join results in ranking order. Pull with Next until
+// it reports false, then check Err: nil after a clean drain, ErrClosed
+// after an early Close, or the context's error after cancellation.
+// Always Close iterators you do not drain; Close is idempotent.
 type Iterator = core.Iterator
 
 // Variant selects the enumeration algorithm.
@@ -119,10 +129,19 @@ func (q *Query) Rel(name string, vars []string, tuples []Tuple, weights []float6
 }
 
 // OutAttrs reports the output schema the iterators of this query will
-// use, or nil until Ranked has succeeded at least once for acyclic
-// queries. For the canonical cyclic shapes the schema is fixed:
-// (A,B,C) for triangles and (A,B,C,D) for 4-cycles.
+// use, computed from the query structure alone (no data is touched, so
+// it is cheap even on large relations): for acyclic queries the query
+// variables in join-tree preorder, and for the canonical cyclic shapes
+// the fixed schema (A,B,C) for triangles, (A,B,C,D) for 4-cycles, and
+// (A0,...,A_{l-1}) for longer cycles. Prepared.OutAttrs reports the
+// same schema from a compiled handle.
 func (q *Query) OutAttrs() ([]string, error) {
+	if q.err != nil {
+		return nil, q.err
+	}
+	if len(q.rels) == 0 {
+		return nil, fmt.Errorf("repro: empty query")
+	}
 	h := hypergraph.New(q.edges...)
 	if tree, ok := h.BuildJoinTree(); ok {
 		seen := map[string]bool{}
@@ -150,59 +169,26 @@ func (q *Query) OutAttrs() ([]string, error) {
 	return nil, fmt.Errorf("repro: unsupported cyclic query shape")
 }
 
-// Ranked compiles the query and returns a ranked-enumeration iterator.
-// Acyclic queries use the T-DP any-k machinery directly; triangles and
-// 4-cycles (cyclic shapes) are decomposed automatically.
+// Ranked compiles the query and returns a ranked-enumeration iterator —
+// the one-shot form of Compile + Run. Acyclic queries use the T-DP
+// any-k machinery directly; triangles, 4-cycles, and longer cycles are
+// decomposed automatically. For repeated execution over the same data,
+// Compile once and Run many times instead.
 func (q *Query) Ranked(agg ranking.Aggregate, v Variant) (Iterator, error) {
-	if q.err != nil {
-		return nil, q.err
+	p, err := Compile(q)
+	if err != nil {
+		return nil, err
 	}
-	if len(q.rels) == 0 {
-		return nil, fmt.Errorf("repro: empty query")
-	}
-	h := hypergraph.New(q.edges...)
-	if h.IsAcyclic() {
-		yq, err := yannakakis.NewQuery(h, q.rels)
-		if err != nil {
-			return nil, err
-		}
-		t, err := dp.Build(yq, agg)
-		if err != nil {
-			return nil, err
-		}
-		return core.New(t, v)
-	}
-	// Cyclic: recognise cycle queries up to variable renaming and route
-	// them to the best decomposition: Generic-Join bag for the triangle,
-	// the submodular-width plan for the 4-cycle, and the generic fhtw-2
-	// fan plan for longer cycles.
-	if shape, rels, ok := q.matchCycle(); ok {
-		switch shape {
-		case 3:
-			var three [3]*relation.Relation
-			copy(three[:], rels)
-			it, _, err := decomp.TriangleAnyK(three, agg)
-			return it, err
-		case 4:
-			var four [4]*relation.Relation
-			copy(four[:], rels)
-			it, _, err := decomp.FourCycleSubmodular(four, agg, v)
-			return it, err
-		default:
-			it, _, err := decomp.CycleSingleTree(rels, agg, v)
-			return it, err
-		}
-	}
-	return nil, fmt.Errorf("repro: cyclic query %s is not a supported shape (cycles of any length are built in; decompose other shapes manually with internal/decomp techniques)", h)
+	return p.Run(WithRanking(agg), WithVariant(v))
 }
 
 // TopK runs Ranked and collects the first k results.
 func (q *Query) TopK(agg ranking.Aggregate, v Variant, k int) ([]Result, error) {
-	it, err := q.Ranked(agg, v)
+	p, err := Compile(q)
 	if err != nil {
 		return nil, err
 	}
-	return core.Collect(it, k), nil
+	return p.TopK(k, WithRanking(agg), WithVariant(v))
 }
 
 // matchCycle detects whether the query is a variable-renaming of the
@@ -253,54 +239,19 @@ func (q *Query) matchCycle() (int, []*relation.Relation, bool) {
 // reduction); supported cyclic shapes enumerate through the ranked
 // iterator, which still avoids materialising the full output at once.
 func (q *Query) Count() (int, error) {
-	if q.err != nil {
-		return 0, q.err
-	}
-	if len(q.rels) == 0 {
-		return 0, fmt.Errorf("repro: empty query")
-	}
-	h := hypergraph.New(q.edges...)
-	if h.IsAcyclic() {
-		yq, err := yannakakis.NewQuery(h, q.rels)
-		if err != nil {
-			return 0, err
-		}
-		return yq.Count(), nil
-	}
-	it, err := q.Ranked(SumCost, Lazy)
+	p, err := Compile(q)
 	if err != nil {
 		return 0, err
 	}
-	n := 0
-	for {
-		if _, ok := it.Next(); !ok {
-			return n, nil
-		}
-		n++
-	}
+	return p.Count()
 }
 
 // IsEmpty answers the Boolean query "does the join have any result?"
 // with early termination (§1 of the tutorial).
 func (q *Query) IsEmpty() (bool, error) {
-	if q.err != nil {
-		return false, q.err
-	}
-	if len(q.rels) == 0 {
-		return false, fmt.Errorf("repro: empty query")
-	}
-	h := hypergraph.New(q.edges...)
-	if h.IsAcyclic() {
-		yq, err := yannakakis.NewQuery(h, q.rels)
-		if err != nil {
-			return false, err
-		}
-		return yq.IsEmpty(), nil
-	}
-	it, err := q.Ranked(SumCost, Lazy)
+	p, err := Compile(q)
 	if err != nil {
 		return false, err
 	}
-	_, ok := it.Next()
-	return !ok, nil
+	return p.IsEmpty()
 }

@@ -7,6 +7,7 @@ package repro
 // and scaling are tracked by standard tooling.
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -181,7 +182,7 @@ func benchAnyK(b *testing.B, inst *workload.Instance, v core.Variant, k int) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		it, err := core.New(t, v)
+		it, err := core.New(context.Background(), t, v)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -284,7 +285,7 @@ func benchAnyKAgg(b *testing.B, agg ranking.Aggregate) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		it, err := core.New(t, core.Lazy)
+		it, err := core.New(context.Background(), t, core.Lazy)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -362,7 +363,7 @@ func BenchmarkE13NaiveLawlerTop100(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		core.Collect(core.NewNaiveLawler(t), 100)
+		core.Collect(core.NewNaiveLawler(context.Background(), t), 100)
 	}
 }
 

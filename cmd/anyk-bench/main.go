@@ -6,19 +6,31 @@
 //	anyk-bench                 # run every experiment at default scale
 //	anyk-bench -exp E6         # run one experiment
 //	anyk-bench -exp E6 -scale small
+//	anyk-bench -benchjson anyk # write machine-readable BENCH_anyk.json
 //
 // Scales: small (seconds, CI-friendly), default (tens of seconds),
 // large (minutes — closest to paper-scale shapes).
+//
+// The -benchjson mode records the perf trajectory: it compiles a path
+// query once with the prepared facade, runs every any-k variant off the
+// shared plan, and writes BENCH_<name>.json with per-variant
+// time-to-first-result, time-to-k, and total enumeration time in
+// nanoseconds, plus a timestamp — one snapshot per commit, so the
+// perf trajectory accumulates in version control.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
+	"repro"
 	"repro/internal/experiments"
 	"repro/internal/stats"
+	"repro/internal/workload"
 )
 
 type scaleCfg struct {
@@ -102,6 +114,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run: E1..E15 or 'all'")
 	scale := flag.String("scale", "default", "workload scale: small, default, large")
 	asCSV := flag.Bool("csv", false, "emit comma-separated values instead of aligned tables")
+	benchJSON := flag.String("benchjson", "", "write BENCH_<name>.json with per-variant TTF/TTK/total and exit")
 	flag.Parse()
 	render := func(t *stats.Table) string {
 		if *asCSV {
@@ -114,6 +127,16 @@ func main() {
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown scale %q (small, default, large)\n", *scale)
 		os.Exit(2)
+	}
+
+	if *benchJSON != "" {
+		path, err := writeBenchJSON(*benchJSON, *scale, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", path)
+		return
 	}
 
 	runners := map[string]func() *stats.Table{
@@ -148,4 +171,93 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Println(render(run()))
+}
+
+// benchVariant is one per-variant measurement in BENCH_<name>.json.
+// Durations are nanoseconds so the file diffs numerically.
+type benchVariant struct {
+	Variant string `json:"variant"`
+	Results int    `json:"results"`
+	TTFNs   int64  `json:"ttf_ns"`
+	TTKNs   int64  `json:"ttk_ns"`
+	TotalNs int64  `json:"total_ns"`
+}
+
+type benchReport struct {
+	Name      string         `json:"name"`
+	Scale     string         `json:"scale"`
+	Query     string         `json:"query"`
+	N         int            `json:"n"`
+	K         int            `json:"k"`
+	CompileNs int64          `json:"compile_ns"`
+	Timestamp string         `json:"timestamp"`
+	Variants  []benchVariant `json:"variants"`
+}
+
+// writeBenchJSON compiles a 4-relation path query once and measures
+// every any-k variant off the shared prepared plan: time-to-first,
+// time-to-k, and total enumeration time.
+func writeBenchJSON(name, scale string, cfg scaleCfg) (string, error) {
+	n := cfg.e6ns[len(cfg.e6ns)-1]
+	k := cfg.e6k
+	inst := workload.Path(4, n, n/5+1, workload.UniformWeights(), 42)
+	q := repro.NewQuery()
+	for i, r := range inst.Rels {
+		q.Rel(r.Name, inst.H.Edges[i].Vars, r.Tuples, r.Weights)
+	}
+	compileStart := time.Now()
+	p, err := repro.Compile(q)
+	if err != nil {
+		return "", err
+	}
+	// First TopK instantiates and caches the per-ranking plan; include
+	// it in compile time so the variant loop measures steady state.
+	if _, err := p.TopK(1); err != nil {
+		return "", err
+	}
+	compile := time.Since(compileStart)
+
+	report := benchReport{
+		Name:      name,
+		Scale:     scale,
+		Query:     inst.H.String(),
+		N:         n,
+		K:         k,
+		CompileNs: compile.Nanoseconds(),
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+	}
+	for _, v := range []repro.Variant{repro.Eager, repro.Lazy, repro.Quick, repro.All, repro.Take2, repro.Rec, repro.Batch} {
+		// Start the clock before Run so variants that front-load work
+		// (Batch materialises at construction) pay it in TTF.
+		rec := stats.NewDelayRecorder()
+		it, err := p.Run(repro.WithVariant(v))
+		if err != nil {
+			return "", err
+		}
+		count := 0
+		for {
+			if _, ok := it.Next(); !ok {
+				break
+			}
+			rec.Mark()
+			count++
+		}
+		it.Close()
+		if err := it.Err(); err != nil {
+			return "", err
+		}
+		report.Variants = append(report.Variants, benchVariant{
+			Variant: string(v),
+			Results: count,
+			TTFNs:   rec.TTF().Nanoseconds(),
+			TTKNs:   rec.TTK(k).Nanoseconds(),
+			TotalNs: rec.TTL().Nanoseconds(),
+		})
+	}
+	path := fmt.Sprintf("BENCH_%s.json", name)
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return path, os.WriteFile(path, append(data, '\n'), 0o644)
 }

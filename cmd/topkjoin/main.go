@@ -86,20 +86,22 @@ func run(args []string, out io.Writer) error {
 		q.Rel(name, vars, rel.Tuples, rel.Weights)
 	}
 
-	attrs, err := q.OutAttrs()
+	p, err := repro.Compile(q)
 	if err != nil {
 		return err
 	}
-	it, err := q.Ranked(agg, repro.Variant(*variant))
+	it, err := p.Run(
+		repro.WithRanking(agg),
+		repro.WithVariant(repro.Variant(*variant)),
+		repro.WithK(*k),
+	)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "rank\t%s\tweight\n", strings.Join(attrs, "\t"))
+	defer it.Close()
+	fmt.Fprintf(out, "rank\t%s\tweight\n", strings.Join(p.OutAttrs(), "\t"))
 	count := 0
 	for {
-		if *k > 0 && count >= *k {
-			break
-		}
 		r, ok := it.Next()
 		if !ok {
 			break
@@ -114,6 +116,9 @@ func run(args []string, out io.Writer) error {
 			}
 		}
 		fmt.Fprintf(out, "%d\t%s\t%g\n", count, strings.Join(cells, "\t"), r.Weight)
+	}
+	if err := it.Err(); err != nil {
+		return err
 	}
 	if count == 0 {
 		fmt.Fprintln(out, "(no results)")

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 
@@ -36,7 +37,7 @@ func main() {
 		if err != nil {
 			panic(err)
 		}
-		it, err := core.New(t, v)
+		it, err := core.New(context.Background(), t, v)
 		if err != nil {
 			panic(err)
 		}
@@ -55,7 +56,7 @@ func main() {
 	// Show the top-3 results for one variant, proving the interface.
 	q, _ := yannakakis.NewQuery(inst.H, inst.Rels)
 	t, _ := dp.Build(q, ranking.SumCost{})
-	it, _ := core.New(t, core.Lazy)
+	it, _ := core.New(context.Background(), t, core.Lazy)
 	fmt.Println("three best join results (lightest paths):")
 	for i := 0; i < 3; i++ {
 		r, ok := it.Next()

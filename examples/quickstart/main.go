@@ -1,6 +1,7 @@
-// Quickstart: declare a two-relation join query, rank results by total
-// weight, and pull the top results one at a time — the any-k interface
-// of Part 3 of the tutorial.
+// Quickstart: declare a two-relation join query, compile it once, and
+// execute it repeatedly with different k and ranking options — the
+// prepare-once / execute-many interface over the any-k machinery of
+// Part 3 of the tutorial.
 package main
 
 import (
@@ -30,16 +31,21 @@ func main() {
 		Rel("Leg1", []string{"Src", "Hub"}, legs1, prices1).
 		Rel("Leg2", []string{"Hub", "Dst"}, legs2, prices2)
 
-	attrs, err := q.OutAttrs()
+	// Compile once: hypergraph analysis, join-tree planning, and the
+	// reduction/grouping passes all happen here, not per request.
+	p, err := repro.Compile(q)
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("itinerary schema: %v\n", attrs)
+	fmt.Printf("itinerary schema: %v\n", p.OutAttrs())
 
-	it, err := q.Ranked(repro.SumCost, repro.Lazy)
+	// Execute: pull results lazily in ranking order. Close is idempotent
+	// and safe to defer; Err reports why enumeration stopped early.
+	it, err := p.Run(repro.WithRanking(repro.SumCost), repro.WithVariant(repro.Lazy))
 	if err != nil {
 		panic(err)
 	}
+	defer it.Close()
 	fmt.Println("cheapest itineraries, best first:")
 	rank := 1
 	for {
@@ -50,4 +56,16 @@ func main() {
 		fmt.Printf("  #%d  %v  total $%.0f\n", rank, r.Tuple, r.Weight)
 		rank++
 	}
+	if err := it.Err(); err != nil {
+		panic(err)
+	}
+
+	// The same compiled plan serves further requests — different k,
+	// different ranking — without re-planning.
+	best, err := p.TopK(1, repro.WithRanking(repro.MaxCost))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("itinerary with the cheapest most-expensive leg: %v (bottleneck $%.0f)\n",
+		best[0].Tuple, best[0].Weight)
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/dp"
@@ -11,6 +12,7 @@ import (
 // it by weight, then iterate. Time-to-first is Θ(r log r); time-to-last
 // is asymptotically optimal but pays the full sort even for k = 1.
 type batchIter struct {
+	Lifecycle
 	t       *dp.TDP
 	rows    []int32 // all solutions, flattened (m per solution)
 	weights []float64
@@ -21,8 +23,11 @@ type batchIter struct {
 
 // NewBatch materialises and sorts the full result set eagerly (at
 // construction), so the first Next call already reflects batch cost.
-func NewBatch(t *dp.TDP) Iterator {
-	it := &batchIter{t: t, m: len(t.Nodes)}
+// Cancellation is checked periodically during materialisation: if ctx is
+// done, construction stops and the returned iterator reports the
+// context's error from Err.
+func NewBatch(ctx context.Context, t *dp.TDP) Iterator {
+	it := &batchIter{Lifecycle: NewLifecycle(ctx), t: t, m: len(t.Nodes)}
 	if t.Empty() {
 		return it
 	}
@@ -46,6 +51,10 @@ func NewBatch(t *dp.TDP) Iterator {
 	}
 	if fill(0) {
 		for {
+			if len(it.weights)%4096 == 0 && !it.Proceed() {
+				it.rows, it.weights = nil, nil
+				return it
+			}
 			it.rows = append(it.rows, rows...)
 			it.weights = append(it.weights, t.SolutionWeight(rows))
 			// Advance odometer.
@@ -75,8 +84,19 @@ func NewBatch(t *dp.TDP) Iterator {
 	return it
 }
 
+// Close terminates enumeration and releases the materialised output.
+func (it *batchIter) Close() error {
+	it.Lifecycle.Close()
+	it.rows, it.weights, it.order = nil, nil, nil
+	return nil
+}
+
 func (it *batchIter) Next() (Result, bool) {
+	if !it.Proceed() {
+		return Result{}, false
+	}
 	if it.k >= len(it.order) {
+		it.Exhaust()
 		return Result{}, false
 	}
 	idx := it.order[it.k]

@@ -17,6 +17,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/dp"
@@ -32,10 +33,22 @@ type Result struct {
 }
 
 // Iterator yields join results in non-decreasing ranking order.
+//
+// The contract follows database cursors: pull with Next until it reports
+// false, then consult Err to distinguish natural exhaustion (nil) from
+// early termination — ErrClosed after Close, or the context's error
+// after cancellation. Close releases resources, is idempotent, and is
+// safe after exhaustion. Iterators are not safe for concurrent use.
 type Iterator interface {
 	// Next returns the next-ranked result; ok is false when enumeration
-	// is complete.
+	// is complete, the iterator was closed, or its context was canceled.
 	Next() (r Result, ok bool)
+	// Err reports why Next returned false before exhaustion (nil after a
+	// full natural drain).
+	Err() error
+	// Close terminates enumeration and releases resources. It always
+	// returns nil and may be called more than once.
+	Close() error
 }
 
 // Variant names an any-k algorithm.
@@ -68,15 +81,19 @@ func Variants() []Variant {
 	return []Variant{Eager, Lazy, Quick, All, Take2, Rec, Batch}
 }
 
-// New returns the iterator implementing the given variant over t.
-func New(t *dp.TDP, v Variant) (Iterator, error) {
+// New returns the iterator implementing the given variant over t. The
+// context cancels enumeration: after ctx is done, Next returns false and
+// Err returns the context's error. A nil ctx means context.Background().
+// The T-DP itself is only read, so many iterators (across variants and
+// goroutines) may share one t.
+func New(ctx context.Context, t *dp.TDP, v Variant) (Iterator, error) {
 	switch v {
 	case Eager, Lazy, Quick, All, Take2:
-		return NewPart(t, v)
+		return NewPart(ctx, t, v)
 	case Rec:
-		return NewRec(t), nil
+		return NewRec(ctx, t), nil
 	case Batch:
-		return NewBatch(t), nil
+		return NewBatch(ctx, t), nil
 	default:
 		return nil, fmt.Errorf("core: unknown variant %q", v)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -53,7 +54,7 @@ func TestAllVariantsTinyPathExactOrder(t *testing.T) {
 	wantWeights := []float64{2, 3, 5, 11, 12}
 	for _, v := range Variants() {
 		tdp := buildTDP(t, tinyPath(), sum)
-		it, err := New(tdp, v)
+		it, err := New(context.Background(), tdp, v)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -88,7 +89,7 @@ func TestEmptyQueryAllVariants(t *testing.T) {
 	inst := &workload.Instance{H: hypergraph.Path(2), Rels: []*relation.Relation{r1, r2}}
 	for _, v := range Variants() {
 		tdp := buildTDP(t, inst, sum)
-		it, err := New(tdp, v)
+		it, err := New(context.Background(), tdp, v)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -107,10 +108,10 @@ func TestEmptyQueryAllVariants(t *testing.T) {
 func checkVariantAgainstBatch(t *testing.T, inst *workload.Instance, v Variant, agg ranking.Aggregate) {
 	t.Helper()
 	tdp := buildTDP(t, inst, agg)
-	ref := Collect(NewBatch(tdp), 0)
+	ref := Collect(NewBatch(context.Background(), tdp), 0)
 
 	tdp2 := buildTDP(t, inst, agg)
-	it, err := New(tdp2, v)
+	it, err := New(context.Background(), tdp2, v)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +233,7 @@ func TestVariantAgreementProperty(t *testing.T) {
 			if err != nil {
 				return false
 			}
-			it, err := New(tdp, v)
+			it, err := New(context.Background(), tdp, v)
 			if err != nil {
 				return false
 			}
@@ -269,7 +270,7 @@ func TestNumSolutionsMatchesEnumeration(t *testing.T) {
 	inst := workload.Path(3, 80, 9, workload.UniformWeights(), 3)
 	tdp := buildTDP(t, inst, sum)
 	n := tdp.NumSolutions()
-	got := Collect(NewBatch(tdp), 0)
+	got := Collect(NewBatch(context.Background(), tdp), 0)
 	if len(got) != n {
 		t.Fatalf("NumSolutions = %d, batch enumerated %d", n, len(got))
 	}
@@ -282,7 +283,7 @@ func TestTopWeightMatchesFirstResult(t *testing.T) {
 		t.Skip("instance is empty")
 	}
 	want := tdp.TopWeight()
-	it, _ := New(tdp, Lazy)
+	it, _ := New(context.Background(), tdp, Lazy)
 	r, ok := it.Next()
 	if !ok {
 		t.Fatal("no result despite non-empty TDP")
@@ -297,10 +298,10 @@ func TestPartialEnumerationConsistent(t *testing.T) {
 	// enumeration.
 	inst := workload.Path(3, 60, 7, workload.UniformWeights(), 8)
 	tdp := buildTDP(t, inst, sum)
-	full := Collect(NewBatch(tdp), 0)
+	full := Collect(NewBatch(context.Background(), tdp), 0)
 	for _, v := range []Variant{Lazy, Rec} {
 		tdp2 := buildTDP(t, inst, sum)
-		it, _ := New(tdp2, v)
+		it, _ := New(context.Background(), tdp2, v)
 		k := 10
 		if k > len(full) {
 			k = len(full)
@@ -320,11 +321,11 @@ func TestMergeInterleavesByWeight(t *testing.T) {
 	instB := workload.Path(2, 40, 5, workload.UniformWeights(), 2)
 	ta := buildTDP(t, instA, sum)
 	tb := buildTDP(t, instB, sum)
-	ia, _ := New(ta, Lazy)
-	ib, _ := New(tb, Lazy)
-	merged := Collect(Merge(sum, false, ia, ib), 0)
-	na := len(Collect(NewBatch(buildTDP(t, instA, sum)), 0))
-	nb := len(Collect(NewBatch(buildTDP(t, instB, sum)), 0))
+	ia, _ := New(context.Background(), ta, Lazy)
+	ib, _ := New(context.Background(), tb, Lazy)
+	merged := Collect(Merge(context.Background(), sum, false, ia, ib), 0)
+	na := len(Collect(NewBatch(context.Background(), buildTDP(t, instA, sum)), 0))
+	nb := len(Collect(NewBatch(context.Background(), buildTDP(t, instB, sum)), 0))
 	if len(merged) != na+nb {
 		t.Fatalf("merged %d results, want %d", len(merged), na+nb)
 	}
@@ -340,10 +341,10 @@ func TestMergeDedup(t *testing.T) {
 	inst := workload.Path(2, 30, 4, workload.UniformWeights(), 3)
 	t1 := buildTDP(t, inst, sum)
 	t2 := buildTDP(t, inst, sum)
-	i1, _ := New(t1, Lazy)
-	i2, _ := New(t2, Lazy)
-	merged := Collect(Merge(sum, true, i1, i2), 0)
-	single := Collect(NewBatch(buildTDP(t, inst, sum)), 0)
+	i1, _ := New(context.Background(), t1, Lazy)
+	i2, _ := New(context.Background(), t2, Lazy)
+	merged := Collect(Merge(context.Background(), sum, true, i1, i2), 0)
+	single := Collect(NewBatch(context.Background(), buildTDP(t, inst, sum)), 0)
 	// The instance may itself contain duplicate tuples (bag); dedup
 	// collapses those too, so compare against distinct tuples.
 	distinct := make(map[string]bool)
@@ -360,7 +361,7 @@ func TestMergeDedup(t *testing.T) {
 func TestLimit(t *testing.T) {
 	inst := workload.Path(2, 40, 5, workload.UniformWeights(), 4)
 	tdp := buildTDP(t, inst, sum)
-	it, _ := New(tdp, Lazy)
+	it, _ := New(context.Background(), tdp, Lazy)
 	got := Collect(Limit(it, 5), 0)
 	if len(got) != 5 {
 		t.Fatalf("Limit(5) yielded %d", len(got))
@@ -369,7 +370,7 @@ func TestLimit(t *testing.T) {
 
 func TestUnknownVariant(t *testing.T) {
 	tdp := buildTDP(t, tinyPath(), sum)
-	if _, err := New(tdp, Variant("bogus")); err == nil {
+	if _, err := New(context.Background(), tdp, Variant("bogus")); err == nil {
 		t.Error("unknown variant should error")
 	}
 }
@@ -387,7 +388,7 @@ func TestTiedWeights(t *testing.T) {
 	inst := &workload.Instance{H: hypergraph.Path(2), Rels: []*relation.Relation{r1, r2}}
 	for _, v := range Variants() {
 		tdp := buildTDP(t, inst, sum)
-		it, _ := New(tdp, v)
+		it, _ := New(context.Background(), tdp, v)
 		got := Collect(it, 0)
 		if len(got) != 25 {
 			t.Errorf("%s: %d results with ties, want 25", v, len(got))
@@ -409,7 +410,7 @@ func BenchmarkLazyTop10PathL4(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		it, _ := New(tdp, Lazy)
+		it, _ := New(context.Background(), tdp, Lazy)
 		Collect(it, 10)
 	}
 }
@@ -423,7 +424,7 @@ func BenchmarkRecTop10PathL4(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		Collect(NewRec(tdp), 10)
+		Collect(NewRec(context.Background(), tdp), 10)
 	}
 }
 
@@ -431,7 +432,7 @@ func TestExhaustionIsStableAcrossVariants(t *testing.T) {
 	inst := workload.Path(2, 10, 3, workload.UniformWeights(), 6)
 	for _, v := range Variants() {
 		tdp := buildTDP(t, inst, sum)
-		it, err := New(tdp, v)
+		it, err := New(context.Background(), tdp, v)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -456,7 +457,7 @@ func TestSingleRelationQuery(t *testing.T) {
 	}
 	for _, v := range Variants() {
 		tdp := buildTDP(t, inst, sum)
-		it, err := New(tdp, v)
+		it, err := New(context.Background(), tdp, v)
 		if err != nil {
 			t.Fatal(err)
 		}

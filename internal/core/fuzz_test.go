@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -24,7 +25,7 @@ func runInstanceVariant(inst *workload.Instance, agg ranking.Aggregate, v Varian
 	if err != nil {
 		return nil, err
 	}
-	it, err := New(t, v)
+	it, err := New(context.Background(), t, v)
 	if err != nil {
 		return nil, err
 	}
@@ -62,7 +63,7 @@ func TestRandomTreeShapesAllVariants(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got := Collect(NewNaiveLawler(tdp), 0)
+		got := Collect(NewNaiveLawler(context.Background(), tdp), 0)
 		if len(got) != len(ref) {
 			t.Fatalf("seed %d NaiveLawler: %d results, batch %d", seed, len(got), len(ref))
 		}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"context"
+	"errors"
+)
+
+// ErrClosed is reported by Err after Close terminates an iterator before
+// enumeration was exhausted.
+var ErrClosed = errors.New("core: iterator closed")
+
+// Lifecycle is the shared state machine behind the Iterator contract:
+// it tracks whether enumeration is still live, latches the first error
+// (context cancellation or early Close), and provides the Err/Close
+// methods every iterator promotes by embedding it.
+type Lifecycle struct {
+	ctx       context.Context
+	err       error
+	stopped   bool // Close was called or an error latched
+	exhausted bool // Next ran out of results naturally
+}
+
+func NewLifecycle(ctx context.Context) Lifecycle {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return Lifecycle{ctx: ctx}
+}
+
+// Proceed reports whether Next may produce another result. It returns
+// false once the iterator is closed, exhausted, or its context is done
+// (latching the context's error).
+func (lc *Lifecycle) Proceed() bool {
+	if lc.stopped || lc.exhausted {
+		return false
+	}
+	select {
+	case <-lc.ctx.Done():
+		lc.Fail(lc.ctx.Err())
+		return false
+	default:
+		return true
+	}
+}
+
+// Exhaust marks natural completion: Err stays nil and Close is a no-op.
+func (lc *Lifecycle) Exhaust() { lc.exhausted = true }
+
+// Fail latches err and stops enumeration.
+func (lc *Lifecycle) Fail(err error) {
+	if !lc.stopped {
+		lc.stopped = true
+		lc.err = err
+	}
+}
+
+// Err explains why Next returned false before exhaustion: nil after
+// natural completion, ErrClosed after an early Close, or the context's
+// error after cancellation.
+func (lc *Lifecycle) Err() error { return lc.err }
+
+// Close terminates enumeration. Closing mid-enumeration latches
+// ErrClosed; closing after exhaustion (or twice) is a no-op. It always
+// returns nil so callers can defer it unconditionally.
+func (lc *Lifecycle) Close() error {
+	if !lc.stopped && !lc.exhausted {
+		lc.stopped = true
+		lc.err = ErrClosed
+	}
+	return nil
+}

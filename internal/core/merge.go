@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/heap"
 	"repro/internal/ranking"
 	"repro/internal/relation"
@@ -11,8 +13,10 @@ import (
 // submodular-width decompositions route disjoint subsets of the input to
 // different trees, so their outputs interleave by weight).
 type mergeIter struct {
+	Lifecycle
 	agg   ranking.Aggregate
 	pq    *heap.Heap[mergeHead]
+	srcs  []Iterator
 	dedup map[string]bool
 	buf   []byte
 }
@@ -26,10 +30,14 @@ type mergeHead struct {
 // order. When dedup is true, results with identical output tuples are
 // emitted once (needed when the union's branches can overlap; the
 // 4-cycle decomposition produces disjoint branches, so it passes false).
-func Merge(agg ranking.Aggregate, dedup bool, iters ...Iterator) Iterator {
+// Closing the merge closes every source; a source error (including
+// cancellation surfaced by a source) is latched and reported from Err.
+func Merge(ctx context.Context, agg ranking.Aggregate, dedup bool, iters ...Iterator) Iterator {
 	m := &mergeIter{
-		agg: agg,
-		pq:  heap.New(func(a, b mergeHead) bool { return agg.Less(a.r.Weight, b.r.Weight) }),
+		Lifecycle: NewLifecycle(ctx),
+		agg:       agg,
+		pq:        heap.New(func(a, b mergeHead) bool { return agg.Less(a.r.Weight, b.r.Weight) }),
+		srcs:      iters,
 	}
 	if dedup {
 		m.dedup = make(map[string]bool)
@@ -37,6 +45,9 @@ func Merge(agg ranking.Aggregate, dedup bool, iters ...Iterator) Iterator {
 	for _, it := range iters {
 		if r, ok := it.Next(); ok {
 			m.pq.Push(mergeHead{r: r, src: it})
+		} else if err := it.Err(); err != nil {
+			m.Fail(err)
+			return m
 		}
 	}
 	return m
@@ -44,12 +55,19 @@ func Merge(agg ranking.Aggregate, dedup bool, iters ...Iterator) Iterator {
 
 func (m *mergeIter) Next() (Result, bool) {
 	for {
+		if !m.Proceed() {
+			return Result{}, false
+		}
 		head, ok := m.pq.Pop()
 		if !ok {
+			m.Exhaust()
 			return Result{}, false
 		}
 		if r, ok := head.src.Next(); ok {
 			m.pq.Push(mergeHead{r: r, src: head.src})
+		} else if err := head.src.Err(); err != nil {
+			m.Fail(err)
+			return Result{}, false
 		}
 		if m.dedup != nil {
 			m.buf = relation.AppendKey(m.buf[:0], head.r.Tuple)
@@ -63,7 +81,18 @@ func (m *mergeIter) Next() (Result, bool) {
 	}
 }
 
-// Limit wraps an iterator to stop after k results.
+// Close terminates the merge and closes every source iterator.
+func (m *mergeIter) Close() error {
+	for _, s := range m.srcs {
+		s.Close()
+	}
+	m.Lifecycle.Close()
+	m.pq = nil
+	return nil
+}
+
+// Limit wraps an iterator to stop after k results. Err and Close
+// delegate to the wrapped iterator.
 func Limit(it Iterator, k int) Iterator { return &limitIter{it: it, left: k} }
 
 type limitIter struct {
@@ -78,3 +107,6 @@ func (l *limitIter) Next() (Result, bool) {
 	l.left--
 	return l.it.Next()
 }
+
+func (l *limitIter) Err() error   { return l.it.Err() }
+func (l *limitIter) Close() error { return l.it.Close() }

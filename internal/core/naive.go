@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/dp"
 	"repro/internal/heap"
 )
@@ -16,9 +18,10 @@ import (
 // is polynomial in the size of the input … reduced to O(log k)").
 //
 // It exists for the E13 ablation; use NewPart for real workloads.
-func NewNaiveLawler(t *dp.TDP) Iterator {
+func NewNaiveLawler(ctx context.Context, t *dp.TDP) Iterator {
 	it := &naiveIter{
-		t: t,
+		Lifecycle: NewLifecycle(ctx),
+		t:         t,
 		pq: heap.New(func(a, b *naiveItem) bool {
 			return t.Agg.Less(a.weight, b.weight)
 		}),
@@ -43,6 +46,7 @@ type naiveItem struct {
 }
 
 type naiveIter struct {
+	Lifecycle
 	t  *dp.TDP
 	pq *heap.Heap[*naiveItem]
 }
@@ -132,8 +136,12 @@ func contains(xs []int32, x int32) bool {
 // Next pops the best champion and partitions its subspace, running one
 // full DP recomputation per new subspace.
 func (it *naiveIter) Next() (Result, bool) {
+	if !it.Proceed() {
+		return Result{}, false
+	}
 	item, ok := it.pq.Pop()
 	if !ok {
+		it.Exhaust()
 		return Result{}, false
 	}
 	m := len(it.t.Nodes)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -13,7 +14,7 @@ import (
 
 func TestNaiveLawlerTinyPath(t *testing.T) {
 	tdp := buildTDP(t, tinyPath(), sum)
-	got := Collect(NewNaiveLawler(tdp), 0)
+	got := Collect(NewNaiveLawler(context.Background(), tdp), 0)
 	want := []float64{2, 3, 5, 11, 12}
 	if len(got) != len(want) {
 		t.Fatalf("%d results, want %d", len(got), len(want))
@@ -28,8 +29,8 @@ func TestNaiveLawlerTinyPath(t *testing.T) {
 func TestNaiveLawlerMatchesBatch(t *testing.T) {
 	for _, seed := range []uint64{1, 2, 3} {
 		inst := workload.Path(3, 40, 6, workload.UniformWeights(), seed)
-		ref := Collect(NewBatch(buildTDP(t, inst, sum)), 0)
-		got := Collect(NewNaiveLawler(buildTDP(t, inst, sum)), 0)
+		ref := Collect(NewBatch(context.Background(), buildTDP(t, inst, sum)), 0)
+		got := Collect(NewNaiveLawler(context.Background(), buildTDP(t, inst, sum)), 0)
 		if len(got) != len(ref) {
 			t.Fatalf("seed %d: %d results, batch %d", seed, len(got), len(ref))
 		}
@@ -43,8 +44,8 @@ func TestNaiveLawlerMatchesBatch(t *testing.T) {
 
 func TestNaiveLawlerBushyTree(t *testing.T) {
 	inst := bushyInstance(123)
-	ref := Collect(NewBatch(buildTDP(t, inst, sum)), 0)
-	got := Collect(NewNaiveLawler(buildTDP(t, inst, sum)), 0)
+	ref := Collect(NewBatch(context.Background(), buildTDP(t, inst, sum)), 0)
+	got := Collect(NewNaiveLawler(context.Background(), buildTDP(t, inst, sum)), 0)
 	if len(got) != len(ref) {
 		t.Fatalf("%d results, batch %d", len(got), len(ref))
 	}
@@ -60,15 +61,15 @@ func TestNaiveLawlerEmpty(t *testing.T) {
 	// Force emptiness: disjoint domains.
 	inst.Rels[1] = inst.Rels[1].Select(func(tp relation.Tuple, _ float64) bool { return false })
 	tdp := buildTDP(t, inst, sum)
-	if _, ok := NewNaiveLawler(tdp).Next(); ok {
+	if _, ok := NewNaiveLawler(context.Background(), tdp).Next(); ok {
 		t.Error("empty query yielded a result")
 	}
 }
 
 func TestNaiveLawlerMaxAggregate(t *testing.T) {
 	inst := workload.Path(3, 30, 5, workload.UniformWeights(), 4)
-	ref := Collect(NewBatch(buildTDP(t, inst, ranking.MaxCost{})), 0)
-	got := Collect(NewNaiveLawler(buildTDP(t, inst, ranking.MaxCost{})), 0)
+	ref := Collect(NewBatch(context.Background(), buildTDP(t, inst, ranking.MaxCost{})), 0)
+	got := Collect(NewNaiveLawler(context.Background(), buildTDP(t, inst, ranking.MaxCost{})), 0)
 	if len(got) != len(ref) {
 		t.Fatalf("%d vs %d", len(got), len(ref))
 	}
@@ -92,12 +93,12 @@ func TestNaiveLawlerAgreesWithLazyProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		lazy, err := NewPart(t1, Lazy)
+		lazy, err := NewPart(context.Background(), t1, Lazy)
 		if err != nil {
 			return false
 		}
 		a := Collect(lazy, 0)
-		b := Collect(NewNaiveLawler(t2), 0)
+		b := Collect(NewNaiveLawler(context.Background(), t2), 0)
 		if len(a) != len(b) {
 			return false
 		}

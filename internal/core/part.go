@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/dp"
 	"repro/internal/heap"
 )
@@ -24,6 +26,7 @@ type partItem struct {
 
 // partIter implements ANYK-PART over a T-DP.
 type partIter struct {
+	Lifecycle
 	t  *dp.TDP
 	pq *heap.Heap[*partItem]
 	// structs[node][group] is the candidate structure, created lazily.
@@ -39,18 +42,19 @@ type partIter struct {
 
 // NewPart returns the ANYK-PART iterator with the given successor
 // structure variant (Eager, Lazy, Quick, All or Take2).
-func NewPart(t *dp.TDP, v Variant) (Iterator, error) {
+func NewPart(ctx context.Context, t *dp.TDP, v Variant) (Iterator, error) {
 	mk := structFactory(v, t.Agg)
 	m := len(t.Nodes)
 	it := &partIter{
-		t:        t,
-		pq:       heap.New(func(a, b *partItem) bool { return t.Agg.Less(a.weight, b.weight) }),
-		structs:  make([][]candStruct, m),
-		mkStruct: mk,
-		m:        m,
-		prefixW:  make([]float64, m+1),
-		openSum:  make([]float64, m),
-		groupBuf: make([]int32, m),
+		Lifecycle: NewLifecycle(ctx),
+		t:         t,
+		pq:        heap.New(func(a, b *partItem) bool { return t.Agg.Less(a.weight, b.weight) }),
+		structs:   make([][]candStruct, m),
+		mkStruct:  mk,
+		m:         m,
+		prefixW:   make([]float64, m+1),
+		openSum:   make([]float64, m),
+		groupBuf:  make([]int32, m),
 	}
 	for pos, n := range t.Nodes {
 		it.structs[pos] = make([]candStruct, len(n.Groups))
@@ -76,11 +80,24 @@ func (it *partIter) structAt(pos int, group int32) candStruct {
 	return s
 }
 
+// Close terminates enumeration and releases the queue and successor
+// structures.
+func (it *partIter) Close() error {
+	it.Lifecycle.Close()
+	it.pq = nil
+	it.structs = nil
+	return nil
+}
+
 // Next pops the best unseen solution, materialises it, and pushes its
 // Lawler successors.
 func (it *partIter) Next() (Result, bool) {
+	if !it.Proceed() {
+		return Result{}, false
+	}
 	item, ok := it.pq.Pop()
 	if !ok {
+		it.Exhaust()
 		return Result{}, false
 	}
 	t := it.t

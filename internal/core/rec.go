@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/dp"
 	"repro/internal/heap"
 )
@@ -36,6 +38,7 @@ type recState struct {
 
 // recIter implements ANYK-REC over a T-DP.
 type recIter struct {
+	Lifecycle
 	t *dp.TDP
 	// states[node][group], created lazily.
 	states [][]*recState
@@ -44,8 +47,8 @@ type recIter struct {
 }
 
 // NewRec returns the ANYK-REC iterator.
-func NewRec(t *dp.TDP) Iterator {
-	it := &recIter{t: t, states: make([][]*recState, len(t.Nodes))}
+func NewRec(ctx context.Context, t *dp.TDP) Iterator {
+	it := &recIter{Lifecycle: NewLifecycle(ctx), t: t, states: make([][]*recState, len(t.Nodes))}
 	for pos, n := range t.Nodes {
 		it.states[pos] = make([]*recState, len(n.Groups))
 	}
@@ -141,12 +144,25 @@ func (it *recIter) expand(s *recState, solIdx int, rows []int32) {
 	}
 }
 
+// Close terminates enumeration and releases the memoized states.
+func (it *recIter) Close() error {
+	it.Lifecycle.Close()
+	it.states = nil
+	it.root = nil
+	return nil
+}
+
 // Next returns the k-th best solution overall.
 func (it *recIter) Next() (Result, bool) {
+	if !it.Proceed() {
+		return Result{}, false
+	}
 	if it.root == nil {
+		it.Exhaust()
 		return Result{}, false
 	}
 	if !it.ensure(it.root, it.k) {
+		it.Exhaust()
 		return Result{}, false
 	}
 	rows := make([]int32, len(it.t.Nodes))

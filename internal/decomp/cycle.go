@@ -1,14 +1,12 @@
 package decomp
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
-	"repro/internal/dp"
-	"repro/internal/hypergraph"
 	"repro/internal/ranking"
 	"repro/internal/relation"
-	"repro/internal/yannakakis"
 )
 
 // CycleAttrs returns the canonical output schema of CycleSingleTree for
@@ -21,7 +19,7 @@ func CycleAttrs(l int) []string {
 	return attrs
 }
 
-// CycleSingleTree evaluates the l-cycle query
+// PrepareCycleSingleTree compiles the l-cycle query
 // R1(A0,A1) ⋈ R2(A1,A2) ⋈ ... ⋈ Rl(A_{l-1},A0) with the textbook
 // fractional-hypertree-width-2 "fan" decomposition: l−2 bags
 // B_i(A0, A_i, A_{i+1}), i = 1..l−2, arranged in a path join tree.
@@ -36,14 +34,14 @@ func CycleAttrs(l int) []string {
 // prefer TriangleAnyK and for l = 4 prefer FourCycleSubmodular; this
 // plan still accepts those shapes for comparison experiments. Output
 // tuples are ordered (A0,...,A_{l-1}).
-func CycleSingleTree(rels []*relation.Relation, agg ranking.Aggregate, v core.Variant) (core.Iterator, *Stats, error) {
+func PrepareCycleSingleTree(rels []*relation.Relation, agg ranking.Aggregate) (*Plan, error) {
 	l := len(rels)
 	if l < 3 {
-		return nil, nil, fmt.Errorf("decomp: cycle needs at least 3 relations, got %d", l)
+		return nil, fmt.Errorf("decomp: cycle needs at least 3 relations, got %d", l)
 	}
 	for i, r := range rels {
 		if r.Arity() != 2 {
-			return nil, nil, fmt.Errorf("decomp: cycle relation %d has arity %d, want 2", i, r.Arity())
+			return nil, fmt.Errorf("decomp: cycle relation %d has arity %d, want 2", i, r.Arity())
 		}
 	}
 	named := make([]*relation.Relation, l)
@@ -54,19 +52,20 @@ func CycleSingleTree(rels []*relation.Relation, agg ranking.Aggregate, v core.Va
 		// Two bags: B1 = R1⋈R2 over {A0,A1,A2}, B2 = R3 over {A2,A0}.
 		b1, err := joinBags("B1", named[0], named[1], []string{"A0", "A1", "A2"}, agg)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
-		it, err := treeQuery(b1, named[2], agg, v, CycleAttrs(3))
+		tp, err := prepareTree([]*relation.Relation{b1, named[2]}, agg, CycleAttrs(3))
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
-		return it, &Stats{BagSizes: [][2]int{{b1.Len(), named[2].Len()}}, TotalMaterialized: b1.Len()}, nil
+		st := &Stats{BagSizes: [][2]int{{b1.Len(), named[2].Len()}}, TotalMaterialized: b1.Len()}
+		return &Plan{Stats: st, agg: agg, trees: []*treePlan{tp}}, nil
 	}
 
 	bags := make([]*relation.Relation, 0, l-2)
 	b1, err := joinBags("B1", named[0], named[1], []string{"A0", "A1", "A2"}, agg)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	bags = append(bags, b1)
 
@@ -91,13 +90,13 @@ func CycleSingleTree(rels []*relation.Relation, agg ranking.Aggregate, v core.Va
 	bLast, err := joinBags(fmt.Sprintf("B%d", l-2), named[l-2], named[l-1],
 		[]string{"A0", fmt.Sprintf("A%d", l-2), fmt.Sprintf("A%d", l-1)}, agg)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	bags = append(bags, bLast)
 
-	it, err := treeQueryMulti(bags, agg, v, CycleAttrs(l))
+	tp, err := prepareTree(bags, agg, CycleAttrs(l))
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	st := &Stats{}
 	for i := 0; i < len(bags); i += 2 {
@@ -110,7 +109,20 @@ func CycleSingleTree(rels []*relation.Relation, agg ranking.Aggregate, v core.Va
 	for _, b := range bags {
 		st.TotalMaterialized += b.Len()
 	}
-	return it, st, nil
+	return &Plan{Stats: st, agg: agg, trees: []*treePlan{tp}}, nil
+}
+
+// CycleSingleTree is the one-shot form of PrepareCycleSingleTree + Run.
+func CycleSingleTree(rels []*relation.Relation, agg ranking.Aggregate, v core.Variant) (core.Iterator, *Stats, error) {
+	p, err := PrepareCycleSingleTree(rels, agg)
+	if err != nil {
+		return nil, nil, err
+	}
+	it, err := p.Run(context.Background(), v)
+	if err != nil {
+		return nil, nil, err
+	}
+	return it, p.Stats, nil
 }
 
 // distinctValues returns the sorted distinct values of one attribute.
@@ -125,42 +137,4 @@ func distinctValues(r *relation.Relation, attr string) []relation.Value {
 		}
 	}
 	return out
-}
-
-// treeQueryMulti builds the acyclic query over an arbitrary set of bags
-// (GYO finds the join tree) and returns its any-k iterator with output
-// normalised to canonAttrs.
-func treeQueryMulti(bags []*relation.Relation, agg ranking.Aggregate, v core.Variant, canonAttrs []string) (core.Iterator, error) {
-	edges := make([]hypergraph.Edge, len(bags))
-	for i, b := range bags {
-		edges[i] = hypergraph.Edge{Name: b.Name, Vars: b.Attrs}
-	}
-	h := hypergraph.New(edges...)
-	q, err := yannakakis.NewQuery(h, bags)
-	if err != nil {
-		return nil, err
-	}
-	t, err := dp.Build(q, agg)
-	if err != nil {
-		return nil, err
-	}
-	it, err := core.New(t, v)
-	if err != nil {
-		return nil, err
-	}
-	perm := make([]int, len(canonAttrs))
-	for i, a := range canonAttrs {
-		found := -1
-		for j, b := range t.OutAttrs {
-			if a == b {
-				found = j
-				break
-			}
-		}
-		if found < 0 {
-			return nil, fmt.Errorf("decomp: attribute %s missing from tree output %v", a, t.OutAttrs)
-		}
-		perm[i] = found
-	}
-	return &projectIter{inner: it, perm: perm}, nil
 }

@@ -16,6 +16,7 @@
 package decomp
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -28,6 +29,48 @@ import (
 	"repro/internal/wcoj"
 	"repro/internal/yannakakis"
 )
+
+// Plan is a compiled decomposition: every bag is materialised and every
+// tree's T-DP is built, so Run only has to spin up iterators. A Plan is
+// bound to one ranking aggregate (bag weights combine under it) but is
+// variant-agnostic and safe for concurrent Run calls — the prepared
+// half of the facade's prepare-once / execute-many API.
+type Plan struct {
+	// Stats reports the decomposition work done at prepare time.
+	Stats *Stats
+
+	agg ranking.Aggregate
+	// Exactly one of bag / trees is set: the triangle materialises a
+	// single Generic-Join bag enumerated in sorted order; every other
+	// shape unions one or more acyclic trees.
+	bag   *relation.Relation
+	trees []*treePlan
+}
+
+// Run starts one ranked enumeration over the compiled decomposition.
+// The context cancels the returned iterator (and, for multi-tree plans,
+// the per-tree iterators under the merge). The variant selects the
+// any-k algorithm for tree-based plans; the triangle's single sorted
+// bag ignores it.
+func (p *Plan) Run(ctx context.Context, v core.Variant) (core.Iterator, error) {
+	if p.bag != nil {
+		return newSortedIter(ctx, p.bag, p.agg), nil
+	}
+	its := make([]core.Iterator, len(p.trees))
+	for i, tp := range p.trees {
+		it, err := tp.run(ctx, v)
+		if err != nil {
+			return nil, err
+		}
+		its[i] = it
+	}
+	if len(its) == 1 {
+		return its[0], nil
+	}
+	// The trees partition the output, so the ranked union needs no
+	// deduplication.
+	return core.Merge(ctx, p.agg, false, its...), nil
+}
 
 // Stats reports the decomposition work: what was materialised where.
 type Stats struct {
@@ -46,13 +89,12 @@ var FourCycleAttrs = []string{"A", "B", "C", "D"}
 // TriangleAttrs is the canonical output schema of TriangleAnyK.
 var TriangleAttrs = []string{"A", "B", "C"}
 
-// TriangleAnyK returns a ranked iterator over the triangle query
-// R1(A,B) ⋈ R2(B,C) ⋈ R3(C,A). All triangles are materialised with
-// Generic-Join (O(n^1.5) by AGM) and then enumerated lazily in ranking
-// order via an incremental heap — so time-to-first is O(n^1.5) and each
-// further result costs O(log n), matching the claim of §1 for the
-// 3-cycle.
-func TriangleAnyK(rels [3]*relation.Relation, agg ranking.Aggregate) (core.Iterator, *Stats, error) {
+// PrepareTriangle compiles the triangle query R1(A,B) ⋈ R2(B,C) ⋈
+// R3(C,A): all triangles are materialised with Generic-Join (O(n^1.5)
+// by AGM); Run then enumerates them lazily in ranking order via an
+// incremental heap — so time-to-first is O(n^1.5) and each further
+// result costs O(log n), matching the claim of §1 for the 3-cycle.
+func PrepareTriangle(rels [3]*relation.Relation, agg ranking.Aggregate) (*Plan, error) {
 	atoms := []wcoj.Atom{
 		{Rel: rels[0], Vars: []string{"A", "B"}},
 		{Rel: rels[1], Vars: []string{"B", "C"}},
@@ -60,34 +102,53 @@ func TriangleAnyK(rels [3]*relation.Relation, agg ranking.Aggregate) (core.Itera
 	}
 	out, _, err := wcoj.Materialize(atoms, TriangleAttrs, agg)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	st := &Stats{BagSizes: [][2]int{{out.Len(), 0}}, TotalMaterialized: out.Len()}
-	return newSortedIter(out, agg), st, nil
+	return &Plan{Stats: st, agg: agg, bag: out}, nil
+}
+
+// TriangleAnyK is the one-shot form of PrepareTriangle + Run.
+func TriangleAnyK(rels [3]*relation.Relation, agg ranking.Aggregate) (core.Iterator, *Stats, error) {
+	p, err := PrepareTriangle(rels, agg)
+	if err != nil {
+		return nil, nil, err
+	}
+	it, err := p.Run(context.Background(), core.Lazy)
+	if err != nil {
+		return nil, nil, err
+	}
+	return it, p.Stats, nil
 }
 
 // sortedIter enumerates a materialised relation in weight order using an
 // incremental heap sort (O(r) build, O(log r) per result).
 type sortedIter struct {
+	core.Lifecycle
 	rel *relation.Relation
 	inc *heap.IncSort[int32]
 	k   int
 }
 
-func newSortedIter(rel *relation.Relation, agg ranking.Aggregate) core.Iterator {
+func newSortedIter(ctx context.Context, rel *relation.Relation, agg ranking.Aggregate) core.Iterator {
 	rows := make([]int32, rel.Len())
 	for i := range rows {
 		rows[i] = int32(i)
 	}
 	return &sortedIter{
-		rel: rel,
-		inc: heap.NewIncSort(func(a, b int32) bool { return agg.Less(rel.Weights[a], rel.Weights[b]) }, rows),
+		Lifecycle: core.NewLifecycle(ctx),
+		rel:       rel,
+		inc:       heap.NewIncSort(func(a, b int32) bool { return agg.Less(rel.Weights[a], rel.Weights[b]) }, rows),
 	}
 }
 
 func (s *sortedIter) Next() (core.Result, bool) {
+	if !s.Proceed() {
+		return core.Result{}, false
+	}
 	row, ok := s.inc.Get(s.k)
 	if !ok {
+		s.Exhaust()
 		return core.Result{}, false
 	}
 	s.k++
@@ -95,6 +156,7 @@ func (s *sortedIter) Next() (core.Result, bool) {
 }
 
 // projectIter reorders result tuples into a canonical attribute order.
+// Err and Close delegate to the inner iterator.
 type projectIter struct {
 	inner core.Iterator
 	perm  []int // output position i takes inner tuple[perm[i]]
@@ -112,22 +174,30 @@ func (p *projectIter) Next() (core.Result, bool) {
 	return core.Result{Tuple: out, Weight: r.Weight}, true
 }
 
-// treeQuery builds the 2-bag acyclic query bag1 ⋈ bag2 and returns its
-// any-k iterator with output tuples normalised to canonAttrs.
-func treeQuery(bag1, bag2 *relation.Relation, agg ranking.Aggregate, v core.Variant, canonAttrs []string) (core.Iterator, error) {
-	h := hypergraph.New(
-		hypergraph.Edge{Name: bag1.Name, Vars: bag1.Attrs},
-		hypergraph.Edge{Name: bag2.Name, Vars: bag2.Attrs},
-	)
-	q, err := yannakakis.NewQuery(h, []*relation.Relation{bag1, bag2})
+func (p *projectIter) Err() error   { return p.inner.Err() }
+func (p *projectIter) Close() error { return p.inner.Close() }
+
+// treePlan is one compiled acyclic tree of a decomposition: its T-DP
+// plus the permutation normalising output tuples to the canonical
+// attribute order.
+type treePlan struct {
+	t    *dp.TDP
+	perm []int
+}
+
+// prepareTree builds the acyclic query over the given bags (GYO finds
+// the join tree) and compiles its T-DP.
+func prepareTree(bags []*relation.Relation, agg ranking.Aggregate, canonAttrs []string) (*treePlan, error) {
+	edges := make([]hypergraph.Edge, len(bags))
+	for i, b := range bags {
+		edges[i] = hypergraph.Edge{Name: b.Name, Vars: b.Attrs}
+	}
+	h := hypergraph.New(edges...)
+	q, err := yannakakis.NewQuery(h, bags)
 	if err != nil {
 		return nil, err
 	}
 	t, err := dp.Build(q, agg)
-	if err != nil {
-		return nil, err
-	}
-	it, err := core.New(t, v)
 	if err != nil {
 		return nil, err
 	}
@@ -145,7 +215,16 @@ func treeQuery(bag1, bag2 *relation.Relation, agg ranking.Aggregate, v core.Vari
 		}
 		perm[i] = found
 	}
-	return &projectIter{inner: it, perm: perm}, nil
+	return &treePlan{t: t, perm: perm}, nil
+}
+
+// run starts one any-k enumeration over the tree's compiled T-DP.
+func (tp *treePlan) run(ctx context.Context, v core.Variant) (core.Iterator, error) {
+	it, err := core.New(ctx, tp.t, v)
+	if err != nil {
+		return nil, err
+	}
+	return &projectIter{inner: it, perm: tp.perm}, nil
 }
 
 // joinBags materialises the natural join of left and right (on their
@@ -205,32 +284,46 @@ func rename(r *relation.Relation, name string, attrs ...string) *relation.Relati
 	return out
 }
 
-// FourCycleSingleTree evaluates the 4-cycle query
+// PrepareFourCycleSingleTree compiles the 4-cycle query
 // R1(A,B) ⋈ R2(B,C) ⋈ R3(C,D) ⋈ R4(D,A) with the fhtw-2 single-tree
 // plan: bags W1(A,B,C) = R1⋈R2 and W2(A,C,D) = R3⋈R4, each up to Θ(n²).
 // Output tuples are ordered (A,B,C,D).
-func FourCycleSingleTree(rels [4]*relation.Relation, agg ranking.Aggregate, v core.Variant) (core.Iterator, *Stats, error) {
+func PrepareFourCycleSingleTree(rels [4]*relation.Relation, agg ranking.Aggregate) (*Plan, error) {
 	r1 := rename(rels[0], "R1", "A", "B")
 	r2 := rename(rels[1], "R2", "B", "C")
 	r3 := rename(rels[2], "R3", "C", "D")
 	r4 := rename(rels[3], "R4", "D", "A")
 	w1, err := joinBags("W1", r1, r2, []string{"A", "B", "C"}, agg)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	w2, err := joinBags("W2", r3, r4, []string{"A", "C", "D"}, agg)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	it, err := treeQuery(w1, w2, agg, v, FourCycleAttrs)
+	tp, err := prepareTree([]*relation.Relation{w1, w2}, agg, FourCycleAttrs)
+	if err != nil {
+		return nil, err
+	}
+	st := &Stats{BagSizes: [][2]int{{w1.Len(), w2.Len()}}, TotalMaterialized: w1.Len() + w2.Len()}
+	return &Plan{Stats: st, agg: agg, trees: []*treePlan{tp}}, nil
+}
+
+// FourCycleSingleTree is the one-shot form of PrepareFourCycleSingleTree
+// + Run.
+func FourCycleSingleTree(rels [4]*relation.Relation, agg ranking.Aggregate, v core.Variant) (core.Iterator, *Stats, error) {
+	p, err := PrepareFourCycleSingleTree(rels, agg)
 	if err != nil {
 		return nil, nil, err
 	}
-	st := &Stats{BagSizes: [][2]int{{w1.Len(), w2.Len()}}, TotalMaterialized: w1.Len() + w2.Len()}
-	return it, st, nil
+	it, err := p.Run(context.Background(), v)
+	if err != nil {
+		return nil, nil, err
+	}
+	return it, p.Stats, nil
 }
 
-// FourCycleSubmodular evaluates the same 4-cycle query with the
+// PrepareFourCycleSubmodular compiles the same 4-cycle query with the
 // submodular-width-1.5 plan. Let Δ2 = √|R2| and Δ4 = √|R4|; b is heavy
 // iff its fanout in R2 exceeds Δ2, d heavy iff its fanout in R4 exceeds
 // Δ4 (so at most √|R2| resp. √|R4| heavy values exist). Three disjoint
@@ -249,7 +342,7 @@ func FourCycleSingleTree(rels [4]*relation.Relation, agg ranking.Aggregate, v co
 // and d values) partition the 4-cycle output, so the ranked union of the
 // three trees is exact without deduplication. Output tuples are ordered
 // (A,B,C,D).
-func FourCycleSubmodular(rels [4]*relation.Relation, agg ranking.Aggregate, v core.Variant) (core.Iterator, *Stats, error) {
+func PrepareFourCycleSubmodular(rels [4]*relation.Relation, agg ranking.Aggregate) (*Plan, error) {
 	r1 := rename(rels[0], "R1", "A", "B")
 	r2 := rename(rels[1], "R2", "B", "C")
 	r3 := rename(rels[2], "R3", "C", "D")
@@ -294,30 +387,30 @@ func FourCycleSubmodular(rels [4]*relation.Relation, agg ranking.Aggregate, v co
 	// T1: b light ∧ d light.
 	w1, err := joinBags("W1", r1, lightR2, []string{"A", "B", "C"}, agg)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	w2, err := joinBags("W2", r3, lightR4, []string{"A", "C", "D"}, agg)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	t1, err := treeQuery(w1, w2, agg, v, FourCycleAttrs)
+	t1, err := prepareTree([]*relation.Relation{w1, w2}, agg, FourCycleAttrs)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 
 	// T2: b heavy, d unrestricted. Bags share {B,D}? V1(B,C,D) and
 	// V2(A,B,D) share {B,D}: C only in V1, A only in V2 — valid tree.
 	v1, err := joinBags("V1", heavyR2, r3, []string{"B", "C", "D"}, agg)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	v2, err := joinBags("V2", heavyR1, r4, []string{"A", "B", "D"}, agg)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	t2, err := treeQuery(v1, v2, agg, v, FourCycleAttrs)
+	t2, err := prepareTree([]*relation.Relation{v1, v2}, agg, FourCycleAttrs)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 
 	// T3: b light ∧ d heavy. U1(D,A,B) = σ_heavyD R4 ⋈ σ_lightB R1 on A;
@@ -325,22 +418,36 @@ func FourCycleSubmodular(rels [4]*relation.Relation, agg ranking.Aggregate, v co
 	// U1, C only in U2 — valid tree.
 	u1, err := joinBags("U1", heavyR4, lightR1, []string{"D", "A", "B"}, agg)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	u2, err := joinBags("U2", heavyR3, lightR2, []string{"B", "C", "D"}, agg)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	t3, err := treeQuery(u1, u2, agg, v, FourCycleAttrs)
+	t3, err := prepareTree([]*relation.Relation{u1, u2}, agg, FourCycleAttrs)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 
 	st.BagSizes = [][2]int{{w1.Len(), w2.Len()}, {v1.Len(), v2.Len()}, {u1.Len(), u2.Len()}}
 	for _, bs := range st.BagSizes {
 		st.TotalMaterialized += bs[0] + bs[1]
 	}
-	return core.Merge(agg, false, t1, t2, t3), st, nil
+	return &Plan{Stats: st, agg: agg, trees: []*treePlan{t1, t2, t3}}, nil
+}
+
+// FourCycleSubmodular is the one-shot form of
+// PrepareFourCycleSubmodular + Run.
+func FourCycleSubmodular(rels [4]*relation.Relation, agg ranking.Aggregate, v core.Variant) (core.Iterator, *Stats, error) {
+	p, err := PrepareFourCycleSubmodular(rels, agg)
+	if err != nil {
+		return nil, nil, err
+	}
+	it, err := p.Run(context.Background(), v)
+	if err != nil {
+		return nil, nil, err
+	}
+	return it, p.Stats, nil
 }
 
 // fanout counts tuples per value of attr.

@@ -22,6 +22,29 @@ import (
 	"repro/internal/yannakakis"
 )
 
+// Plan is the aggregate-independent part of the compiled dynamic
+// program: the full-reduced relations arranged along the join tree, the
+// candidate grouping, and the parent→child group maps. Building it is
+// the expensive step (semi-join sweeps plus hash grouping); Instantiate
+// then derives a TDP for any ranking aggregate with a single bottom-up
+// π pass. A Plan is immutable after NewPlan and safe to share across
+// goroutines and instantiations.
+type Plan struct {
+	nodes    []*Node // Pi and Group bests left zero; filled per instantiation
+	outAttrs []string
+	emits    []emitSpec
+}
+
+// OutAttrs is the output schema every instantiated TDP will use.
+func (p *Plan) OutAttrs() []string { return p.outAttrs }
+
+// Empty reports whether the compiled query has no results.
+func (p *Plan) Empty() bool { return p.nodes[0].Rel.Len() == 0 }
+
+// NumSolutions counts the query's results from the reduced plan alone —
+// no ranking instantiation needed.
+func (p *Plan) NumSolutions() int { return countSolutions(p.nodes) }
+
 // TDP is the compiled dynamic program for one acyclic query instance.
 type TDP struct {
 	Agg ranking.Aggregate
@@ -72,7 +95,20 @@ type emitSpec struct {
 
 // Build compiles the T-DP for the query with the given ranking aggregate.
 // The query result is empty iff the root node ends up with zero rows.
+// It is NewPlan followed by Instantiate; prepared execution keeps the
+// Plan and re-instantiates per aggregate instead.
 func Build(q *yannakakis.Query, agg ranking.Aggregate) (*TDP, error) {
+	p, err := NewPlan(q)
+	if err != nil {
+		return nil, err
+	}
+	return p.Instantiate(agg)
+}
+
+// NewPlan runs the aggregate-independent compilation: full reduction,
+// preorder layout along the join tree, candidate grouping by parent key,
+// and the parent-row → child-group maps.
+func NewPlan(q *yannakakis.Query) (*Plan, error) {
 	red := q.FullReduce()
 	tree := q.Tree
 	m := len(tree.Order)
@@ -83,7 +119,7 @@ func Build(q *yannakakis.Query, agg ranking.Aggregate) (*TDP, error) {
 		posOf[edge] = pos
 	}
 
-	t := &TDP{Agg: agg, Nodes: make([]*Node, m)}
+	t := &Plan{nodes: make([]*Node, m)}
 	for pos, edge := range tree.Order {
 		n := &Node{Rel: red[edge], Parent: -1}
 		if p := tree.Parent[edge]; p >= 0 {
@@ -92,23 +128,23 @@ func Build(q *yannakakis.Query, agg ranking.Aggregate) (*TDP, error) {
 		for _, c := range tree.Children[edge] {
 			n.Children = append(n.Children, posOf[c])
 		}
-		t.Nodes[pos] = n
+		t.nodes[pos] = n
 	}
 
 	// Output schema and emit map.
 	seen := make(map[string]bool)
-	for pos, n := range t.Nodes {
+	for pos, n := range t.nodes {
 		for col, v := range n.Rel.Attrs {
 			if !seen[v] {
 				seen[v] = true
-				t.emits = append(t.emits, emitSpec{node: pos, col: col, outPos: len(t.OutAttrs)})
-				t.OutAttrs = append(t.OutAttrs, v)
+				t.emits = append(t.emits, emitSpec{node: pos, col: col, outPos: len(t.outAttrs)})
+				t.outAttrs = append(t.outAttrs, v)
 			}
 		}
 	}
 
 	// Group rows by parent key.
-	for pos, n := range t.Nodes {
+	for pos, n := range t.nodes {
 		if n.Parent < 0 {
 			rows := make([]int32, n.Rel.Len())
 			for i := range rows {
@@ -118,7 +154,7 @@ func Build(q *yannakakis.Query, agg ranking.Aggregate) (*TDP, error) {
 			n.GroupOfRow = make([]int32, n.Rel.Len())
 			continue
 		}
-		parent := t.Nodes[n.Parent]
+		parent := t.nodes[n.Parent]
 		shared := parent.Rel.SharedAttrs(n.Rel)
 		if len(shared) == 0 {
 			return nil, fmt.Errorf("dp: node %d shares no attributes with its parent (tree edge would be a cartesian product)", pos)
@@ -174,6 +210,32 @@ func Build(q *yannakakis.Query, agg ranking.Aggregate) (*TDP, error) {
 			parent.ChildGroup = make([][]int32, len(parent.Children))
 		}
 		parent.ChildGroup[ci] = cg
+	}
+	return t, nil
+}
+
+// Instantiate derives the T-DP for one ranking aggregate: it copies the
+// plan's skeleton (sharing the reduced relations, groupings, and child
+// maps) and runs the bottom-up π computation. The cost is linear in the
+// reduced database — no hypergraph analysis, reduction, or hashing is
+// repeated. The plan itself is not modified, so instantiations for
+// different aggregates may proceed from one plan.
+func (p *Plan) Instantiate(agg ranking.Aggregate) (*TDP, error) {
+	m := len(p.nodes)
+	t := &TDP{Agg: agg, Nodes: make([]*Node, m), OutAttrs: p.outAttrs, emits: p.emits}
+	for pos, sn := range p.nodes {
+		n := &Node{
+			Rel:        sn.Rel,
+			Parent:     sn.Parent,
+			Children:   sn.Children,
+			GroupOfRow: sn.GroupOfRow,
+			ChildGroup: sn.ChildGroup,
+			// Groups are value structs: copying the slice shares each
+			// group's Rows but gives this instantiation its own
+			// BestIdx/BestPi fields.
+			Groups: append([]Group(nil), sn.Groups...),
+		}
+		t.Nodes[pos] = n
 	}
 
 	// Bottom-up π computation (reverse preorder: children first).
@@ -276,18 +338,20 @@ func (t *TDP) Emit(rows []int32) relation.Tuple {
 
 // NumSolutions counts the solutions of the T-DP (for tests and the batch
 // baseline's pre-sizing) by a bottom-up counting pass.
-func (t *TDP) NumSolutions() int {
-	m := len(t.Nodes)
+func (t *TDP) NumSolutions() int { return countSolutions(t.Nodes) }
+
+func countSolutions(nodes []*Node) int {
+	m := len(nodes)
 	counts := make([][]int, m)
 	for pos := m - 1; pos >= 0; pos-- {
-		n := t.Nodes[pos]
+		n := nodes[pos]
 		counts[pos] = make([]int, n.Rel.Len())
 		for row := range n.Rel.Tuples {
 			c := 1
 			for ci, child := range n.Children {
 				gi := n.ChildGroup[ci][row]
 				sub := 0
-				for _, r := range t.Nodes[child].Groups[gi].Rows {
+				for _, r := range nodes[child].Groups[gi].Rows {
 					sub += counts[child][r]
 				}
 				c *= sub

@@ -262,3 +262,50 @@ func TestEmitAlignsWithOutAttrs(t *testing.T) {
 		t.Fatalf("Emit = %v with attrs %v", tup, tdp.OutAttrs)
 	}
 }
+
+func TestPlanInstantiatePerAggregate(t *testing.T) {
+	rels := pathRels(
+		[][3]float64{{1, 10, 1}, {1, 11, 5}},
+		[][3]float64{{10, 100, 10}, {10, 101, 1}, {11, 100, 0}},
+	)
+	q, err := yannakakis.NewQuery(hypergraph.Path(2), rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := NewPlan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.OutAttrs()) != 3 {
+		t.Fatalf("plan OutAttrs = %v", plan.OutAttrs())
+	}
+
+	tSum, err := plan.Instantiate(ranking.SumCost{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tMax, err := plan.Instantiate(ranking.MaxCost{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Instantiations share the reduced relations and groupings but carry
+	// independent π / group-best state.
+	if tSum.Nodes[0].Rel != tMax.Nodes[0].Rel {
+		t.Error("instantiations should share reduced relations")
+	}
+	if got := tSum.TopWeight(); got != 2 {
+		t.Fatalf("sum TopWeight = %g, want 2", got)
+	}
+	if got := tMax.TopWeight(); got != 1 {
+		t.Fatalf("max TopWeight = %g, want 1 (bottleneck of 1⊕1)", got)
+	}
+	// A later instantiation must not have disturbed the first.
+	if got := tSum.TopWeight(); got != 2 {
+		t.Fatalf("sum TopWeight changed after max instantiation: %g", got)
+	}
+	// Both must agree with Build on the same aggregate.
+	ref := mustBuild(t, hypergraph.Path(2), rels, sum)
+	if ref.TopWeight() != tSum.TopWeight() {
+		t.Fatal("Instantiate disagrees with Build")
+	}
+}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"runtime"
 
 	"repro/internal/core"
@@ -32,7 +34,7 @@ func E13(ns []int, k int) *stats.Table {
 		if err != nil {
 			panic(err)
 		}
-		itN := core.NewNaiveLawler(tn)
+		itN := core.NewNaiveLawler(context.Background(), tn)
 		for i := 0; i < k; i++ {
 			if _, ok := itN.Next(); !ok {
 				break
@@ -45,7 +47,7 @@ func E13(ns []int, k int) *stats.Table {
 		if err != nil {
 			panic(err)
 		}
-		itL, err := core.New(tl, core.Lazy)
+		itL, err := core.New(context.Background(), tl, core.Lazy)
 		if err != nil {
 			panic(err)
 		}
@@ -95,7 +97,7 @@ func E14(n int) *stats.Table {
 			if err != nil {
 				panic(err)
 			}
-			it, err := core.New(tdp, v)
+			it, err := core.New(context.Background(), tdp, v)
 			if err != nil {
 				panic(err)
 			}

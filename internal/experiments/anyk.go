@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"time"
 
 	"repro/internal/core"
@@ -26,7 +28,7 @@ func runVariant(inst *workload.Instance, agg ranking.Aggregate, v core.Variant, 
 	if err != nil {
 		panic(err)
 	}
-	it, err := core.New(t, v)
+	it, err := core.New(context.Background(), t, v)
 	if err != nil {
 		panic(err)
 	}

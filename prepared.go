@@ -1,0 +1,291 @@
+package repro
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/decomp"
+	"repro/internal/dp"
+	"repro/internal/hypergraph"
+	"repro/internal/ranking"
+	"repro/internal/relation"
+	"repro/internal/yannakakis"
+)
+
+// ErrClosed is reported by Iterator.Err after Close terminates
+// enumeration before it was exhausted.
+var ErrClosed = core.ErrClosed
+
+// queryKind classifies the shape a query compiled to.
+type queryKind int
+
+const (
+	kindAcyclic queryKind = iota
+	kindTriangle
+	kindFourCycle
+	kindLongCycle
+)
+
+// Prepared is a compiled query: hypergraph analysis, acyclicity/cycle
+// detection, and join-tree or decomposition planning run once at
+// Compile time, and the resulting plan is reused by every Run. The
+// per-ranking physical artefacts — the T-DP instantiation for acyclic
+// queries, the materialised bags for cyclic ones — are built on the
+// first Run with each ranking function and cached on the handle, so
+// thousands of top-k requests with different k, ranking functions, or
+// algorithm variants share one compilation.
+//
+// A Prepared handle is immutable after Compile and safe for concurrent
+// Run/TopK/Count/IsEmpty calls; the iterators it returns are not.
+type Prepared struct {
+	outAttrs []string
+	kind     queryKind
+
+	// Acyclic: the validated query (for Count/IsEmpty counting passes)
+	// plus the aggregate-independent T-DP plan.
+	yq   *yannakakis.Query
+	plan *dp.Plan
+
+	// Cyclic: the relations reordered to follow the cycle.
+	cycleRels []*relation.Relation
+
+	tdps    onceCache[*dp.TDP]      // acyclic: T-DP per ranking function
+	decomps onceCache[*decomp.Plan] // cyclic: decomposition per ranking function
+}
+
+// onceCache memoizes one value per ranking function. The mutex guards
+// only the map; each entry builds under its own sync.Once, so a cold
+// build for one ranking function never blocks cache hits for another.
+// Aggregates whose dynamic type is not comparable (and so cannot be a
+// map key) are built fresh on every call.
+type onceCache[V any] struct {
+	mu sync.Mutex
+	m  map[ranking.Aggregate]*onceEntry[V]
+}
+
+type onceEntry[V any] struct {
+	once sync.Once
+	v    V
+	err  error
+}
+
+func (c *onceCache[V]) get(agg ranking.Aggregate, build func(ranking.Aggregate) (V, error)) (V, error) {
+	if !reflect.TypeOf(agg).Comparable() {
+		return build(agg)
+	}
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[ranking.Aggregate]*onceEntry[V])
+	}
+	e, ok := c.m[agg]
+	if !ok {
+		e = &onceEntry[V]{}
+		c.m[agg] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.v, e.err = build(agg) })
+	return e.v, e.err
+}
+
+// Compile analyses and plans the query once, returning a reusable
+// handle. Acyclic queries are planned onto the T-DP join tree; triangle,
+// 4-cycle, and longer cycle queries onto their decompositions (see
+// Ranked for the per-shape plans). Other cyclic shapes are rejected
+// with guidance.
+func Compile(q *Query) (*Prepared, error) {
+	if q.err != nil {
+		return nil, q.err
+	}
+	if len(q.rels) == 0 {
+		return nil, fmt.Errorf("repro: empty query")
+	}
+	h := hypergraph.New(q.edges...)
+	if h.IsAcyclic() {
+		yq, err := yannakakis.NewQuery(h, q.rels)
+		if err != nil {
+			return nil, err
+		}
+		plan, err := dp.NewPlan(yq)
+		if err != nil {
+			return nil, err
+		}
+		return &Prepared{
+			outAttrs: plan.OutAttrs(),
+			kind:     kindAcyclic,
+			yq:       yq,
+			plan:     plan,
+		}, nil
+	}
+	if l, rels, ok := q.matchCycle(); ok {
+		p := &Prepared{cycleRels: rels}
+		switch l {
+		case 3:
+			p.kind, p.outAttrs = kindTriangle, decomp.TriangleAttrs
+		case 4:
+			p.kind, p.outAttrs = kindFourCycle, decomp.FourCycleAttrs
+		default:
+			p.kind, p.outAttrs = kindLongCycle, decomp.CycleAttrs(l)
+		}
+		return p, nil
+	}
+	return nil, fmt.Errorf("repro: cyclic query %s is not a supported shape (cycles of any length are built in; decompose other shapes manually with internal/decomp techniques)", h)
+}
+
+// Prepare is Compile as a method on the query builder.
+func (q *Query) Prepare() (*Prepared, error) { return Compile(q) }
+
+// OutAttrs returns the output schema every iterator of this handle
+// yields. The returned slice must not be modified.
+func (p *Prepared) OutAttrs() []string { return p.outAttrs }
+
+// runConfig collects the per-execution options of one Run.
+type runConfig struct {
+	agg     ranking.Aggregate
+	variant Variant
+	k       int
+	ctx     context.Context
+}
+
+// RunOption configures one execution of a Prepared query. The defaults
+// are WithRanking(SumCost), WithVariant(Lazy), no k limit, and
+// context.Background().
+type RunOption func(*runConfig)
+
+// WithRanking selects the ranking function for this run. The first run
+// with each ranking function pays one linear pass (and, for cyclic
+// shapes, the bag materialisation); later runs reuse it.
+func WithRanking(agg ranking.Aggregate) RunOption { return func(c *runConfig) { c.agg = agg } }
+
+// WithVariant selects the any-k algorithm variant for this run.
+// Triangle queries enumerate a single sorted bag and ignore it.
+func WithVariant(v Variant) RunOption { return func(c *runConfig) { c.variant = v } }
+
+// WithK limits the run to the k best results (k <= 0 means no limit).
+// Enumeration is lazy either way; the limit only caps Next.
+func WithK(k int) RunOption { return func(c *runConfig) { c.k = k } }
+
+// WithContext attaches a cancellation context to the run: once ctx is
+// done, the iterator's Next returns false and Err reports ctx.Err().
+func WithContext(ctx context.Context) RunOption { return func(c *runConfig) { c.ctx = ctx } }
+
+// Run executes the compiled plan and returns a ranked iterator. Always
+// Close the iterator (idempotent) and check Err after Next reports
+// false. Concurrent Runs on one handle are safe and share the cached
+// per-ranking plan.
+func (p *Prepared) Run(opts ...RunOption) (Iterator, error) {
+	cfg := runConfig{agg: SumCost, variant: Lazy, ctx: context.Background()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	var it Iterator
+	if p.kind == kindAcyclic {
+		t, err := p.tdpFor(cfg.agg)
+		if err != nil {
+			return nil, err
+		}
+		it, err = core.New(cfg.ctx, t, cfg.variant)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		d, err := p.decompFor(cfg.agg)
+		if err != nil {
+			return nil, err
+		}
+		it, err = d.Run(cfg.ctx, cfg.variant)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cfg.k > 0 {
+		it = core.Limit(it, cfg.k)
+	}
+	return it, nil
+}
+
+// TopK runs the plan and collects the k best results (k <= 0 collects
+// everything). The iterator is closed before returning; a cancellation
+// error is returned alongside the results collected so far.
+func (p *Prepared) TopK(k int, opts ...RunOption) ([]Result, error) {
+	it, err := p.Run(append(append([]RunOption(nil), opts...), WithK(k))...)
+	if err != nil {
+		return nil, err
+	}
+	out := core.Collect(it, k)
+	err = it.Err()
+	it.Close()
+	return out, err
+}
+
+// Count returns the number of join results without materialising them.
+// Acyclic queries use the counting pass over the compiled (already
+// reduced) plan; cyclic shapes drain a ranked iterator (honoring
+// WithContext). Any WithK option is ignored — Count always reports the
+// full cardinality.
+func (p *Prepared) Count(opts ...RunOption) (int, error) {
+	if p.kind == kindAcyclic {
+		return p.plan.NumSolutions(), nil
+	}
+	it, err := p.Run(append(append([]RunOption(nil), opts...), WithK(0))...)
+	if err != nil {
+		return 0, err
+	}
+	defer it.Close()
+	n := 0
+	for {
+		if _, ok := it.Next(); !ok {
+			return n, it.Err()
+		}
+		n++
+	}
+}
+
+// IsEmpty answers the Boolean query "does the join have any result?"
+// with early termination.
+func (p *Prepared) IsEmpty(opts ...RunOption) (bool, error) {
+	if p.kind == kindAcyclic {
+		return p.plan.Empty(), nil
+	}
+	it, err := p.Run(opts...)
+	if err != nil {
+		return false, err
+	}
+	defer it.Close()
+	_, ok := it.Next()
+	if err := it.Err(); err != nil {
+		return false, err
+	}
+	return !ok, nil
+}
+
+// tdpFor returns (instantiating and caching on first use) the T-DP of
+// the acyclic plan under agg.
+func (p *Prepared) tdpFor(agg ranking.Aggregate) (*dp.TDP, error) {
+	return p.tdps.get(agg, p.plan.Instantiate)
+}
+
+// decompFor returns (building and caching on first use) the cyclic
+// decomposition plan under agg: a Generic-Join bag for the triangle,
+// the submodular-width union of three trees for the 4-cycle, and the
+// fhtw-2 fan plan for longer cycles.
+func (p *Prepared) decompFor(agg ranking.Aggregate) (*decomp.Plan, error) {
+	return p.decomps.get(agg, p.buildDecomp)
+}
+
+func (p *Prepared) buildDecomp(agg ranking.Aggregate) (*decomp.Plan, error) {
+	switch p.kind {
+	case kindTriangle:
+		var three [3]*relation.Relation
+		copy(three[:], p.cycleRels)
+		return decomp.PrepareTriangle(three, agg)
+	case kindFourCycle:
+		var four [4]*relation.Relation
+		copy(four[:], p.cycleRels)
+		return decomp.PrepareFourCycleSubmodular(four, agg)
+	default:
+		return decomp.PrepareCycleSingleTree(p.cycleRels, agg)
+	}
+}

@@ -1,0 +1,74 @@
+package repro
+
+// Benchmarks for the prepare-once / execute-many split: re-running a
+// Prepared query must skip hypergraph analysis, join-tree planning, and
+// index/grouping construction, so prepared re-execution is measurably
+// faster than the one-shot TopK path that redoes all of it per call.
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func benchQuery(b *testing.B) *Query {
+	inst := workload.Path(4, 4000, 4000/5+1, workload.UniformWeights(), 7)
+	q := NewQuery()
+	for i, r := range inst.Rels {
+		q.Rel(r.Name, inst.H.Edges[i].Vars, r.Tuples, r.Weights)
+	}
+	return q
+}
+
+// BenchmarkOneShotTopK compiles from scratch on every call — the old
+// facade behavior.
+func BenchmarkOneShotTopK(b *testing.B) {
+	q := benchQuery(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.TopK(SumCost, Lazy, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPreparedTopK compiles once and re-executes the prepared
+// plan, varying k across calls the way a serving workload would.
+func BenchmarkPreparedTopK(b *testing.B) {
+	p, err := Compile(benchQuery(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the per-ranking cache so the loop measures steady-state
+	// request latency.
+	if _, err := p.TopK(1); err != nil {
+		b.Fatal(err)
+	}
+	ks := []int{1, 10, 100}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.TopK(ks[i%len(ks)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPreparedRunVariants re-executes one prepared plan across
+// algorithm variants — the plan (reduction, grouping, π) is shared; only
+// the per-run iterator state differs.
+func BenchmarkPreparedRunVariants(b *testing.B) {
+	p, err := Compile(benchQuery(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := p.TopK(1); err != nil {
+		b.Fatal(err)
+	}
+	variants := []Variant{Lazy, Eager, Take2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.TopK(10, WithVariant(variants[i%len(variants)])); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,317 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// prepCases builds one query of each supported shape: acyclic path,
+// triangle, 4-cycle, and a long (5-) cycle.
+func prepCases() map[string]func() *Query {
+	pathQ := func() *Query {
+		inst := workload.Path(3, 60, 8, workload.UniformWeights(), 5)
+		q := NewQuery()
+		for i, r := range inst.Rels {
+			q.Rel(r.Name, inst.H.Edges[i].Vars, r.Tuples, r.Weights)
+		}
+		return q
+	}
+	graphQ := func(vars [][]string) func() *Query {
+		return func() *Query {
+			g := workload.RandomGraph(12, 70, workload.UniformWeights(), 9)
+			q := NewQuery()
+			for i, vs := range vars {
+				name := "E" + string(rune('1'+i))
+				q.Rel(name, vs, g.Edges.Tuples, g.Edges.Weights)
+			}
+			return q
+		}
+	}
+	return map[string]func() *Query{
+		"acyclic":  pathQ,
+		"triangle": graphQ([][]string{{"A", "B"}, {"B", "C"}, {"C", "A"}}),
+		"fourcycle": graphQ([][]string{
+			{"A", "B"}, {"B", "C"}, {"C", "D"}, {"D", "A"}}),
+		"longcycle": graphQ([][]string{
+			{"A", "B"}, {"B", "C"}, {"C", "D"}, {"D", "E"}, {"E", "A"}}),
+	}
+}
+
+// TestPreparedMatchesOneShot checks that a Prepared handle yields
+// exactly the one-shot results for every shape and variant — including
+// repeated Runs off the same handle.
+func TestPreparedMatchesOneShot(t *testing.T) {
+	for name, mk := range prepCases() {
+		t.Run(name, func(t *testing.T) {
+			p, err := Compile(mk())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range []Variant{Eager, Lazy, Quick, All, Take2, Rec, Batch} {
+				want, err := mk().TopK(SumCost, v, 0)
+				if err != nil {
+					t.Fatalf("%s one-shot: %v", v, err)
+				}
+				for rep := 0; rep < 2; rep++ {
+					got, err := p.TopK(0, WithRanking(SumCost), WithVariant(v))
+					if err != nil {
+						t.Fatalf("%s prepared run %d: %v", v, rep, err)
+					}
+					if len(got) != len(want) {
+						t.Fatalf("%s run %d: %d results, one-shot %d", v, rep, len(got), len(want))
+					}
+					for i := range got {
+						if math.Abs(got[i].Weight-want[i].Weight) > 1e-9 {
+							t.Fatalf("%s run %d: weight mismatch at rank %d: %g vs %g",
+								v, rep, i, got[i].Weight, want[i].Weight)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPreparedRankingSwitch runs one handle under several ranking
+// functions and checks each against the one-shot path.
+func TestPreparedRankingSwitch(t *testing.T) {
+	mk := prepCases()["acyclic"]
+	p, err := Compile(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, agg := range []interface {
+		Identity() float64
+		Combine(a, b float64) float64
+		Less(a, b float64) bool
+		Name() string
+	}{SumCost, MaxCost, SumBenefit} {
+		want, err := mk().TopK(agg, Lazy, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := p.TopK(10, WithRanking(agg), WithVariant(Lazy))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d vs %d results", agg.Name(), len(got), len(want))
+		}
+		for i := range got {
+			if math.Abs(got[i].Weight-want[i].Weight) > 1e-9 {
+				t.Fatalf("%s: weight mismatch at %d", agg.Name(), i)
+			}
+		}
+	}
+}
+
+// TestIteratorClose checks that Close mid-enumeration terminates
+// cleanly with ErrClosed on every shape, and that a full natural drain
+// followed by Close leaves Err nil.
+func TestIteratorClose(t *testing.T) {
+	for name, mk := range prepCases() {
+		t.Run(name, func(t *testing.T) {
+			p, err := Compile(mk())
+			if err != nil {
+				t.Fatal(err)
+			}
+			it, err := p.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := it.Next(); !ok {
+				t.Skip("instance produced no results")
+			}
+			if err := it.Close(); err != nil {
+				t.Fatalf("Close returned %v", err)
+			}
+			if _, ok := it.Next(); ok {
+				t.Fatal("Next produced a result after Close")
+			}
+			if !errors.Is(it.Err(), ErrClosed) {
+				t.Fatalf("Err after early Close = %v, want ErrClosed", it.Err())
+			}
+			if err := it.Close(); err != nil {
+				t.Fatalf("second Close returned %v", err)
+			}
+
+			// A drained iterator closes cleanly.
+			it2, err := p.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for {
+				if _, ok := it2.Next(); !ok {
+					break
+				}
+			}
+			it2.Close()
+			if it2.Err() != nil {
+				t.Fatalf("Err after drain+Close = %v, want nil", it2.Err())
+			}
+		})
+	}
+}
+
+// TestIteratorCancel checks that context cancellation terminates
+// enumeration with the context's error on every shape.
+func TestIteratorCancel(t *testing.T) {
+	for name, mk := range prepCases() {
+		t.Run(name, func(t *testing.T) {
+			p, err := Compile(mk())
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			it, err := p.Run(WithContext(ctx))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer it.Close()
+			if _, ok := it.Next(); !ok {
+				t.Skip("instance produced no results")
+			}
+			cancel()
+			if _, ok := it.Next(); ok {
+				t.Fatal("Next produced a result after cancellation")
+			}
+			if !errors.Is(it.Err(), context.Canceled) {
+				t.Fatalf("Err after cancel = %v, want context.Canceled", it.Err())
+			}
+		})
+	}
+}
+
+// TestPreparedWithK checks the per-run k limit.
+func TestPreparedWithK(t *testing.T) {
+	p, err := Compile(prepCases()["acyclic"]())
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := p.Run(WithK(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	n := 0
+	for {
+		if _, ok := it.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("WithK(3) yielded %d results", n)
+	}
+	all, err := p.TopK(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) <= 3 {
+		t.Fatalf("instance too small for the limit to bite: %d results", len(all))
+	}
+}
+
+// TestPreparedConcurrentRuns exercises one handle from several
+// goroutines with mixed variants and rankings.
+func TestPreparedConcurrentRuns(t *testing.T) {
+	mk := prepCases()["acyclic"]
+	p, err := Compile(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := mk().TopK(SumCost, Lazy, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 16; g++ {
+		v := []Variant{Lazy, Eager, Rec, Batch}[g%4]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := p.TopK(5, WithVariant(v))
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i := range got {
+				if math.Abs(got[i].Weight-want[i].Weight) > 1e-9 {
+					errs <- errors.New("concurrent run weight mismatch")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestPreparedCountAndIsEmpty checks the counting helpers on the
+// prepared handle against the one-shot facade.
+func TestPreparedCountAndIsEmpty(t *testing.T) {
+	for name, mk := range prepCases() {
+		t.Run(name, func(t *testing.T) {
+			p, err := Compile(mk())
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := mk().Count()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := p.Count()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("Count = %d, one-shot %d", got, want)
+			}
+			empty, err := p.IsEmpty()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if empty != (want == 0) {
+				t.Fatalf("IsEmpty = %v with %d results", empty, want)
+			}
+		})
+	}
+}
+
+// TestCompileErrors checks builder and shape errors surface at compile
+// time.
+func TestCompileErrors(t *testing.T) {
+	if _, err := Compile(NewQuery()); err == nil {
+		t.Error("empty query should fail to compile")
+	}
+	bad := NewQuery().Rel("R", []string{"A", "B"}, []Tuple{{1}}, nil)
+	if _, err := Compile(bad); err == nil {
+		t.Error("arity mismatch should fail to compile")
+	}
+	e := []Tuple{{1, 2}}
+	shape := NewQuery().
+		Rel("E1", []string{"A", "B"}, e, nil).
+		Rel("E2", []string{"B", "C"}, e, nil).
+		Rel("E3", []string{"C", "A"}, e, nil).
+		Rel("E4", []string{"B", "D"}, e, nil).
+		Rel("E5", []string{"D", "C"}, e, nil)
+	if _, err := Compile(shape); err == nil {
+		t.Error("unsupported cyclic shape should fail to compile")
+	}
+	p, err := Compile(prepCases()["acyclic"]())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(WithVariant(Variant("Nope"))); err == nil {
+		t.Error("unknown variant should fail at Run")
+	}
+}
