@@ -30,10 +30,19 @@
 // IsEmpty remain as thin wrappers that compile and execute in one step.
 //
 // Acyclic queries run directly on the tree-based dynamic program.
-// Cyclic cycle queries of any length are decomposed automatically:
-// a Generic-Join bag for the triangle, the submodular-width three-tree
-// union for the 4-cycle, and the generic fhtw-2 fan plan for longer
-// cycles. Other cyclic shapes return an error with guidance.
+// Cyclic cycle queries of any length (in either edge orientation) are
+// decomposed automatically: a Generic-Join bag for the triangle, the
+// submodular-width three-tree union for the 4-cycle, and the generic
+// fhtw-2 fan plan for longer cycles. Every other cyclic shape — K4,
+// bowtie, star-with-chord, cliques, fused triangles, arbitrary
+// hypergraphs with higher-arity atoms — compiles through the generic
+// GHD planner: a generalized hypertree decomposition is searched
+// (exhaustive vertex-elimination orders for small queries, min-degree /
+// min-fill greedy orders for larger ones, scored by the maximum
+// fractional edge cover over the bags), each bag is materialised with
+// Generic-Join, and the acyclic bag tree feeds the same any-k
+// machinery. See internal/hypergraph.Decompose and internal/decomp
+// PrepareGHD for the width heuristics and per-bag weight charging.
 package repro
 
 import (
@@ -103,9 +112,26 @@ func NewQuery() *Query { return &Query{} }
 
 // Rel adds a relation atom. vars names the query variable bound to each
 // column; tuples[i] has weight weights[i] (weights may be nil = all 0).
+// Relation names must be unique across the query (self-joins repeat the
+// data under distinct names), and the variables within one atom must be
+// distinct (express R(A,A) by filtering the tuples beforehand).
 func (q *Query) Rel(name string, vars []string, tuples []Tuple, weights []float64) *Query {
 	if q.err != nil {
 		return q
+	}
+	for _, e := range q.edges {
+		if e.Name == name {
+			q.err = fmt.Errorf("repro: duplicate relation name %q (self-joins must use distinct names per atom)", name)
+			return q
+		}
+	}
+	seen := make(map[string]bool, len(vars))
+	for _, v := range vars {
+		if seen[v] {
+			q.err = fmt.Errorf("repro: relation %s repeats variable %s within one atom (pre-filter the tuples to express equality)", name, v)
+			return q
+		}
+		seen[v] = true
 	}
 	r := relation.New(name, vars...)
 	for i, t := range tuples {
@@ -131,10 +157,12 @@ func (q *Query) Rel(name string, vars []string, tuples []Tuple, weights []float6
 // OutAttrs reports the output schema the iterators of this query will
 // use, computed from the query structure alone (no data is touched, so
 // it is cheap even on large relations): for acyclic queries the query
-// variables in join-tree preorder, and for the canonical cyclic shapes
-// the fixed schema (A,B,C) for triangles, (A,B,C,D) for 4-cycles, and
-// (A0,...,A_{l-1}) for longer cycles. Prepared.OutAttrs reports the
-// same schema from a compiled handle.
+// variables in join-tree preorder; for the canonical cyclic shapes the
+// fixed schema (A,B,C) for triangles, (A,B,C,D) for 4-cycles, and
+// (A0,...,A_{l-1}) for longer cycles; and for every other cyclic shape
+// (compiled through the generic GHD planner) the query variables in
+// sorted order. Prepared.OutAttrs reports the same schema from a
+// compiled handle.
 func (q *Query) OutAttrs() ([]string, error) {
 	if q.err != nil {
 		return nil, q.err
@@ -156,8 +184,8 @@ func (q *Query) OutAttrs() ([]string, error) {
 		}
 		return attrs, nil
 	}
-	if l, _, ok := q.matchCycle(); ok {
-		switch l {
+	if order, _, ok := q.matchCycleShape(); ok {
+		switch l := len(order); l {
 		case 3:
 			return decomp.TriangleAttrs, nil
 		case 4:
@@ -166,14 +194,15 @@ func (q *Query) OutAttrs() ([]string, error) {
 			return decomp.CycleAttrs(l), nil
 		}
 	}
-	return nil, fmt.Errorf("repro: unsupported cyclic query shape")
+	return decomp.GHDAttrs(q.edges), nil
 }
 
 // Ranked compiles the query and returns a ranked-enumeration iterator —
 // the one-shot form of Compile + Run. Acyclic queries use the T-DP
 // any-k machinery directly; triangles, 4-cycles, and longer cycles are
-// decomposed automatically. For repeated execution over the same data,
-// Compile once and Run many times instead.
+// decomposed automatically, and every other cyclic shape compiles
+// through the generic GHD planner. For repeated execution over the same
+// data, Compile once and Run many times instead.
 func (q *Query) Ranked(agg ranking.Aggregate, v Variant) (Iterator, error) {
 	p, err := Compile(q)
 	if err != nil {
@@ -192,46 +221,106 @@ func (q *Query) TopK(agg ranking.Aggregate, v Variant, k int) ([]Result, error) 
 }
 
 // matchCycle detects whether the query is a variable-renaming of the
-// canonical l-cycle R1(A0,A1), ..., Rl(A_{l-1},A0) and returns the
-// relations reordered to follow the cycle.
+// l-cycle R1(A0,A1), ..., Rl(A_{l-1},A0) with edges in *either*
+// orientation, and returns the relations reordered — and, where an edge
+// was declared against the walk direction, column-flipped — to the
+// canonical orientation the cycle decompositions expect.
 func (q *Query) matchCycle() (int, []*relation.Relation, bool) {
-	l := len(q.edges)
-	if l < 3 {
+	order, flip, ok := q.matchCycleShape()
+	if !ok {
 		return 0, nil, false
 	}
-	for _, e := range q.edges {
-		if len(e.Vars) != 2 {
-			return 0, nil, false
+	rels := make([]*relation.Relation, len(order))
+	for i, ei := range order {
+		if flip[i] {
+			rels[i] = flipBinary(q.rels[ei])
+		} else {
+			rels[i] = q.rels[ei]
 		}
 	}
-	// Walk the cycle: start at edge 0, chain second-var → first-var.
+	return len(order), rels, true
+}
+
+// matchCycleShape is the data-free half of matchCycle: it walks the
+// query structure only (so OutAttrs stays cheap on large relations) and
+// reports the edge order around the cycle plus which edges oppose the
+// walk direction.
+func (q *Query) matchCycleShape() (order []int, flip []bool, ok bool) {
+	l := len(q.edges)
+	if l < 3 {
+		return nil, nil, false
+	}
+	// A genuine l-cycle is a set of l binary edges over exactly l
+	// distinct variables, each occurring in exactly two edges. (Without
+	// the occurrence check, shapes like the bowtie — which admit a
+	// closed walk through every edge — would be misclassified.)
+	occ := make(map[string]int)
+	for _, e := range q.edges {
+		if len(e.Vars) != 2 || e.Vars[0] == e.Vars[1] {
+			return nil, nil, false
+		}
+		occ[e.Vars[0]]++
+		occ[e.Vars[1]]++
+	}
+	if len(occ) != l {
+		return nil, nil, false
+	}
+	for _, c := range occ {
+		if c != 2 {
+			return nil, nil, false
+		}
+	}
+	// Walk the cycle undirected: start at edge 0 as declared, then at
+	// each step take the unused edge containing the current variable,
+	// flipping it when its columns oppose the walk direction.
 	used := make([]bool, l)
-	order := []int{0}
+	order = []int{0}
+	flip = []bool{false}
 	used[0] = true
 	cur := q.edges[0].Vars[1]
 	for len(order) < l {
-		found := -1
+		found, flipped := -1, false
 		for i, e := range q.edges {
-			if !used[i] && e.Vars[0] == cur {
-				found = i
+			if used[i] {
+				continue
+			}
+			if e.Vars[0] == cur {
+				found, flipped = i, false
+				break
+			}
+			if e.Vars[1] == cur {
+				found, flipped = i, true
 				break
 			}
 		}
 		if found < 0 {
-			return 0, nil, false
+			return nil, nil, false
 		}
 		used[found] = true
 		order = append(order, found)
-		cur = q.edges[found].Vars[1]
+		flip = append(flip, flipped)
+		if flipped {
+			cur = q.edges[found].Vars[0]
+		} else {
+			cur = q.edges[found].Vars[1]
+		}
 	}
 	if cur != q.edges[0].Vars[0] {
-		return 0, nil, false
+		return nil, nil, false
 	}
-	rels := make([]*relation.Relation, l)
-	for i, ei := range order {
-		rels[i] = q.rels[ei]
+	return order, flip, true
+}
+
+// flipBinary returns a copy of the binary relation with its two columns
+// (and attribute names) swapped.
+func flipBinary(r *relation.Relation) *relation.Relation {
+	out := relation.New(r.Name, r.Attrs[1], r.Attrs[0])
+	out.Tuples = make([]relation.Tuple, len(r.Tuples))
+	out.Weights = append([]float64(nil), r.Weights...)
+	for i, t := range r.Tuples {
+		out.Tuples[i] = relation.Tuple{t[1], t[0]}
 	}
-	return l, rels, true
+	return out
 }
 
 // Count returns the number of join results without materialising them.

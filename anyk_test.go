@@ -119,17 +119,17 @@ func TestFacadeErrors(t *testing.T) {
 	if _, err := q2.Ranked(SumCost, Lazy); err == nil {
 		t.Error("weight length mismatch should fail")
 	}
-	// A genuinely unsupported cyclic shape: two triangles sharing an edge
-	// (K4 minus an edge, not a simple cycle).
-	e := []Tuple{{1, 2}}
-	q3 := NewQuery().
-		Rel("E1", []string{"A", "B"}, e, nil).
-		Rel("E2", []string{"B", "C"}, e, nil).
-		Rel("E3", []string{"C", "A"}, e, nil).
-		Rel("E4", []string{"B", "D"}, e, nil).
-		Rel("E5", []string{"D", "C"}, e, nil)
-	if _, err := q3.Ranked(SumCost, Lazy); err == nil {
-		t.Error("non-cycle cyclic shape should report unsupported")
+	// Builder validation: duplicate relation names and repeated
+	// variables within one atom are rejected with guidance.
+	dup := NewQuery().
+		Rel("R", []string{"A", "B"}, []Tuple{{1, 2}}, nil).
+		Rel("R", []string{"B", "C"}, []Tuple{{2, 3}}, nil)
+	if _, err := dup.Ranked(SumCost, Lazy); err == nil {
+		t.Error("duplicate relation name should fail")
+	}
+	rep := NewQuery().Rel("R", []string{"A", "A"}, []Tuple{{1, 1}}, nil)
+	if _, err := rep.Ranked(SumCost, Lazy); err == nil {
+		t.Error("repeated variable within one atom should fail")
 	}
 }
 
@@ -255,14 +255,26 @@ func TestFacadeOutAttrsCyclic(t *testing.T) {
 	if err != nil || len(attrs) != 5 {
 		t.Fatalf("C5 OutAttrs = %v, %v", attrs, err)
 	}
-	bad := NewQuery().
+	// Non-cycle cyclic shapes go through the GHD planner and report the
+	// query variables in sorted order.
+	fused := NewQuery().
 		Rel("E1", []string{"A", "B"}, e, nil).
 		Rel("E2", []string{"B", "C"}, e, nil).
 		Rel("E3", []string{"C", "A"}, e, nil).
 		Rel("E4", []string{"B", "D"}, e, nil).
 		Rel("E5", []string{"D", "C"}, e, nil)
-	if _, err := bad.OutAttrs(); err == nil {
-		t.Error("unsupported shape should error in OutAttrs")
+	attrs, err = fused.OutAttrs()
+	if err != nil {
+		t.Fatalf("GHD shape OutAttrs: %v", err)
+	}
+	want := []string{"A", "B", "C", "D"}
+	if len(attrs) != len(want) {
+		t.Fatalf("GHD OutAttrs = %v, want %v", attrs, want)
+	}
+	for i := range want {
+		if attrs[i] != want[i] {
+			t.Fatalf("GHD OutAttrs = %v, want %v", attrs, want)
+		}
 	}
 }
 

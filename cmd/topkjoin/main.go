@@ -12,8 +12,12 @@
 //	    -rel 'Legs1:Src,Hub:legs1.csv' \
 //	    -rel 'Legs2:Hub,Dst:legs2.csv'
 //
-// Acyclic queries and cycles of any length are supported (see the
-// repro package documentation for the decomposition used per shape).
+// Every full conjunctive query shape is supported: acyclic queries and
+// cycles of any length (in either edge orientation) use their canonical
+// plans, and all other cyclic shapes — cliques, bowties, fused
+// triangles, queries with higher-arity atoms — compile through the
+// generic hypertree-decomposition planner (see the repro package
+// documentation for the decomposition used per shape).
 package main
 
 import (
@@ -64,6 +68,11 @@ func run(args []string, out io.Writer) error {
 
 	dict := relation.NewDictionary()
 	q := repro.NewQuery()
+	// varTypes tracks, per query variable, whether any bound column is
+	// numeric and whether any is dictionary-encoded; a variable with
+	// both never joins (columns are typed per file), so warn.
+	type colTypes struct{ numeric, dict bool }
+	varTypes := map[string]*colTypes{}
 	for _, spec := range rels {
 		parts := strings.SplitN(spec, ":", 3)
 		if len(parts) != 3 {
@@ -83,7 +92,27 @@ func run(args []string, out io.Writer) error {
 		if rel.Arity() != len(vars) {
 			return fmt.Errorf("relation %s: %d CSV value columns but %d variables", name, rel.Arity(), len(vars))
 		}
+		for c, v := range vars {
+			t := varTypes[v]
+			if t == nil {
+				t = &colTypes{}
+				varTypes[v] = t
+			}
+			for _, tp := range rel.Tuples {
+				if tp[c] >= relation.DictBase {
+					t.dict = true
+				} else {
+					t.numeric = true
+				}
+				break // whole-column typing: the first row decides
+			}
+		}
 		q.Rel(name, vars, rel.Tuples, rel.Weights)
+	}
+	for v, t := range varTypes {
+		if t.numeric && t.dict {
+			fmt.Fprintf(os.Stderr, "topkjoin: warning: variable %s binds a numeric column in one file and a string column in another; columns are typed per file, so these values never join\n", v)
+		}
 	}
 
 	p, err := repro.Compile(q)

@@ -65,6 +65,57 @@ func TestRunVariants(t *testing.T) {
 	}
 }
 
+func TestRunGHDShape(t *testing.T) {
+	// Two fused triangles (K4 minus an edge) — a shape only the generic
+	// GHD planner accepts. The graph holds exactly two matches with
+	// weights 15 (A=1,B=2,C=3,D=4) and 19.
+	var out bytes.Buffer
+	err := run([]string{
+		"-k", "0", "-rank", "sum",
+		"-rel", "R1:A,B:testdata/edges.csv",
+		"-rel", "R2:B,C:testdata/edges.csv",
+		"-rel", "R3:C,A:testdata/edges.csv",
+		"-rel", "R4:B,D:testdata/edges.csv",
+		"-rel", "R5:D,C:testdata/edges.csv",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("output lines = %d, want 3 (header + 2 results):\n%s", len(lines), out.String())
+	}
+	if lines[0] != "rank\tA\tB\tC\tD\tweight" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "1\t1\t2\t3\t4\t15") {
+		t.Errorf("top fused-triangle result = %q, want 1 1 2 3 4 15", lines[1])
+	}
+}
+
+func TestRunFlippedCycle(t *testing.T) {
+	// A triangle declared with one edge orientation flipped: R2 binds
+	// (C,B) instead of (B,C). The matcher must re-orient it, not reject.
+	var out bytes.Buffer
+	err := run([]string{
+		"-k", "1", "-rank", "sum",
+		"-rel", "R1:A,B:testdata/edges.csv",
+		"-rel", "R2:C,B:testdata/edges.csv",
+		"-rel", "R3:C,A:testdata/edges.csv",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("output lines = %d, want 2:\n%s", len(lines), out.String())
+	}
+	// Lightest match: A=4, B=3, C=2 with weight 5+2+4 = 11.
+	if !strings.HasSuffix(lines[1], "11") {
+		t.Errorf("top flipped-triangle weight = %q, want 11", lines[1])
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	cases := [][]string{
 		{},                                  // no relations

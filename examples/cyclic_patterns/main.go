@@ -1,0 +1,82 @@
+// Cyclic pattern search beyond simple cycles — the generic GHD planner
+// in action: the facade compiles *any* cyclic query shape (bowtie, K4,
+// fused triangles, ...) by searching for a generalized hypertree
+// decomposition, materialising each bag with Generic-Join, and running
+// ranked any-k enumeration over the acyclic bag tree.
+//
+// The program searches one weighted random graph for the k lightest
+// bowties (two triangles pinched at a shared vertex) and the k lightest
+// 4-cliques, printing the decomposition the planner chose for each.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	edges := flag.Int("edges", 3000, "number of edges in the random graph")
+	vertices := flag.Int("vertices", 300, "number of vertices")
+	k := flag.Int("k", 5, "how many lightest patterns to report")
+	seed := flag.Uint64("seed", 42, "graph seed")
+	flag.Parse()
+
+	g := workload.SkewedGraph(*vertices, *edges, 1.2, workload.UniformWeights(), *seed)
+	fmt.Printf("graph: %d edges, %d vertices\n\n", *edges, *vertices)
+
+	type atom struct {
+		name string
+		vars []string
+	}
+	shapes := []struct {
+		name  string
+		atoms []atom
+	}{
+		{"bowtie (triangles sharing vertex A)", []atom{
+			{"R1", []string{"A", "B"}}, {"R2", []string{"B", "C"}}, {"R3", []string{"C", "A"}},
+			{"R4", []string{"A", "D"}}, {"R5", []string{"D", "E"}}, {"R6", []string{"E", "A"}},
+		}},
+		{"K4 (4-clique)", []atom{
+			{"R1", []string{"A", "B"}}, {"R2", []string{"A", "C"}}, {"R3", []string{"A", "D"}},
+			{"R4", []string{"B", "C"}}, {"R5", []string{"B", "D"}}, {"R6", []string{"C", "D"}},
+		}},
+	}
+
+	for _, shape := range shapes {
+		q := repro.NewQuery()
+		for _, a := range shape.atoms {
+			q.Rel(a.name, a.vars, g.Edges.Tuples, g.Edges.Weights)
+		}
+		start := time.Now()
+		p, err := repro.Compile(q) // GHD search + planning, once
+		if err != nil {
+			panic(err)
+		}
+		it, err := p.Run(repro.WithRanking(repro.SumCost), repro.WithK(*k))
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s — output schema %v\n", shape.name, p.OutAttrs())
+		found := 0
+		for {
+			r, ok := it.Next()
+			if !ok {
+				break
+			}
+			found++
+			fmt.Printf("  #%-2d %v  weight %.4f  (t=%v)\n", found, r.Tuple, r.Weight, time.Since(start))
+		}
+		if err := it.Err(); err != nil {
+			panic(err)
+		}
+		it.Close()
+		if found == 0 {
+			fmt.Println("  (no matches in this graph — try more edges)")
+		}
+		fmt.Println()
+	}
+}

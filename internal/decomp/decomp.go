@@ -74,8 +74,12 @@ func (p *Plan) Run(ctx context.Context, v core.Variant) (core.Iterator, error) {
 
 // Stats reports the decomposition work: what was materialised where.
 type Stats struct {
-	// BagSizes holds the materialised bag sizes per tree (two per tree).
+	// BagSizes holds the materialised bag sizes per tree (two per tree)
+	// for the canonical cycle plans. GHD plans report TreeBags instead.
 	BagSizes [][2]int
+	// TreeBags holds, for GHD plans, the materialised bag sizes of each
+	// tree (one inner slice per tree, one entry per bag).
+	TreeBags [][]int
 	// HeavyB and HeavyD count heavy join values.
 	HeavyB, HeavyD int
 	// TotalMaterialized sums all bag sizes.

@@ -1,0 +1,217 @@
+package decomp
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/hypergraph"
+	"repro/internal/ranking"
+	"repro/internal/relation"
+	"repro/internal/wcoj"
+)
+
+// PrepareGHD compiles an arbitrary full conjunctive query via a
+// generalized hypertree decomposition: search for a low-width
+// decomposition (hypergraph.Decompose), materialise every bag with
+// Generic-Join, and hand the acyclic bag tree to the any-k T-DP
+// machinery. It is the generic fallback behind the facade's canonical
+// triangle/4-cycle/l-cycle fast paths and accepts every query shape.
+//
+// Output tuples use the canonical schema GHDAttrs(edges): all query
+// variables in sorted order.
+func PrepareGHD(edges []hypergraph.Edge, rels []*relation.Relation, agg ranking.Aggregate) (*Plan, error) {
+	h := hypergraph.New(edges...)
+	d, err := h.Decompose()
+	if err != nil {
+		return nil, err
+	}
+	return PrepareGHDWith(d, edges, rels, agg)
+}
+
+// GHDAttrs is the canonical output schema of the GHD plans built from
+// the given edges: the distinct query variables in sorted order.
+func GHDAttrs(edges []hypergraph.Edge) []string {
+	return hypergraph.New(edges...).Vars()
+}
+
+// PrepareGHDWith compiles the query over an already-computed
+// decomposition (so a prepare-once facade can run the structural search
+// a single time and rebuild only the per-aggregate bags).
+//
+// Each bag is materialised by wcoj.Materialize over three kinds of
+// atoms:
+//
+//   - charged atoms: relations whose hyperedge is assigned to this bag.
+//     Every relation is charged to exactly one bag (the first bag, in
+//     decomposition order, that contains its variables), so its tuple
+//     weights — and, under bag semantics, its duplicate multiplicities —
+//     enter the ranking aggregate exactly once across the whole plan.
+//   - filter atoms: relations contained in the bag but charged
+//     elsewhere. They join with identity weights and deduplicated
+//     tuples, so they prune the bag without re-counting weight or
+//     multiplicity.
+//   - projection atoms: when a bag variable (typically introduced by a
+//     fill edge of the elimination order) is not covered by any
+//     contained relation, the smallest relation holding that variable
+//     contributes its deduplicated, identity-weighted projection onto
+//     the bag — the same device PrepareCycleSingleTree uses for its
+//     middle bags.
+//
+// Every relation's join predicate is enforced in its charged bag, and
+// the bag tree's running-intersection property propagates it to the
+// final result, so the ranked enumeration over the bag tree is exact.
+func PrepareGHDWith(d *hypergraph.Decomposition, edges []hypergraph.Edge, rels []*relation.Relation, agg ranking.Aggregate) (*Plan, error) {
+	if len(edges) != len(rels) {
+		return nil, fmt.Errorf("decomp: %d relations for %d hyperedges", len(rels), len(edges))
+	}
+	for i, e := range edges {
+		if len(e.Vars) != rels[i].Arity() {
+			return nil, fmt.Errorf("decomp: edge %s has %d vars but relation %s arity %d",
+				e.Name, len(e.Vars), rels[i].Name, rels[i].Arity())
+		}
+	}
+
+	// Rename every relation to its query variables.
+	qrels := make([]*relation.Relation, len(rels))
+	for i, r := range rels {
+		qrels[i] = rename(r, edges[i].Name, edges[i].Vars...)
+	}
+
+	// Charge each edge to the first bag that contains it.
+	charged := make([]int, len(edges))
+	for i := range charged {
+		charged[i] = -1
+	}
+	for bi, contained := range d.Contains {
+		for _, ei := range contained {
+			if charged[ei] < 0 {
+				charged[ei] = bi
+			}
+		}
+	}
+	for ei, bi := range charged {
+		if bi < 0 {
+			return nil, fmt.Errorf("decomp: edge %s not contained in any bag of %s", edges[ei].Name, d)
+		}
+	}
+
+	bags := make([]*relation.Relation, len(d.Bags))
+	st := &Stats{}
+	for bi, bagVars := range d.Bags {
+		atoms, err := bagAtoms(d, bi, bagVars, edges, qrels, charged, agg)
+		if err != nil {
+			return nil, err
+		}
+		order := wcoj.SuggestOrder(atoms)
+		if len(order) != len(bagVars) {
+			return nil, fmt.Errorf("decomp: bag %v atoms cover %d of %d variables", bagVars, len(order), len(bagVars))
+		}
+		bag, _, err := wcoj.Materialize(atoms, order, agg)
+		if err != nil {
+			return nil, err
+		}
+		bag.Name = fmt.Sprintf("G%d", bi)
+		bags[bi] = bag
+	}
+
+	// The GHD plan is one tree with len(bags) bags, so the pairwise
+	// BagSizes layout of the canonical cycle plans does not apply; the
+	// flat TreeBags field carries the per-bag sizes instead.
+	st.TreeBags = [][]int{make([]int, len(bags))}
+	for i, b := range bags {
+		st.TreeBags[0][i] = b.Len()
+		st.TotalMaterialized += b.Len()
+	}
+
+	// GYO arranges the bags into a join tree. The bag set must be
+	// connected (the T-DP layer rejects cartesian tree edges);
+	// hypergraph.Decompose guarantees this by merging one bag per
+	// component of a disconnected query, so hand-built decompositions
+	// passed here must be connected too.
+	tp, err := prepareTree(bags, agg, GHDAttrs(edges))
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{Stats: st, agg: agg, trees: []*treePlan{tp}}, nil
+}
+
+// bagAtoms assembles the Generic-Join atoms for one bag: charged
+// relations, contained filters, and projections for otherwise-uncovered
+// bag variables.
+func bagAtoms(d *hypergraph.Decomposition, bi int, bagVars []string, edges []hypergraph.Edge, qrels []*relation.Relation, charged []int, agg ranking.Aggregate) ([]wcoj.Atom, error) {
+	covered := make(map[string]bool, len(bagVars))
+	var atoms []wcoj.Atom
+	for _, ei := range d.Contains[bi] {
+		if charged[ei] == bi {
+			atoms = append(atoms, wcoj.Atom{Rel: qrels[ei], Vars: edges[ei].Vars})
+		} else {
+			atoms = append(atoms, wcoj.Atom{Rel: filterCopy(qrels[ei], agg), Vars: edges[ei].Vars})
+		}
+		for _, v := range edges[ei].Vars {
+			covered[v] = true
+		}
+	}
+	for _, v := range bagVars {
+		if covered[v] {
+			continue
+		}
+		// Pick the smallest relation holding v and project it onto the bag.
+		best := -1
+		for ei, e := range edges {
+			holds := false
+			for _, ev := range e.Vars {
+				if ev == v {
+					holds = true
+					break
+				}
+			}
+			if holds && (best < 0 || qrels[ei].Len() < qrels[best].Len()) {
+				best = ei
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("decomp: bag variable %s not held by any relation", v)
+		}
+		shared := intersectSorted(edges[best].Vars, bagVars)
+		proj, err := qrels[best].Project(shared...)
+		if err != nil {
+			return nil, err
+		}
+		atoms = append(atoms, wcoj.Atom{Rel: filterCopy(proj, agg), Vars: shared})
+		for _, sv := range shared {
+			covered[sv] = true
+		}
+	}
+	return atoms, nil
+}
+
+// filterCopy returns a deduplicated, identity-weighted copy of r: a pure
+// join filter that contributes no weight and exactly one row per
+// distinct tuple.
+func filterCopy(r *relation.Relation, agg ranking.Aggregate) *relation.Relation {
+	out := relation.New(r.Name+"~", r.Attrs...)
+	id := agg.Identity()
+	out.Tuples = append([]relation.Tuple(nil), r.Tuples...)
+	out.Weights = make([]float64, len(r.Tuples))
+	for i := range out.Weights {
+		out.Weights[i] = id
+	}
+	out.Dedup()
+	return out
+}
+
+// intersectSorted returns the elements of a that occur in b, sorted.
+func intersectSorted(a, b []string) []string {
+	set := make(map[string]bool, len(b))
+	for _, v := range b {
+		set[v] = true
+	}
+	var out []string
+	for _, v := range a {
+		if set[v] {
+			out = append(out, v)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -56,9 +56,23 @@ func (d *Dictionary) Len() int { return len(d.toStr) }
 
 // ReadCSV reads a relation from CSV. The first row is the header; the
 // last column is parsed as the float64 weight when weightCol is true,
-// otherwise all columns are values and weights default to 0. Non-numeric
-// value columns are dictionary-encoded through dict (which may be shared
-// across relations); numeric columns parse directly.
+// otherwise all columns are values and weights default to 0.
+//
+// Value columns are typed per *column*, not per cell: a column is
+// numeric only when every one of its cells parses as an integer;
+// otherwise the whole column is dictionary-encoded through dict (which
+// may be shared across relations). This keeps encodings consistent
+// within a column — a column holding "7" on one row and "abc" on the
+// next is treated as a string column throughout, so its "7" joins with
+// "7" in other string columns (and the strings "07" and "7" stay
+// distinct) instead of silently mixing numeric and dictionary codes
+// that never match.
+//
+// Typing is per relation: a column that is all-numeric in one file
+// stays numeric there even when the matching column of another file is
+// mixed (and therefore string-typed), in which case the two never join.
+// When an attribute holds strings in any file, make sure it is
+// non-numeric (or quoted consistently) in every file that joins on it.
 func ReadCSV(r io.Reader, name string, weightCol bool, dict *Dictionary) (*Relation, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1
@@ -77,14 +91,35 @@ func ReadCSV(r io.Reader, name string, weightCol bool, dict *Dictionary) (*Relat
 			return nil, fmt.Errorf("relation %s: need at least one value column", name)
 		}
 	}
-	rel := New(name, header[:nattrs]...)
 	for ln, row := range rows[1:] {
 		if len(row) != len(header) {
 			return nil, fmt.Errorf("relation %s line %d: got %d fields, want %d", name, ln+2, len(row), len(header))
 		}
+	}
+	// First pass: a column is numeric iff every data cell parses.
+	numeric := make([]bool, nattrs)
+	for i := range numeric {
+		numeric[i] = true
+	}
+	for _, row := range rows[1:] {
+		for i := 0; i < nattrs; i++ {
+			if !numeric[i] {
+				continue
+			}
+			if _, err := strconv.ParseInt(row[i], 10, 64); err != nil {
+				numeric[i] = false
+			}
+		}
+	}
+	rel := New(name, header[:nattrs]...)
+	for ln, row := range rows[1:] {
 		t := make(Tuple, nattrs)
 		for i := 0; i < nattrs; i++ {
-			if v, err := strconv.ParseInt(row[i], 10, 64); err == nil {
+			if numeric[i] {
+				v, err := strconv.ParseInt(row[i], 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("relation %s line %d: bad numeric value %q: %w", name, ln+2, row[i], err)
+				}
 				t[i] = v
 			} else if dict != nil {
 				t[i] = dict.Code(row[i])

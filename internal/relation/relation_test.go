@@ -346,6 +346,66 @@ func TestCSVWithDictionary(t *testing.T) {
 	}
 }
 
+func TestCSVMixedColumnEncodedConsistently(t *testing.T) {
+	// A column holding a numeric-looking cell and a string cell must be
+	// dictionary-encoded as a whole; cell-by-cell typing would give "7" a
+	// numeric code and "abc" a dictionary code, and the two relations
+	// below would never join on their shared values.
+	d := NewDictionary()
+	r, err := ReadCSV(strings.NewReader("k,w\n7,1\nabc,2\n"), "R", true, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ReadCSV(strings.NewReader("k,w\nabc,3\n7,4\n"), "S", true, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rel := range []*Relation{r, s} {
+		for i, tp := range rel.Tuples {
+			if tp[0] < DictBase {
+				t.Fatalf("%s row %d: mixed column cell encoded numerically (%d)", rel.Name, i, tp[0])
+			}
+		}
+	}
+	if r.Tuples[0][0] != s.Tuples[1][0] {
+		t.Error(`"7" must get the same dictionary code in both relations`)
+	}
+	if r.Tuples[1][0] != s.Tuples[0][0] {
+		t.Error(`"abc" must get the same dictionary code in both relations`)
+	}
+	if r.Tuples[0][0] == r.Tuples[1][0] {
+		t.Error(`"7" and "abc" must get distinct codes`)
+	}
+
+	// A fully numeric column stays numerically encoded even when another
+	// column of the same file is a string column.
+	m, err := ReadCSV(strings.NewReader("a,b,w\n1,x,0\n2,7,0\n"), "M", true, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Tuples[0][0] != 1 || m.Tuples[1][0] != 2 {
+		t.Errorf("numeric column re-encoded: %v", m.Tuples)
+	}
+	if m.Tuples[0][1] < DictBase || m.Tuples[1][1] < DictBase {
+		t.Errorf("mixed column not dictionary-encoded: %v", m.Tuples)
+	}
+
+	// In a string column, "07" and "7" are distinct values (numeric
+	// cell-by-cell parsing used to conflate them).
+	n, err := ReadCSV(strings.NewReader("k,w\n07,0\n7,0\nz,0\n"), "N", true, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Tuples[0][0] == n.Tuples[1][0] {
+		t.Error(`"07" and "7" must stay distinct in a string column`)
+	}
+
+	// Mixed column without a dictionary still fails with guidance.
+	if _, err := ReadCSV(strings.NewReader("k,w\n7,1\nabc,2\n"), "R", true, nil); err == nil {
+		t.Error("mixed column without dictionary should fail")
+	}
+}
+
 func TestCSVErrors(t *testing.T) {
 	if _, err := ReadCSV(strings.NewReader(""), "R", false, nil); err == nil {
 		t.Error("empty CSV should fail")

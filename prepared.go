@@ -27,6 +27,7 @@ const (
 	kindTriangle
 	kindFourCycle
 	kindLongCycle
+	kindGeneric // arbitrary cyclic shape via the GHD planner
 )
 
 // Prepared is a compiled query: hypergraph analysis, acyclicity/cycle
@@ -49,8 +50,18 @@ type Prepared struct {
 	yq   *yannakakis.Query
 	plan *dp.Plan
 
-	// Cyclic: the relations reordered to follow the cycle.
+	// Cyclic cycle shapes: the relations reordered (and, for edges
+	// declared against the walk direction, column-flipped) to follow the
+	// cycle.
 	cycleRels []*relation.Relation
+
+	// Generic cyclic shapes: the query's hyperedges and relations plus
+	// the decomposition found at compile time (the structural search
+	// runs once; only the per-aggregate bag materialisation is
+	// deferred to the first Run with each ranking function).
+	ghdEdges []hypergraph.Edge
+	ghdRels  []*relation.Relation
+	ghdDec   *hypergraph.Decomposition
 
 	tdps    onceCache[*dp.TDP]      // acyclic: T-DP per ranking function
 	decomps onceCache[*decomp.Plan] // cyclic: decomposition per ranking function
@@ -92,9 +103,10 @@ func (c *onceCache[V]) get(agg ranking.Aggregate, build func(ranking.Aggregate) 
 
 // Compile analyses and plans the query once, returning a reusable
 // handle. Acyclic queries are planned onto the T-DP join tree; triangle,
-// 4-cycle, and longer cycle queries onto their decompositions (see
-// Ranked for the per-shape plans). Other cyclic shapes are rejected
-// with guidance.
+// 4-cycle, and longer cycle queries onto their canonical decompositions
+// (see Ranked for the per-shape plans); every other cyclic shape runs
+// the generalized-hypertree-decomposition search and compiles onto the
+// resulting bag tree.
 func Compile(q *Query) (*Prepared, error) {
 	if q.err != nil {
 		return nil, q.err
@@ -131,7 +143,20 @@ func Compile(q *Query) (*Prepared, error) {
 		}
 		return p, nil
 	}
-	return nil, fmt.Errorf("repro: cyclic query %s is not a supported shape (cycles of any length are built in; decompose other shapes manually with internal/decomp techniques)", h)
+	// Arbitrary cyclic shape: search for a generalized hypertree
+	// decomposition now (structure only — bags materialise lazily per
+	// ranking function on first Run).
+	dec, err := h.Decompose()
+	if err != nil {
+		return nil, fmt.Errorf("repro: cyclic query %s: %w", h, err)
+	}
+	return &Prepared{
+		outAttrs: decomp.GHDAttrs(q.edges),
+		kind:     kindGeneric,
+		ghdEdges: q.edges,
+		ghdRels:  q.rels,
+		ghdDec:   dec,
+	}, nil
 }
 
 // Prepare is Compile as a method on the query builder.
@@ -269,8 +294,9 @@ func (p *Prepared) tdpFor(agg ranking.Aggregate) (*dp.TDP, error) {
 
 // decompFor returns (building and caching on first use) the cyclic
 // decomposition plan under agg: a Generic-Join bag for the triangle,
-// the submodular-width union of three trees for the 4-cycle, and the
-// fhtw-2 fan plan for longer cycles.
+// the submodular-width union of three trees for the 4-cycle, the
+// fhtw-2 fan plan for longer cycles, and the GHD bag tree for every
+// other cyclic shape.
 func (p *Prepared) decompFor(agg ranking.Aggregate) (*decomp.Plan, error) {
 	return p.decomps.get(agg, p.buildDecomp)
 }
@@ -285,6 +311,8 @@ func (p *Prepared) buildDecomp(agg ranking.Aggregate) (*decomp.Plan, error) {
 		var four [4]*relation.Relation
 		copy(four[:], p.cycleRels)
 		return decomp.PrepareFourCycleSubmodular(four, agg)
+	case kindGeneric:
+		return decomp.PrepareGHDWith(p.ghdDec, p.ghdEdges, p.ghdRels, agg)
 	default:
 		return decomp.PrepareCycleSingleTree(p.cycleRels, agg)
 	}

@@ -304,8 +304,17 @@ func TestCompileErrors(t *testing.T) {
 		Rel("E3", []string{"C", "A"}, e, nil).
 		Rel("E4", []string{"B", "D"}, e, nil).
 		Rel("E5", []string{"D", "C"}, e, nil)
-	if _, err := Compile(shape); err == nil {
-		t.Error("unsupported cyclic shape should fail to compile")
+	if _, err := Compile(shape); err != nil {
+		t.Errorf("fused-triangle shape should compile via the GHD planner: %v", err)
+	}
+	if _, err := Compile(NewQuery().
+		Rel("R", []string{"A", "B"}, e, nil).
+		Rel("R", []string{"B", "C"}, e, nil)); err == nil {
+		t.Error("duplicate relation name should fail to compile")
+	}
+	if _, err := Compile(NewQuery().
+		Rel("R", []string{"A", "A"}, []Tuple{{1, 1}}, nil)); err == nil {
+		t.Error("repeated atom variable should fail to compile")
 	}
 	p, err := Compile(prepCases()["acyclic"]())
 	if err != nil {
