@@ -26,7 +26,10 @@
 // Prepared handles are safe for concurrent Run calls, so one Compile
 // can serve many top-k requests with different k, ranking functions
 // (WithRanking), algorithm variants (WithVariant), and cancellation
-// contexts (WithContext). The one-shot helpers Ranked, TopK, Count and
+// contexts (WithContext). WithParallelism materialises the
+// decomposition bags of cyclic queries on a bounded worker pool during
+// the prepare phase — bit-identical output, lower latency (see
+// docs/ARCHITECTURE.md). The one-shot helpers Ranked, TopK, Count and
 // IsEmpty remain as thin wrappers that compile and execute in one step.
 //
 // Acyclic queries run directly on the tree-based dynamic program.

@@ -7,6 +7,7 @@
 //	anyk-bench -exp E6         # run one experiment
 //	anyk-bench -exp E6 -scale small
 //	anyk-bench -benchjson anyk # write machine-readable BENCH_anyk.json
+//	anyk-bench -benchjson anyk -parallel 4  # 4 prepare workers
 //
 // Scales: small (seconds, CI-friendly), default (tens of seconds),
 // large (minutes — closest to paper-scale shapes).
@@ -16,7 +17,11 @@
 // shared plan, and writes BENCH_<name>.json with per-variant
 // time-to-first-result, time-to-k, and total enumeration time in
 // nanoseconds, plus a timestamp — one snapshot per commit, so the
-// perf trajectory accumulates in version control.
+// perf trajectory accumulates in version control. It also times the
+// cyclic prepare path (GHD bag materialisation for a bowtie query)
+// twice — sequentially and with -parallel workers
+// (repro.WithParallelism) — so each snapshot records the
+// sequential-vs-parallel prepare ratio on the machine that produced it.
 package main
 
 import (
@@ -29,6 +34,7 @@ import (
 
 	"repro"
 	"repro/internal/experiments"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -115,6 +121,7 @@ func main() {
 	scale := flag.String("scale", "default", "workload scale: small, default, large")
 	asCSV := flag.Bool("csv", false, "emit comma-separated values instead of aligned tables")
 	benchJSON := flag.String("benchjson", "", "write BENCH_<name>.json with per-variant TTF/TTK/total and exit")
+	par := flag.Int("parallel", 0, "prepare workers for the -benchjson parallel measurement (<= 0 selects GOMAXPROCS)")
 	flag.Parse()
 	render := func(t *stats.Table) string {
 		if *asCSV {
@@ -130,7 +137,7 @@ func main() {
 	}
 
 	if *benchJSON != "" {
-		path, err := writeBenchJSON(*benchJSON, *scale, cfg)
+		path, err := writeBenchJSON(*benchJSON, *scale, cfg, *par)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
@@ -192,12 +199,59 @@ type benchReport struct {
 	CompileNs int64          `json:"compile_ns"`
 	Timestamp string         `json:"timestamp"`
 	Variants  []benchVariant `json:"variants"`
+
+	// Prepare path: the bowtie's GHD bags materialised sequentially vs
+	// with PrepareWorkers workers (repro.WithParallelism). The ratio
+	// prepare_seq_ns / prepare_par_ns is the machine's prepare speedup.
+	PrepareShape   string `json:"prepare_shape"`
+	PrepareN       int    `json:"prepare_n"`
+	PrepareWorkers int    `json:"prepare_workers"`
+	PrepareSeqNs   int64  `json:"prepare_seq_ns"`
+	PrepareParNs   int64  `json:"prepare_par_ns"`
+}
+
+// bowtieBench builds the bowtie query (two triangles sharing A — a
+// two-bag GHD with intra-bag Generic-Join work) over n random edges.
+func bowtieBench(n int) *repro.Query {
+	g := workload.RandomGraph(n/10, n, workload.UniformWeights(), 17)
+	q := repro.NewQuery()
+	for i, vs := range [][]string{
+		{"A", "B"}, {"B", "C"}, {"C", "A"}, {"A", "D"}, {"D", "E"}, {"E", "A"},
+	} {
+		q.Rel(fmt.Sprintf("E%d", i+1), vs, g.Edges.Tuples, g.Edges.Weights)
+	}
+	return q
+}
+
+// measurePrepare times the first-run prepare path (decomposition bag
+// materialisation + tree compilation) at the given parallelism. The
+// Compile call — whose GHD structure search is sequential either way —
+// stays outside the timer, and the best of three fresh-handle samples
+// is reported so the recorded sequential-vs-parallel ratio reflects
+// the materialisation work rather than one-off cache or GC noise.
+func measurePrepare(q *repro.Query, workers int) (time.Duration, error) {
+	var best time.Duration
+	for i := 0; i < 3; i++ {
+		p, err := repro.Compile(q, repro.WithParallelism(workers))
+		if err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		if _, err := p.TopK(1); err != nil {
+			return 0, err
+		}
+		if d := time.Since(start); best == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
 }
 
 // writeBenchJSON compiles a 4-relation path query once and measures
 // every any-k variant off the shared prepared plan: time-to-first,
-// time-to-k, and total enumeration time.
-func writeBenchJSON(name, scale string, cfg scaleCfg) (string, error) {
+// time-to-k, and total enumeration time. It then measures the cyclic
+// prepare path sequentially and with `workers` workers.
+func writeBenchJSON(name, scale string, cfg scaleCfg, workers int) (string, error) {
 	n := cfg.e6ns[len(cfg.e6ns)-1]
 	k := cfg.e6k
 	inst := workload.Path(4, n, n/5+1, workload.UniformWeights(), 42)
@@ -254,6 +308,24 @@ func writeBenchJSON(name, scale string, cfg scaleCfg) (string, error) {
 			TotalNs: rec.TTL().Nanoseconds(),
 		})
 	}
+
+	prepN := cfg.e6ns[len(cfg.e6ns)-1]
+	bq := bowtieBench(prepN)
+	seq, err := measurePrepare(bq, 1)
+	if err != nil {
+		return "", err
+	}
+	workers = parallel.Degree(workers)
+	parT, err := measurePrepare(bq, workers)
+	if err != nil {
+		return "", err
+	}
+	report.PrepareShape = "bowtie"
+	report.PrepareN = prepN
+	report.PrepareWorkers = workers
+	report.PrepareSeqNs = seq.Nanoseconds()
+	report.PrepareParNs = parT.Nanoseconds()
+
 	path := fmt.Sprintf("BENCH_%s.json", name)
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

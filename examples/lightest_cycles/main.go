@@ -43,7 +43,7 @@ func main() {
 	prep := time.Since(start)
 	fmt.Printf("graph: %d edges, %d vertices; heavy B values: %d, heavy D values: %d\n",
 		*edges, *vertices, st.HeavyB, st.HeavyD)
-	fmt.Printf("decomposition bags (tree × [bag1 bag2]): %v  (total %d tuples, O(n^1.5) guaranteed)\n",
+	fmt.Printf("decomposition bags (per tree, per bag): %v  (total %d tuples, O(n^1.5) guaranteed)\n",
 		st.BagSizes, st.TotalMaterialized)
 	fmt.Printf("preprocessing: %v\n\n", prep)
 

@@ -13,7 +13,13 @@
 //     output, sort, then iterate.
 //
 // Cyclic queries are handled by internal/decomp, which unions several
-// T-DPs and merges their iterators with Merge.
+// T-DPs and merges their iterators with Merge. Enumeration itself is
+// single-threaded and deterministic: all parallelism in the library
+// lives in the prepare phase upstream (internal/decomp bag
+// materialisation over internal/parallel), which is why an iterator,
+// once constructed, yields the same sequence whatever parallelism
+// prepared its plan. See PAPER.md for the tutorial this reproduces and
+// docs/ARCHITECTURE.md for the full data flow.
 package core
 
 import (

@@ -34,7 +34,8 @@ func CycleAttrs(l int) []string {
 // prefer TriangleAnyK and for l = 4 prefer FourCycleSubmodular; this
 // plan still accepts those shapes for comparison experiments. Output
 // tuples are ordered (A0,...,A_{l-1}).
-func PrepareCycleSingleTree(rels []*relation.Relation, agg ranking.Aggregate) (*Plan, error) {
+func PrepareCycleSingleTree(rels []*relation.Relation, agg ranking.Aggregate, opts ...PrepareOption) (*Plan, error) {
+	cfg := newPrepCfg(opts)
 	l := len(rels)
 	if l < 3 {
 		return nil, fmt.Errorf("decomp: cycle needs at least 3 relations, got %d", l)
@@ -58,63 +59,60 @@ func PrepareCycleSingleTree(rels []*relation.Relation, agg ranking.Aggregate) (*
 		if err != nil {
 			return nil, err
 		}
-		st := &Stats{BagSizes: [][2]int{{b1.Len(), named[2].Len()}}, TotalMaterialized: b1.Len()}
+		st := &Stats{BagSizes: [][]int{{b1.Len(), named[2].Len()}}, TotalMaterialized: b1.Len()}
 		return &Plan{Stats: st, agg: agg, trees: []*treePlan{tp}}, nil
 	}
 
-	bags := make([]*relation.Relation, 0, l-2)
-	b1, err := joinBags("B1", named[0], named[1], []string{"A0", "A1", "A2"}, agg)
-	if err != nil {
-		return nil, err
-	}
-	bags = append(bags, b1)
-
-	// Distinct A0 values (from R1's first column), used to extend the
-	// middle bags. Weight contribution is the aggregate identity so each
-	// input tuple's weight still counts exactly once.
+	// The l−2 fan bags are mutually independent: B1 and B_{l-2} are hash
+	// joins of adjacent cycle relations, and each middle bag extends one
+	// relation by the distinct A0 values. One task per bag.
+	tasks := make([]func() (*relation.Relation, error), 0, l-2)
+	tasks = append(tasks, func() (*relation.Relation, error) {
+		return joinBags("B1", named[0], named[1], []string{"A0", "A1", "A2"}, agg)
+	})
 	if l > 4 {
+		// Distinct A0 values (from R1's first column), used to extend the
+		// middle bags. Weight contribution is the aggregate identity so
+		// each input tuple's weight still counts exactly once.
 		a0 := distinctValues(named[0], "A0")
 		for i := 2; i <= l-3; i++ {
-			bag := relation.New(fmt.Sprintf("B%d", i),
-				"A0", fmt.Sprintf("A%d", i), fmt.Sprintf("A%d", i+1))
-			src := named[i] // R_{i+1}(A_i, A_{i+1})
-			for ti, tp := range src.Tuples {
-				for _, v0 := range a0 {
-					bag.AddTuple(relation.Tuple{v0, tp[0], tp[1]}, src.Weights[ti])
+			tasks = append(tasks, func() (*relation.Relation, error) {
+				bag := relation.New(fmt.Sprintf("B%d", i),
+					"A0", fmt.Sprintf("A%d", i), fmt.Sprintf("A%d", i+1))
+				src := named[i] // R_{i+1}(A_i, A_{i+1})
+				for ti, tp := range src.Tuples {
+					for _, v0 := range a0 {
+						bag.AddTuple(relation.Tuple{v0, tp[0], tp[1]}, src.Weights[ti])
+					}
 				}
-			}
-			bags = append(bags, bag)
+				return bag, nil
+			})
 		}
 	}
-
-	bLast, err := joinBags(fmt.Sprintf("B%d", l-2), named[l-2], named[l-1],
-		[]string{"A0", fmt.Sprintf("A%d", l-2), fmt.Sprintf("A%d", l-1)}, agg)
+	tasks = append(tasks, func() (*relation.Relation, error) {
+		return joinBags(fmt.Sprintf("B%d", l-2), named[l-2], named[l-1],
+			[]string{"A0", fmt.Sprintf("A%d", l-2), fmt.Sprintf("A%d", l-1)}, agg)
+	})
+	bags, err := buildBags(cfg, tasks...)
 	if err != nil {
 		return nil, err
 	}
-	bags = append(bags, bLast)
 
 	tp, err := prepareTree(bags, agg, CycleAttrs(l))
 	if err != nil {
 		return nil, err
 	}
-	st := &Stats{}
-	for i := 0; i < len(bags); i += 2 {
-		pair := [2]int{bags[i].Len(), 0}
-		if i+1 < len(bags) {
-			pair[1] = bags[i+1].Len()
-		}
-		st.BagSizes = append(st.BagSizes, pair)
-	}
-	for _, b := range bags {
+	st := &Stats{BagSizes: [][]int{make([]int, len(bags))}}
+	for i, b := range bags {
+		st.BagSizes[0][i] = b.Len()
 		st.TotalMaterialized += b.Len()
 	}
 	return &Plan{Stats: st, agg: agg, trees: []*treePlan{tp}}, nil
 }
 
 // CycleSingleTree is the one-shot form of PrepareCycleSingleTree + Run.
-func CycleSingleTree(rels []*relation.Relation, agg ranking.Aggregate, v core.Variant) (core.Iterator, *Stats, error) {
-	p, err := PrepareCycleSingleTree(rels, agg)
+func CycleSingleTree(rels []*relation.Relation, agg ranking.Aggregate, v core.Variant, opts ...PrepareOption) (core.Iterator, *Stats, error) {
+	p, err := PrepareCycleSingleTree(rels, agg, opts...)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -13,6 +13,15 @@
 //     drives from a filtered side and probes an index, so its cost is
 //     input + output). The three cases partition the output, so the
 //     ranked union needs no deduplication.
+//
+// Every Prepare* constructor accepts PrepareOptions: WithWorkers(n)
+// materialises the plan's mutually independent bags on a bounded
+// worker pool (bag-level fan-out first, leftover workers partitioning
+// the first variable inside each Generic-Join bag via
+// wcoj.MaterializeParallel), and WithContext(ctx) makes the prepare
+// phase cancelable between bag tasks and partitions. Parallel prepares
+// are bit-identical to sequential ones — same bag contents and order,
+// same Stats — see docs/ARCHITECTURE.md for the invariants.
 package decomp
 
 import (
@@ -24,11 +33,66 @@ import (
 	"repro/internal/dp"
 	"repro/internal/heap"
 	"repro/internal/hypergraph"
+	"repro/internal/parallel"
 	"repro/internal/ranking"
 	"repro/internal/relation"
 	"repro/internal/wcoj"
 	"repro/internal/yannakakis"
 )
+
+// prepCfg collects the per-prepare options: how many workers materialise
+// bags and which context can cancel the prepare phase.
+type prepCfg struct {
+	ctx     context.Context
+	workers int
+}
+
+// PrepareOption configures one Prepare* call. The defaults are fully
+// sequential materialisation under context.Background().
+type PrepareOption func(*prepCfg)
+
+// WithWorkers sets how many workers materialise the plan's bags: the
+// independent bags of a shape fan out first (one task per bag), and any
+// leftover parallelism is spent inside each Generic-Join bag by
+// partitioning the first variable of its order
+// (wcoj.MaterializeParallel). n <= 0 selects GOMAXPROCS. Whatever the
+// worker count, the prepared plan is bit-identical to the sequential
+// one: same bag relations in the same order, same Stats.
+func WithWorkers(n int) PrepareOption {
+	return func(c *prepCfg) { c.workers = parallel.Degree(n) }
+}
+
+// WithContext attaches a cancellation context to the prepare phase.
+// Cancellation is checked between bag tasks and between intra-bag
+// partitions; a canceled prepare returns ctx.Err() and no plan.
+func WithContext(ctx context.Context) PrepareOption {
+	return func(c *prepCfg) { c.ctx = ctx }
+}
+
+func newPrepCfg(opts []PrepareOption) prepCfg {
+	cfg := prepCfg{ctx: context.Background(), workers: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// buildBags materialises independent bags across cfg.workers workers.
+// Slot i of the result is task i's bag, so bag order — and everything
+// derived from it: join-tree construction, Stats — is deterministic;
+// sizes must only be read after buildBags returns (the barrier).
+func buildBags(cfg prepCfg, tasks ...func() (*relation.Relation, error)) ([]*relation.Relation, error) {
+	bags := make([]*relation.Relation, len(tasks))
+	err := parallel.ForEach(cfg.ctx, cfg.workers, len(tasks), func(i int) error {
+		b, err := tasks[i]()
+		bags[i] = b
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return bags, nil
+}
 
 // Plan is a compiled decomposition: every bag is materialised and every
 // tree's T-DP is built, so Run only has to spin up iterators. A Plan is
@@ -73,13 +137,16 @@ func (p *Plan) Run(ctx context.Context, v core.Variant) (core.Iterator, error) {
 }
 
 // Stats reports the decomposition work: what was materialised where.
+// Parallel prepares (WithWorkers) aggregate Stats only after every bag
+// task has finished, so the reported values are identical to a
+// sequential prepare's.
 type Stats struct {
-	// BagSizes holds the materialised bag sizes per tree (two per tree)
-	// for the canonical cycle plans. GHD plans report TreeBags instead.
-	BagSizes [][2]int
-	// TreeBags holds, for GHD plans, the materialised bag sizes of each
-	// tree (one inner slice per tree, one entry per bag).
-	TreeBags [][]int
+	// BagSizes holds the materialised bag sizes: one inner slice per
+	// tree of the plan, one entry per bag of that tree, in tree order.
+	// (Earlier versions packed fixed [2]int pairs, which misreported
+	// shapes with more than two bags per tree — the l-cycle fan plan and
+	// GHD bag trees.)
+	BagSizes [][]int
 	// HeavyB and HeavyD count heavy join values.
 	HeavyB, HeavyD int
 	// TotalMaterialized sums all bag sizes.
@@ -98,23 +165,25 @@ var TriangleAttrs = []string{"A", "B", "C"}
 // by AGM); Run then enumerates them lazily in ranking order via an
 // incremental heap — so time-to-first is O(n^1.5) and each further
 // result costs O(log n), matching the claim of §1 for the 3-cycle.
-func PrepareTriangle(rels [3]*relation.Relation, agg ranking.Aggregate) (*Plan, error) {
+func PrepareTriangle(rels [3]*relation.Relation, agg ranking.Aggregate, opts ...PrepareOption) (*Plan, error) {
+	cfg := newPrepCfg(opts)
 	atoms := []wcoj.Atom{
 		{Rel: rels[0], Vars: []string{"A", "B"}},
 		{Rel: rels[1], Vars: []string{"B", "C"}},
 		{Rel: rels[2], Vars: []string{"C", "A"}},
 	}
-	out, _, err := wcoj.Materialize(atoms, TriangleAttrs, agg)
+	// A single bag: all parallelism goes intra-bag, partitioning A.
+	out, _, err := wcoj.MaterializeParallel(cfg.ctx, atoms, TriangleAttrs, agg, cfg.workers)
 	if err != nil {
 		return nil, err
 	}
-	st := &Stats{BagSizes: [][2]int{{out.Len(), 0}}, TotalMaterialized: out.Len()}
+	st := &Stats{BagSizes: [][]int{{out.Len()}}, TotalMaterialized: out.Len()}
 	return &Plan{Stats: st, agg: agg, bag: out}, nil
 }
 
 // TriangleAnyK is the one-shot form of PrepareTriangle + Run.
-func TriangleAnyK(rels [3]*relation.Relation, agg ranking.Aggregate) (core.Iterator, *Stats, error) {
-	p, err := PrepareTriangle(rels, agg)
+func TriangleAnyK(rels [3]*relation.Relation, agg ranking.Aggregate, opts ...PrepareOption) (core.Iterator, *Stats, error) {
+	p, err := PrepareTriangle(rels, agg, opts...)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -292,31 +361,32 @@ func rename(r *relation.Relation, name string, attrs ...string) *relation.Relati
 // R1(A,B) ⋈ R2(B,C) ⋈ R3(C,D) ⋈ R4(D,A) with the fhtw-2 single-tree
 // plan: bags W1(A,B,C) = R1⋈R2 and W2(A,C,D) = R3⋈R4, each up to Θ(n²).
 // Output tuples are ordered (A,B,C,D).
-func PrepareFourCycleSingleTree(rels [4]*relation.Relation, agg ranking.Aggregate) (*Plan, error) {
+func PrepareFourCycleSingleTree(rels [4]*relation.Relation, agg ranking.Aggregate, opts ...PrepareOption) (*Plan, error) {
+	cfg := newPrepCfg(opts)
 	r1 := rename(rels[0], "R1", "A", "B")
 	r2 := rename(rels[1], "R2", "B", "C")
 	r3 := rename(rels[2], "R3", "C", "D")
 	r4 := rename(rels[3], "R4", "D", "A")
-	w1, err := joinBags("W1", r1, r2, []string{"A", "B", "C"}, agg)
+	bags, err := buildBags(cfg,
+		func() (*relation.Relation, error) { return joinBags("W1", r1, r2, []string{"A", "B", "C"}, agg) },
+		func() (*relation.Relation, error) { return joinBags("W2", r3, r4, []string{"A", "C", "D"}, agg) },
+	)
 	if err != nil {
 		return nil, err
 	}
-	w2, err := joinBags("W2", r3, r4, []string{"A", "C", "D"}, agg)
-	if err != nil {
-		return nil, err
-	}
+	w1, w2 := bags[0], bags[1]
 	tp, err := prepareTree([]*relation.Relation{w1, w2}, agg, FourCycleAttrs)
 	if err != nil {
 		return nil, err
 	}
-	st := &Stats{BagSizes: [][2]int{{w1.Len(), w2.Len()}}, TotalMaterialized: w1.Len() + w2.Len()}
+	st := &Stats{BagSizes: [][]int{{w1.Len(), w2.Len()}}, TotalMaterialized: w1.Len() + w2.Len()}
 	return &Plan{Stats: st, agg: agg, trees: []*treePlan{tp}}, nil
 }
 
 // FourCycleSingleTree is the one-shot form of PrepareFourCycleSingleTree
 // + Run.
-func FourCycleSingleTree(rels [4]*relation.Relation, agg ranking.Aggregate, v core.Variant) (core.Iterator, *Stats, error) {
-	p, err := PrepareFourCycleSingleTree(rels, agg)
+func FourCycleSingleTree(rels [4]*relation.Relation, agg ranking.Aggregate, v core.Variant, opts ...PrepareOption) (core.Iterator, *Stats, error) {
+	p, err := PrepareFourCycleSingleTree(rels, agg, opts...)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -346,7 +416,8 @@ func FourCycleSingleTree(rels [4]*relation.Relation, agg ranking.Aggregate, v co
 // and d values) partition the 4-cycle output, so the ranked union of the
 // three trees is exact without deduplication. Output tuples are ordered
 // (A,B,C,D).
-func PrepareFourCycleSubmodular(rels [4]*relation.Relation, agg ranking.Aggregate) (*Plan, error) {
+func PrepareFourCycleSubmodular(rels [4]*relation.Relation, agg ranking.Aggregate, opts ...PrepareOption) (*Plan, error) {
+	cfg := newPrepCfg(opts)
 	r1 := rename(rels[0], "R1", "A", "B")
 	r2 := rename(rels[1], "R2", "B", "C")
 	r3 := rename(rels[2], "R3", "C", "D")
@@ -388,62 +459,54 @@ func PrepareFourCycleSubmodular(rels [4]*relation.Relation, agg ranking.Aggregat
 	heavyR4 := sel(r4, "R4h", 0, heavyD)
 	heavyR3 := sel(r3, "R3h", 1, heavyD) // D is column 1 of R3(C,D)
 
-	// T1: b light ∧ d light.
-	w1, err := joinBags("W1", r1, lightR2, []string{"A", "B", "C"}, agg)
+	// The six bags of the three trees are independent of each other:
+	//   T1 (b light ∧ d light): W1, W2
+	//   T2 (b heavy):           V1(B,C,D) ⋈ V2(A,B,D) — share {B,D},
+	//                           C only in V1, A only in V2: valid tree.
+	//   T3 (b light ∧ d heavy): U1(D,A,B) ⋈ U2(B,C,D) — share {B,D},
+	//                           A only in U1, C only in U2: valid tree.
+	bags, err := buildBags(cfg,
+		func() (*relation.Relation, error) { return joinBags("W1", r1, lightR2, []string{"A", "B", "C"}, agg) },
+		func() (*relation.Relation, error) { return joinBags("W2", r3, lightR4, []string{"A", "C", "D"}, agg) },
+		func() (*relation.Relation, error) { return joinBags("V1", heavyR2, r3, []string{"B", "C", "D"}, agg) },
+		func() (*relation.Relation, error) { return joinBags("V2", heavyR1, r4, []string{"A", "B", "D"}, agg) },
+		func() (*relation.Relation, error) {
+			return joinBags("U1", heavyR4, lightR1, []string{"D", "A", "B"}, agg)
+		},
+		func() (*relation.Relation, error) {
+			return joinBags("U2", heavyR3, lightR2, []string{"B", "C", "D"}, agg)
+		},
+	)
 	if err != nil {
 		return nil, err
 	}
-	w2, err := joinBags("W2", r3, lightR4, []string{"A", "C", "D"}, agg)
-	if err != nil {
-		return nil, err
-	}
-	t1, err := prepareTree([]*relation.Relation{w1, w2}, agg, FourCycleAttrs)
-	if err != nil {
-		return nil, err
-	}
-
-	// T2: b heavy, d unrestricted. Bags share {B,D}? V1(B,C,D) and
-	// V2(A,B,D) share {B,D}: C only in V1, A only in V2 — valid tree.
-	v1, err := joinBags("V1", heavyR2, r3, []string{"B", "C", "D"}, agg)
-	if err != nil {
-		return nil, err
-	}
-	v2, err := joinBags("V2", heavyR1, r4, []string{"A", "B", "D"}, agg)
-	if err != nil {
-		return nil, err
-	}
-	t2, err := prepareTree([]*relation.Relation{v1, v2}, agg, FourCycleAttrs)
-	if err != nil {
-		return nil, err
-	}
-
-	// T3: b light ∧ d heavy. U1(D,A,B) = σ_heavyD R4 ⋈ σ_lightB R1 on A;
-	// U2(B,C,D) = σ_heavyD R3 ⋈ σ_lightB R2 on C. Shared {B,D}: A only in
-	// U1, C only in U2 — valid tree.
-	u1, err := joinBags("U1", heavyR4, lightR1, []string{"D", "A", "B"}, agg)
-	if err != nil {
-		return nil, err
-	}
-	u2, err := joinBags("U2", heavyR3, lightR2, []string{"B", "C", "D"}, agg)
-	if err != nil {
-		return nil, err
-	}
-	t3, err := prepareTree([]*relation.Relation{u1, u2}, agg, FourCycleAttrs)
+	trees := make([]*treePlan, 3)
+	err = parallel.ForEach(cfg.ctx, cfg.workers, 3, func(ti int) error {
+		tp, err := prepareTree([]*relation.Relation{bags[2*ti], bags[2*ti+1]}, agg, FourCycleAttrs)
+		trees[ti] = tp
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
 
-	st.BagSizes = [][2]int{{w1.Len(), w2.Len()}, {v1.Len(), v2.Len()}, {u1.Len(), u2.Len()}}
+	st.BagSizes = [][]int{
+		{bags[0].Len(), bags[1].Len()},
+		{bags[2].Len(), bags[3].Len()},
+		{bags[4].Len(), bags[5].Len()},
+	}
 	for _, bs := range st.BagSizes {
-		st.TotalMaterialized += bs[0] + bs[1]
+		for _, n := range bs {
+			st.TotalMaterialized += n
+		}
 	}
-	return &Plan{Stats: st, agg: agg, trees: []*treePlan{t1, t2, t3}}, nil
+	return &Plan{Stats: st, agg: agg, trees: trees}, nil
 }
 
 // FourCycleSubmodular is the one-shot form of
 // PrepareFourCycleSubmodular + Run.
-func FourCycleSubmodular(rels [4]*relation.Relation, agg ranking.Aggregate, v core.Variant) (core.Iterator, *Stats, error) {
-	p, err := PrepareFourCycleSubmodular(rels, agg)
+func FourCycleSubmodular(rels [4]*relation.Relation, agg ranking.Aggregate, v core.Variant, opts ...PrepareOption) (core.Iterator, *Stats, error) {
+	p, err := PrepareFourCycleSubmodular(rels, agg, opts...)
 	if err != nil {
 		return nil, nil, err
 	}

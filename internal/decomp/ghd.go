@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/hypergraph"
+	"repro/internal/parallel"
 	"repro/internal/ranking"
 	"repro/internal/relation"
 	"repro/internal/wcoj"
@@ -19,13 +20,13 @@ import (
 //
 // Output tuples use the canonical schema GHDAttrs(edges): all query
 // variables in sorted order.
-func PrepareGHD(edges []hypergraph.Edge, rels []*relation.Relation, agg ranking.Aggregate) (*Plan, error) {
+func PrepareGHD(edges []hypergraph.Edge, rels []*relation.Relation, agg ranking.Aggregate, opts ...PrepareOption) (*Plan, error) {
 	h := hypergraph.New(edges...)
 	d, err := h.Decompose()
 	if err != nil {
 		return nil, err
 	}
-	return PrepareGHDWith(d, edges, rels, agg)
+	return PrepareGHDWith(d, edges, rels, agg, opts...)
 }
 
 // GHDAttrs is the canonical output schema of the GHD plans built from
@@ -60,7 +61,16 @@ func GHDAttrs(edges []hypergraph.Edge) []string {
 // Every relation's join predicate is enforced in its charged bag, and
 // the bag tree's running-intersection property propagates it to the
 // final result, so the ranked enumeration over the bag tree is exact.
-func PrepareGHDWith(d *hypergraph.Decomposition, edges []hypergraph.Edge, rels []*relation.Relation, agg ranking.Aggregate) (*Plan, error) {
+//
+// Bags are mutually independent, so WithWorkers(n) materialises them in
+// parallel: the worker budget fans out over bags first and any
+// remainder is spent inside each bag by partitioning the first variable
+// of its Generic-Join order (wcoj.MaterializeParallel). The resulting
+// plan — bag contents and order, join tree, Stats — is bit-identical to
+// the sequential one: each bag lands in its decomposition-order slot
+// and Stats are aggregated only after the barrier.
+func PrepareGHDWith(d *hypergraph.Decomposition, edges []hypergraph.Edge, rels []*relation.Relation, agg ranking.Aggregate, opts ...PrepareOption) (*Plan, error) {
+	cfg := newPrepCfg(opts)
 	if len(edges) != len(rels) {
 		return nil, fmt.Errorf("decomp: %d relations for %d hyperedges", len(rels), len(edges))
 	}
@@ -95,31 +105,53 @@ func PrepareGHDWith(d *hypergraph.Decomposition, edges []hypergraph.Edge, rels [
 		}
 	}
 
+	// Fan the worker budget over the independent bags first; leftover
+	// parallelism splits the first variable inside each bag, with the
+	// division remainder handed to the lowest-indexed bags so no
+	// requested worker is dropped (4 workers over 3 bags: intra budgets
+	// 2,1,1). Each task writes only its own slot, and Stats are derived
+	// after the barrier.
+	bagWorkers := cfg.workers
+	if bagWorkers > len(d.Bags) {
+		bagWorkers = len(d.Bags)
+	}
+	intraBase, intraRem := 1, 0
+	if bagWorkers > 0 {
+		intraBase = cfg.workers / bagWorkers
+		intraRem = cfg.workers % bagWorkers
+	}
 	bags := make([]*relation.Relation, len(d.Bags))
-	st := &Stats{}
-	for bi, bagVars := range d.Bags {
+	err := parallel.ForEach(cfg.ctx, bagWorkers, len(d.Bags), func(bi int) error {
+		bagVars := d.Bags[bi]
 		atoms, err := bagAtoms(d, bi, bagVars, edges, qrels, charged, agg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		order := wcoj.SuggestOrder(atoms)
 		if len(order) != len(bagVars) {
-			return nil, fmt.Errorf("decomp: bag %v atoms cover %d of %d variables", bagVars, len(order), len(bagVars))
+			return fmt.Errorf("decomp: bag %v atoms cover %d of %d variables", bagVars, len(order), len(bagVars))
 		}
-		bag, _, err := wcoj.Materialize(atoms, order, agg)
+		intra := intraBase
+		if bi < intraRem {
+			intra++
+		}
+		bag, _, err := wcoj.MaterializeParallel(cfg.ctx, atoms, order, agg, intra)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		bag.Name = fmt.Sprintf("G%d", bi)
 		bags[bi] = bag
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
-	// The GHD plan is one tree with len(bags) bags, so the pairwise
-	// BagSizes layout of the canonical cycle plans does not apply; the
-	// flat TreeBags field carries the per-bag sizes instead.
-	st.TreeBags = [][]int{make([]int, len(bags))}
+	// The GHD plan is one tree with len(bags) bags: one inner BagSizes
+	// slice, one entry per bag in decomposition order.
+	st := &Stats{BagSizes: [][]int{make([]int, len(bags))}}
 	for i, b := range bags {
-		st.TreeBags[0][i] = b.Len()
+		st.BagSizes[0][i] = b.Len()
 		st.TotalMaterialized += b.Len()
 	}
 

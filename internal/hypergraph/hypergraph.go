@@ -1,8 +1,12 @@
 // Package hypergraph models join queries as hypergraphs: one hyperedge
 // per relation atom, one vertex per query variable. It provides the GYO
 // acyclicity test with join-tree extraction, running-intersection
-// verification, and the fractional-edge-cover LP behind the AGM bound
-// (§3 of the tutorial).
+// verification, the fractional-edge-cover LP behind the AGM bound
+// (Part 3 of the tutorial, PAPER.md), and the generalized-hypertree-
+// decomposition search (Decompose) that the facade's generic cyclic
+// planner compiles through: vertex-elimination orders scored by the
+// maximum fractional edge cover over the bags, exhaustive for small
+// queries and min-degree/min-fill greedy beyond.
 package hypergraph
 
 import (

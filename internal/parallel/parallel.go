@@ -1,0 +1,92 @@
+// Package parallel provides the small bounded worker pool that the
+// prepare phase of the library fans out on: decomposition bags are
+// independent of each other (internal/decomp materialises one bag per
+// task) and Generic-Join decomposes over the first variable's domain
+// (internal/wcoj partitions it across tasks), so both levels reduce to
+// "run n independent, index-addressed tasks on at most w goroutines".
+//
+// The pool is deliberately deterministic: tasks write results into
+// index-addressed slots owned by the caller, every task runs regardless
+// of other tasks' failures (only context cancellation stops the sweep),
+// and the reported error is the lowest-indexed task error — so a
+// parallel sweep is observationally identical to the sequential loop it
+// replaces, whatever the goroutine interleaving.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Degree resolves a requested parallelism degree: n if positive,
+// otherwise GOMAXPROCS. Callers treat 1 as "fully sequential".
+func Degree(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most workers
+// goroutines (clamped to [1, n]). It blocks until every dispatched task
+// has finished — results published by tasks into caller-owned,
+// index-addressed slots are safe to read without further
+// synchronisation once ForEach returns.
+//
+// Cancellation is checked before each task is dispatched: once ctx is
+// done no further tasks start, in-flight tasks finish, and ForEach
+// reports ctx.Err(). A task error does not stop the sweep (so the set
+// of executed tasks stays deterministic); after the barrier the error
+// of the lowest-indexed failed task is returned, matching what the
+// equivalent sequential loop would have surfaced first.
+func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var canceled atomic.Bool
+	run := func() {
+		for {
+			if ctx.Err() != nil {
+				canceled.Store(true)
+				return
+			}
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			errs[i] = fn(i)
+		}
+	}
+	if workers == 1 {
+		run()
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				run()
+			}()
+		}
+		wg.Wait()
+	}
+	if canceled.Load() {
+		return ctx.Err()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsEveryTask(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 100} {
+		n := 37
+		hits := make([]int32, n)
+		err := ForEach(context.Background(), workers, n, func(i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachZeroTasks(t *testing.T) {
+	if err := ForEach(context.Background(), 4, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachLowestIndexError(t *testing.T) {
+	// Every task past 10 fails; the reported error must be task 11's —
+	// the one a sequential loop would have surfaced first — on every
+	// worker count.
+	for _, workers := range []int{1, 4} {
+		err := ForEach(context.Background(), workers, 20, func(i int) error {
+			if i > 10 {
+				return fmt.Errorf("task %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "task 11 failed" {
+			t.Fatalf("workers=%d: got %v, want task 11's error", workers, err)
+		}
+	}
+}
+
+func TestForEachErrorDoesNotStopSweep(t *testing.T) {
+	var ran atomic.Int32
+	err := ForEach(context.Background(), 2, 10, func(i int) error {
+		ran.Add(1)
+		return errors.New("boom")
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if got := ran.Load(); got != 10 {
+		t.Fatalf("ran %d of 10 tasks; task errors must not cancel the sweep", got)
+	}
+}
+
+func TestForEachCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	err := ForEach(ctx, 2, 1000, func(i int) error {
+		if ran.Add(1) == 5 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got >= 1000 {
+		t.Fatalf("all %d tasks ran despite cancellation", got)
+	}
+}
+
+func TestForEachPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	err := ForEach(ctx, 2, 10, func(i int) error { ran.Add(1); return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatal("tasks ran under a pre-canceled context")
+	}
+}
+
+func TestDegree(t *testing.T) {
+	if got := Degree(3); got != 3 {
+		t.Fatalf("Degree(3) = %d", got)
+	}
+	want := runtime.GOMAXPROCS(0)
+	if got := Degree(0); got != want {
+		t.Fatalf("Degree(0) = %d, want GOMAXPROCS = %d", got, want)
+	}
+	if got := Degree(-5); got != want {
+		t.Fatalf("Degree(-5) = %d, want GOMAXPROCS = %d", got, want)
+	}
+}

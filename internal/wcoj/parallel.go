@@ -1,0 +1,166 @@
+package wcoj
+
+import (
+	"context"
+
+	"repro/internal/parallel"
+	"repro/internal/ranking"
+	"repro/internal/relation"
+)
+
+// chunkFactor oversubscribes the partition count relative to the worker
+// count so that skew in per-value subtree sizes (one hub value owning
+// most of the output) still load-balances across workers.
+const chunkFactor = 4
+
+// clone returns an independent trie cursor over the same sorted atom
+// data: the sorted row order, column mapping, and global positions are
+// immutable after newAtomState and shared; only the mutable interval
+// stack is fresh.
+func (st *atomState) clone() *atomState {
+	c := &atomState{rel: st.rel, cols: st.cols, rows: st.rows, globalPos: st.globalPos}
+	c.iv = make([][2]int32, len(st.iv))
+	c.iv[0] = st.iv[0]
+	return c
+}
+
+// clone returns an independent driver over cloned atom cursors, so
+// several workers can descend disjoint subtrees of one join
+// concurrently. Each clone counts work into its own Instr.
+func (j *driver) clone(emit Emit) *driver {
+	c := &driver{
+		varOrder: j.varOrder,
+		byVar:    make([][]atomDepth, len(j.varOrder)),
+		agg:      j.agg,
+		emit:     emit,
+		instr:    &Instr{},
+		assigned: make(relation.Tuple, len(j.varOrder)),
+		leapfrog: j.leapfrog,
+	}
+	clones := make(map[*atomState]*atomState, len(j.atoms))
+	for _, st := range j.atoms {
+		cs := st.clone()
+		clones[st] = cs
+		c.atoms = append(c.atoms, cs)
+	}
+	for pos, parts := range j.byVar {
+		for _, p := range parts {
+			c.byVar[pos] = append(c.byVar[pos], atomDepth{atom: clones[p.atom], depth: p.depth})
+		}
+	}
+	return c
+}
+
+// firstVarValues runs exactly the position-0 loop of the sequential
+// Generic-Join solve — same driver-atom selection, same narrow and
+// nextBlock sequence, same Seeks accounting — but records the surviving
+// values of the first variable instead of recursing. The recorded
+// values, handed to solveFirst on driver clones, therefore reproduce
+// the sequential emission order and the sequential Seeks total.
+func (j *driver) firstVarValues() []relation.Value {
+	parts := j.byVar[0]
+	drv := parts[0]
+	size := drv.atom.iv[drv.depth][1] - drv.atom.iv[drv.depth][0]
+	for _, p := range parts[1:] {
+		if s := p.atom.iv[p.depth][1] - p.atom.iv[p.depth][0]; s < size {
+			drv, size = p, s
+		}
+	}
+	var vals []relation.Value
+	lo, hi := drv.atom.iv[drv.depth][0], drv.atom.iv[drv.depth][1]
+	for r := lo; r < hi; {
+		v := drv.atom.valueAt(r, drv.depth)
+		ok := true
+		for _, p := range parts {
+			j.instr.Seeks++
+			if !p.atom.narrow(p.depth, v) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			vals = append(vals, v)
+		}
+		r = drv.atom.nextBlock(drv.depth, r)
+		j.instr.Seeks++
+	}
+	return vals
+}
+
+// solveFirst binds the first variable to an already-intersected value
+// and solves the remaining variables sequentially. The narrows replay
+// work the coordinator's firstVarValues pass already counted, so they
+// deliberately do not touch Instr — summing the coordinator's and the
+// workers' counters then reproduces the sequential totals exactly.
+func (j *driver) solveFirst(v relation.Value) {
+	for _, p := range j.byVar[0] {
+		if !p.atom.narrow(p.depth, v) {
+			panic("wcoj: parallel narrow must succeed on intersected value")
+		}
+	}
+	j.assigned[0] = v
+	j.solve(1)
+}
+
+// MaterializeParallel is Materialize with the first variable of the
+// order partitioned across workers, exploiting that Generic-Join
+// decomposes over the first variable's domain ("Skew Strikes Back",
+// Ngo–Ré–Rudra): a coordinator pass intersects the top level once, the
+// surviving values are split into contiguous chunks, and each chunk
+// runs the existing sequential driver on an independent cursor clone.
+//
+// The result is bit-identical to Materialize — same tuples in the same
+// order (chunks are concatenated by partition index) and the same Instr
+// totals (the coordinator counts the top-level seeks once; workers
+// replay those narrows uncounted and sum their subtree counters after
+// the barrier) — whatever the worker count or scheduling.
+//
+// workers <= 0 selects GOMAXPROCS; workers == 1 falls back to the
+// sequential Materialize. Cancellation is checked between partitions:
+// when ctx is done mid-materialisation no further partitions start and
+// ctx.Err() is returned with a nil relation.
+func MaterializeParallel(ctx context.Context, atoms []Atom, varOrder []string, agg ranking.Aggregate, workers int) (*relation.Relation, *Instr, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	workers = parallel.Degree(workers)
+	if workers <= 1 || len(varOrder) == 0 {
+		return Materialize(atoms, varOrder, agg)
+	}
+	base, err := newJoin(atoms, varOrder, agg, nil, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	vals := base.firstVarValues()
+	chunks := workers * chunkFactor
+	if chunks > len(vals) {
+		chunks = len(vals)
+	}
+	outs := make([]*relation.Relation, chunks)
+	instrs := make([]*Instr, chunks)
+	err = parallel.ForEach(ctx, workers, chunks, func(ci int) error {
+		out := relation.New("GJ", varOrder...)
+		w := base.clone(func(t relation.Tuple, wt float64) bool {
+			out.AddTuple(t, wt)
+			return true
+		})
+		for _, v := range vals[ci*len(vals)/chunks : (ci+1)*len(vals)/chunks] {
+			w.solveFirst(v)
+		}
+		outs[ci] = out
+		instrs[ci] = w.instr
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	out := relation.New("GJ", varOrder...)
+	instr := base.instr
+	for ci := range outs {
+		out.Tuples = append(out.Tuples, outs[ci].Tuples...)
+		out.Weights = append(out.Weights, outs[ci].Weights...)
+		instr.Seeks += instrs[ci].Seeks
+		instr.Emits += instrs[ci].Emits
+	}
+	return out, instr, nil
+}

@@ -1,13 +1,21 @@
 // Package wcoj implements worst-case-optimal multiway join algorithms
-// (§3 of the tutorial): Generic-Join and Leapfrog Triejoin. Instead of
-// joining two relations at a time, they proceed one *variable* at a
-// time, intersecting the candidate values of every relation containing
-// that variable — which is what bounds their running time by the AGM
-// bound of the query.
+// (Part 3 of the tutorial, PAPER.md): Generic-Join and Leapfrog
+// Triejoin. Instead of joining two relations at a time, they proceed
+// one *variable* at a time, intersecting the candidate values of every
+// relation containing that variable — which is what bounds their
+// running time by the AGM bound of the query.
 //
 // Relations are accessed through implicit tries: each atom's tuples are
 // sorted lexicographically by its variables in the global variable
 // order, and a trie node is an interval of that sorted array.
+//
+// Because Generic-Join decomposes over the first variable's domain
+// (the observation behind the skew analysis of "Skew Strikes Back",
+// Ngo–Ré–Rudra), MaterializeParallel partitions the top-level
+// intersection across a bounded worker pool (internal/parallel) while
+// staying bit-identical to the sequential Materialize — same output
+// order, same Instr totals. See docs/ARCHITECTURE.md for the
+// determinism invariants.
 package wcoj
 
 import (

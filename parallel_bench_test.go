@@ -1,0 +1,68 @@
+package repro
+
+// Benchmarks for the parallel preparation subsystem. Prepare latency on
+// multi-bag shapes is dominated by independent bag materialisations, so
+// WithParallelism(n) at GOMAXPROCS >= 4 should show a >= 2x speedup of
+// parallel over sequential on the bowtie and the 5-cycle fan below
+// (compare the sequential/parallel sub-benchmark pairs). On a single
+// core the two coincide — the parallel path degrades to the sequential
+// driver with identical output either way.
+//
+//	go test -bench 'BenchmarkPrepare(Bowtie|FiveCycle)' -benchtime 3x .
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// benchBowtie builds a bowtie (two triangles sharing A) over a graph
+// sized so bag materialisation dominates prepare time.
+func benchBowtie(n int) *Query {
+	g := workload.RandomGraph(n/10, n, workload.UniformWeights(), 17)
+	q := NewQuery()
+	for i, vs := range [][]string{
+		{"A", "B"}, {"B", "C"}, {"C", "A"}, {"A", "D"}, {"D", "E"}, {"E", "A"},
+	} {
+		q.Rel("E"+string(rune('1'+i)), vs, g.Edges.Tuples, g.Edges.Weights)
+	}
+	return q
+}
+
+// benchFiveCycle builds a 5-cycle, routed to the fhtw-2 fan plan with
+// three independent bags.
+func benchFiveCycle(n int) *Query {
+	g := workload.RandomGraph(n/10, n, workload.UniformWeights(), 17)
+	q := NewQuery()
+	for i, vs := range [][]string{
+		{"A", "B"}, {"B", "C"}, {"C", "D"}, {"D", "E"}, {"E", "A"},
+	} {
+		q.Rel("E"+string(rune('1'+i)), vs, g.Edges.Tuples, g.Edges.Weights)
+	}
+	return q
+}
+
+// benchPrepare measures the full first-run prepare path (bag
+// materialisation + tree compilation) at the given parallelism. Each
+// iteration compiles a fresh handle so the per-ranking cache never
+// short-circuits the work being measured.
+func benchPrepare(b *testing.B, mk func(int) *Query, n, workers int) {
+	b.Helper()
+	q := mk(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := Compile(q, WithParallelism(workers))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.TopK(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPrepareBowtieSequential(b *testing.B) { benchPrepare(b, benchBowtie, 3000, 1) }
+func BenchmarkPrepareBowtieParallel(b *testing.B)   { benchPrepare(b, benchBowtie, 3000, 0) }
+
+func BenchmarkPrepareFiveCycleSequential(b *testing.B) { benchPrepare(b, benchFiveCycle, 2000, 1) }
+func BenchmarkPrepareFiveCycleParallel(b *testing.B)   { benchPrepare(b, benchFiveCycle, 2000, 0) }

@@ -1,0 +1,142 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// bowtieQuery builds the bowtie — two triangles sharing A — the
+// canonical multi-bag GHD shape the parallel prepare path fans out on.
+func bowtieQuery() *Query {
+	g := workload.RandomGraph(10, 55, workload.UniformWeights(), 41)
+	q := NewQuery()
+	for i, vs := range [][]string{
+		{"A", "B"}, {"B", "C"}, {"C", "A"}, {"A", "D"}, {"D", "E"}, {"E", "A"},
+	} {
+		q.Rel("E"+string(rune('1'+i)), vs, g.Edges.Tuples, g.Edges.Weights)
+	}
+	return q
+}
+
+// assertSameResults compares two full result sequences exactly — same
+// tuples, same weights, same order.
+func assertSameResults(t *testing.T, label string, got, want []Result) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Weight != want[i].Weight || !reflect.DeepEqual(got[i].Tuple, want[i].Tuple) {
+			t.Fatalf("%s: rank %d = %v @ %v, want %v @ %v",
+				label, i, got[i].Tuple, got[i].Weight, want[i].Tuple, want[i].Weight)
+		}
+	}
+}
+
+// TestWithParallelismBitIdentical checks the facade contract: a handle
+// compiled with WithParallelism yields exactly the same ranked output
+// as a sequential one, for every cyclic shape the planner routes.
+func TestWithParallelismBitIdentical(t *testing.T) {
+	shapes := map[string]func() *Query{
+		"bowtie": bowtieQuery,
+	}
+	for name, mk := range prepCases() {
+		if name == "acyclic" {
+			continue // prepare parallelism only affects cyclic shapes
+		}
+		shapes[name] = mk
+	}
+	for name, mk := range shapes {
+		seq, err := Compile(mk())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		par, err := Compile(mk(), WithParallelism(4))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want, err := seq.TopK(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := par.TopK(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameResults(t, name, got, want)
+	}
+}
+
+// TestWithParallelismOnRun checks the per-run override: the option on
+// Run drives the build that run triggers, with identical output.
+func TestWithParallelismOnRun(t *testing.T) {
+	seq, err := Compile(bowtieQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Compile(bowtieQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := seq.TopK(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := par.TopK(0, WithParallelism(0)) // 0 = GOMAXPROCS
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, "bowtie", got, want)
+}
+
+// TestConcurrentCancelDoesNotFailHealthyRun: a Run with a live context
+// racing a Run whose context is canceled must never inherit the other
+// run's cancellation — if it lands on the canceled build's cache entry
+// it retries with its own context.
+func TestConcurrentCancelDoesNotFailHealthyRun(t *testing.T) {
+	for round := 0; round < 8; round++ {
+		p, err := Compile(bowtieQuery(), WithParallelism(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() {
+			_, err := p.TopK(1, WithContext(ctx))
+			done <- err
+		}()
+		cancel()
+		if _, err := p.TopK(1); err != nil {
+			t.Fatalf("round %d: healthy run failed: %v", round, err)
+		}
+		if err := <-done; err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("round %d: canceled run: %v", round, err)
+		}
+	}
+}
+
+// TestCanceledPrepareNotCached: cancelling the Run that triggers bag
+// materialisation must fail that Run with ctx.Err() — and must not
+// poison the per-ranking cache, so a later Run succeeds.
+func TestCanceledPrepareNotCached(t *testing.T) {
+	p, err := Compile(bowtieQuery(), WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.Run(WithContext(ctx)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled first run: got %v, want context.Canceled", err)
+	}
+	res, err := p.TopK(5)
+	if err != nil {
+		t.Fatalf("run after canceled prepare: %v", err)
+	}
+	if len(res) == 0 {
+		t.Fatal("run after canceled prepare returned no results")
+	}
+}

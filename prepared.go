@@ -2,6 +2,7 @@ package repro
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"reflect"
 	"sync"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/decomp"
 	"repro/internal/dp"
 	"repro/internal/hypergraph"
+	"repro/internal/parallel"
 	"repro/internal/ranking"
 	"repro/internal/relation"
 	"repro/internal/yannakakis"
@@ -63,6 +65,11 @@ type Prepared struct {
 	ghdRels  []*relation.Relation
 	ghdDec   *hypergraph.Decomposition
 
+	// workers is the compile-time default parallelism for the prepare
+	// phase (bag materialisation); WithParallelism on a Run overrides it
+	// for the build that run triggers.
+	workers int
+
 	tdps    onceCache[*dp.TDP]      // acyclic: T-DP per ranking function
 	decomps onceCache[*decomp.Plan] // cyclic: decomposition per ranking function
 }
@@ -83,22 +90,42 @@ type onceEntry[V any] struct {
 	err  error
 }
 
-func (c *onceCache[V]) get(agg ranking.Aggregate, build func(ranking.Aggregate) (V, error)) (V, error) {
+// get returns the cached value for agg, building it with this caller's
+// build closure on a cache miss. ctx is the calling run's context: when
+// the winning build fails with a cancellation error, the entry is
+// dropped (a canceled prepare must not poison the cache) and callers
+// whose own context is still live retry with a fresh entry — so one
+// run's cancellation can never fail a concurrent run that supplied a
+// healthy context.
+func (c *onceCache[V]) get(ctx context.Context, agg ranking.Aggregate, build func(ranking.Aggregate) (V, error)) (V, error) {
 	if !reflect.TypeOf(agg).Comparable() {
 		return build(agg)
 	}
-	c.mu.Lock()
-	if c.m == nil {
-		c.m = make(map[ranking.Aggregate]*onceEntry[V])
+	for {
+		c.mu.Lock()
+		if c.m == nil {
+			c.m = make(map[ranking.Aggregate]*onceEntry[V])
+		}
+		e, ok := c.m[agg]
+		if !ok {
+			e = &onceEntry[V]{}
+			c.m[agg] = e
+		}
+		c.mu.Unlock()
+		e.once.Do(func() { e.v, e.err = build(agg) })
+		if e.err == nil || (!errors.Is(e.err, context.Canceled) && !errors.Is(e.err, context.DeadlineExceeded)) {
+			return e.v, e.err
+		}
+		c.mu.Lock()
+		if c.m[agg] == e {
+			delete(c.m, agg)
+		}
+		c.mu.Unlock()
+		if ctx.Err() != nil {
+			// The cancellation is (or might as well be) our own: report it.
+			return e.v, e.err
+		}
 	}
-	e, ok := c.m[agg]
-	if !ok {
-		e = &onceEntry[V]{}
-		c.m[agg] = e
-	}
-	c.mu.Unlock()
-	e.once.Do(func() { e.v, e.err = build(agg) })
-	return e.v, e.err
 }
 
 // Compile analyses and plans the query once, returning a reusable
@@ -107,12 +134,21 @@ func (c *onceCache[V]) get(agg ranking.Aggregate, build func(ranking.Aggregate) 
 // (see Ranked for the per-shape plans); every other cyclic shape runs
 // the generalized-hypertree-decomposition search and compiles onto the
 // resulting bag tree.
-func Compile(q *Query) (*Prepared, error) {
+//
+// Of the run options only WithParallelism is consulted at compile time:
+// it sets the handle's default prepare parallelism (how many workers
+// materialise decomposition bags on the first Run with each ranking
+// function). The other options are per-run and ignored here.
+func Compile(q *Query, opts ...RunOption) (*Prepared, error) {
 	if q.err != nil {
 		return nil, q.err
 	}
 	if len(q.rels) == 0 {
 		return nil, fmt.Errorf("repro: empty query")
+	}
+	cfg := runConfig{workers: 1}
+	for _, o := range opts {
+		o(&cfg)
 	}
 	h := hypergraph.New(q.edges...)
 	if h.IsAcyclic() {
@@ -129,10 +165,11 @@ func Compile(q *Query) (*Prepared, error) {
 			kind:     kindAcyclic,
 			yq:       yq,
 			plan:     plan,
+			workers:  cfg.workers,
 		}, nil
 	}
 	if l, rels, ok := q.matchCycle(); ok {
-		p := &Prepared{cycleRels: rels}
+		p := &Prepared{cycleRels: rels, workers: cfg.workers}
 		switch l {
 		case 3:
 			p.kind, p.outAttrs = kindTriangle, decomp.TriangleAttrs
@@ -156,11 +193,12 @@ func Compile(q *Query) (*Prepared, error) {
 		ghdEdges: q.edges,
 		ghdRels:  q.rels,
 		ghdDec:   dec,
+		workers:  cfg.workers,
 	}, nil
 }
 
 // Prepare is Compile as a method on the query builder.
-func (q *Query) Prepare() (*Prepared, error) { return Compile(q) }
+func (q *Query) Prepare(opts ...RunOption) (*Prepared, error) { return Compile(q, opts...) }
 
 // OutAttrs returns the output schema every iterator of this handle
 // yields. The returned slice must not be modified.
@@ -168,10 +206,12 @@ func (p *Prepared) OutAttrs() []string { return p.outAttrs }
 
 // runConfig collects the per-execution options of one Run.
 type runConfig struct {
-	agg     ranking.Aggregate
-	variant Variant
-	k       int
-	ctx     context.Context
+	agg        ranking.Aggregate
+	variant    Variant
+	k          int
+	ctx        context.Context
+	workers    int
+	workersSet bool
 }
 
 // RunOption configures one execution of a Prepared query. The defaults
@@ -194,7 +234,29 @@ func WithK(k int) RunOption { return func(c *runConfig) { c.k = k } }
 
 // WithContext attaches a cancellation context to the run: once ctx is
 // done, the iterator's Next returns false and Err reports ctx.Err().
+// The context also covers the prepare work a first Run with a new
+// ranking function triggers (bag materialisation for cyclic shapes):
+// cancellation there fails the Run with ctx.Err(), and a later Run
+// simply rebuilds — a canceled prepare is never cached.
 func WithContext(ctx context.Context) RunOption { return func(c *runConfig) { c.ctx = ctx } }
+
+// WithParallelism sets how many workers materialise decomposition bags
+// during the prepare phase of cyclic queries (the first Run with each
+// ranking function): independent bags build concurrently, and leftover
+// workers partition the first join variable inside each Generic-Join
+// bag. n <= 0 selects GOMAXPROCS; the default is 1 (sequential).
+//
+// Parallel preparation is bit-identical to sequential preparation —
+// same bag contents and order, same Stats — so the only observable
+// difference is latency. Passed to Compile it sets the handle's
+// default; passed to Run it overrides the default for the build that
+// run triggers. Enumeration itself is unaffected.
+func WithParallelism(n int) RunOption {
+	return func(c *runConfig) {
+		c.workers = parallel.Degree(n)
+		c.workersSet = true
+	}
+}
 
 // Run executes the compiled plan and returns a ranked iterator. Always
 // Close the iterator (idempotent) and check Err after Next reports
@@ -207,7 +269,7 @@ func (p *Prepared) Run(opts ...RunOption) (Iterator, error) {
 	}
 	var it Iterator
 	if p.kind == kindAcyclic {
-		t, err := p.tdpFor(cfg.agg)
+		t, err := p.tdpFor(cfg.agg, cfg.ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -216,7 +278,11 @@ func (p *Prepared) Run(opts ...RunOption) (Iterator, error) {
 			return nil, err
 		}
 	} else {
-		d, err := p.decompFor(cfg.agg)
+		workers := p.workers
+		if cfg.workersSet {
+			workers = cfg.workers
+		}
+		d, err := p.decompFor(cfg.agg, cfg.ctx, workers)
 		if err != nil {
 			return nil, err
 		}
@@ -287,33 +353,41 @@ func (p *Prepared) IsEmpty(opts ...RunOption) (bool, error) {
 }
 
 // tdpFor returns (instantiating and caching on first use) the T-DP of
-// the acyclic plan under agg.
-func (p *Prepared) tdpFor(agg ranking.Aggregate) (*dp.TDP, error) {
-	return p.tdps.get(agg, p.plan.Instantiate)
+// the acyclic plan under agg. Instantiate is not cancelable, so the
+// context only matters for the cache's retry-on-cancel policy (which
+// never triggers here).
+func (p *Prepared) tdpFor(agg ranking.Aggregate, ctx context.Context) (*dp.TDP, error) {
+	return p.tdps.get(ctx, agg, p.plan.Instantiate)
 }
 
 // decompFor returns (building and caching on first use) the cyclic
 // decomposition plan under agg: a Generic-Join bag for the triangle,
 // the submodular-width union of three trees for the 4-cycle, the
 // fhtw-2 fan plan for longer cycles, and the GHD bag tree for every
-// other cyclic shape.
-func (p *Prepared) decompFor(agg ranking.Aggregate) (*decomp.Plan, error) {
-	return p.decomps.get(agg, p.buildDecomp)
+// other cyclic shape. The ctx and worker count only matter to the Run
+// that triggers the build; cache hits ignore them. Parallel builds are
+// bit-identical to sequential ones, so the cached plan does not depend
+// on which Run won the build.
+func (p *Prepared) decompFor(agg ranking.Aggregate, ctx context.Context, workers int) (*decomp.Plan, error) {
+	return p.decomps.get(ctx, agg, func(a ranking.Aggregate) (*decomp.Plan, error) {
+		return p.buildDecomp(a, ctx, workers)
+	})
 }
 
-func (p *Prepared) buildDecomp(agg ranking.Aggregate) (*decomp.Plan, error) {
+func (p *Prepared) buildDecomp(agg ranking.Aggregate, ctx context.Context, workers int) (*decomp.Plan, error) {
+	opts := []decomp.PrepareOption{decomp.WithWorkers(workers), decomp.WithContext(ctx)}
 	switch p.kind {
 	case kindTriangle:
 		var three [3]*relation.Relation
 		copy(three[:], p.cycleRels)
-		return decomp.PrepareTriangle(three, agg)
+		return decomp.PrepareTriangle(three, agg, opts...)
 	case kindFourCycle:
 		var four [4]*relation.Relation
 		copy(four[:], p.cycleRels)
-		return decomp.PrepareFourCycleSubmodular(four, agg)
+		return decomp.PrepareFourCycleSubmodular(four, agg, opts...)
 	case kindGeneric:
-		return decomp.PrepareGHDWith(p.ghdDec, p.ghdEdges, p.ghdRels, agg)
+		return decomp.PrepareGHDWith(p.ghdDec, p.ghdEdges, p.ghdRels, agg, opts...)
 	default:
-		return decomp.PrepareCycleSingleTree(p.cycleRels, agg)
+		return decomp.PrepareCycleSingleTree(p.cycleRels, agg, opts...)
 	}
 }
