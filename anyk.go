@@ -26,11 +26,14 @@
 // Prepared handles are safe for concurrent Run calls, so one Compile
 // can serve many top-k requests with different k, ranking functions
 // (WithRanking), algorithm variants (WithVariant), and cancellation
-// contexts (WithContext). WithParallelism materialises the
-// decomposition bags of cyclic queries on a bounded worker pool during
-// the prepare phase — bit-identical output, lower latency (see
-// docs/ARCHITECTURE.md). The one-shot helpers Ranked, TopK, Count and
-// IsEmpty remain as thin wrappers that compile and execute in one step.
+// contexts (WithContext). The prepare phase runs on a bounded worker
+// pool by default — level-synchronized T-DP instantiation for acyclic
+// queries, decomposition-bag materialisation for cyclic ones, both
+// bit-identical to sequential output (see docs/ARCHITECTURE.md);
+// inputs below a size threshold stay sequential, and WithParallelism
+// pins an explicit worker count (1 forces sequential). The one-shot
+// helpers Ranked, TopK, Count and IsEmpty remain as thin wrappers that
+// compile and execute in one step.
 //
 // Acyclic queries run directly on the tree-based dynamic program.
 // Cyclic cycle queries of any length (in either edge orientation) are

@@ -208,6 +208,16 @@ type benchReport struct {
 	PrepareWorkers int    `json:"prepare_workers"`
 	PrepareSeqNs   int64  `json:"prepare_seq_ns"`
 	PrepareParNs   int64  `json:"prepare_par_ns"`
+
+	// Acyclic prepare path: a wide star's T-DP instantiated sequentially
+	// vs with PrepareWorkers workers (level-synchronized π pass). The
+	// ratio acyclic_prepare_seq_ns / acyclic_prepare_par_ns is the
+	// machine's acyclic prepare speedup; CI diffs both pairs against the
+	// base branch and warns on regressions.
+	AcyclicPrepareShape string `json:"acyclic_prepare_shape"`
+	AcyclicPrepareN     int    `json:"acyclic_prepare_n"`
+	AcyclicPrepareSeqNs int64  `json:"acyclic_prepare_seq_ns"`
+	AcyclicPrepareParNs int64  `json:"acyclic_prepare_par_ns"`
 }
 
 // bowtieBench builds the bowtie query (two triangles sharing A — a
@@ -223,12 +233,27 @@ func bowtieBench(n int) *repro.Query {
 	return q
 }
 
-// measurePrepare times the first-run prepare path (decomposition bag
-// materialisation + tree compilation) at the given parallelism. The
-// Compile call — whose GHD structure search is sequential either way —
+// starBench builds a wide acyclic star query (8 relations sharing a
+// hub variable, so 7 join-tree leaves sit on one level) over n tuples
+// per relation — the shape whose T-DP instantiation the parallel
+// acyclic prepare path fans out best on.
+func starBench(n int) *repro.Query {
+	inst := workload.Star(8, n, n/20+1, workload.UniformWeights(), 19)
+	q := repro.NewQuery()
+	for i, r := range inst.Rels {
+		q.Rel(r.Name, inst.H.Edges[i].Vars, r.Tuples, r.Weights)
+	}
+	return q
+}
+
+// measurePrepare times the first-run prepare path (for cyclic queries
+// decomposition bag materialisation + tree compilation, for acyclic
+// ones the T-DP instantiation) at the given parallelism. The Compile
+// call — whose GHD structure search is sequential either way, and
+// which for acyclic queries builds the aggregate-independent plan —
 // stays outside the timer, and the best of three fresh-handle samples
 // is reported so the recorded sequential-vs-parallel ratio reflects
-// the materialisation work rather than one-off cache or GC noise.
+// the per-ranking prepare work rather than one-off cache or GC noise.
 func measurePrepare(q *repro.Query, workers int) (time.Duration, error) {
 	var best time.Duration
 	for i := 0; i < 3; i++ {
@@ -325,6 +350,25 @@ func writeBenchJSON(name, scale string, cfg scaleCfg, workers int) (string, erro
 	report.PrepareWorkers = workers
 	report.PrepareSeqNs = seq.Nanoseconds()
 	report.PrepareParNs = parT.Nanoseconds()
+
+	// Acyclic prepare: the same sequential-vs-parallel pair for the
+	// star's T-DP instantiation (scaled up — the linear π pass needs a
+	// larger input than the width-bounded cyclic materialisation to be
+	// measurable).
+	acycN := prepN * 8
+	aq := starBench(acycN)
+	acycSeq, err := measurePrepare(aq, 1)
+	if err != nil {
+		return "", err
+	}
+	acycPar, err := measurePrepare(aq, workers)
+	if err != nil {
+		return "", err
+	}
+	report.AcyclicPrepareShape = "star8"
+	report.AcyclicPrepareN = acycN
+	report.AcyclicPrepareSeqNs = acycSeq.Nanoseconds()
+	report.AcyclicPrepareParNs = acycPar.Nanoseconds()
 
 	path := fmt.Sprintf("BENCH_%s.json", name)
 	data, err := json.MarshalIndent(report, "", "  ")

@@ -15,8 +15,10 @@
 package dp
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/parallel"
 	"repro/internal/ranking"
 	"repro/internal/relation"
 	"repro/internal/yannakakis"
@@ -29,14 +31,72 @@ import (
 // then derives a TDP for any ranking aggregate with a single bottom-up
 // π pass. A Plan is immutable after NewPlan and safe to share across
 // goroutines and instantiations.
+//
+// Both steps accept Options: WithWorkers(n) fans the per-node work out
+// on a bounded pool (the grouping of NewPlan across all nodes at once;
+// the π pass of Instantiate one depth level at a time), and
+// WithContext(ctx) makes them cancelable between node tasks. Parallel
+// builds are bit-identical to sequential ones — each node's computation
+// runs unchanged on exactly one goroutine, only the interleaving across
+// nodes varies — so π arrays, group bests, and every downstream
+// enumeration are the same for any worker count.
 type Plan struct {
 	nodes    []*Node // Pi and Group bests left zero; filled per instantiation
 	outAttrs []string
 	emits    []emitSpec
+	// levels partitions preorder positions by tree depth (levels[0] is
+	// the root). Nodes of one level are pairwise unrelated, so a
+	// level-synchronized sweep only reads π state finalised by deeper
+	// levels — the invariant the parallel Instantiate relies on.
+	levels [][]int
+}
+
+// config collects the per-call options of NewPlan and Instantiate.
+type config struct {
+	ctx     context.Context
+	workers int
+}
+
+// Option configures one NewPlan or Instantiate call. The defaults are
+// fully sequential execution under context.Background().
+type Option func(*config)
+
+// WithWorkers sets how many workers the per-node tasks fan out on;
+// n <= 0 selects GOMAXPROCS. The result is bit-identical to the
+// sequential build for any worker count.
+func WithWorkers(n int) Option {
+	return func(c *config) { c.workers = parallel.Degree(n) }
+}
+
+// WithContext attaches a cancellation context: cancellation is checked
+// between node tasks, and a canceled call returns ctx.Err() and no
+// result.
+func WithContext(ctx context.Context) Option {
+	return func(c *config) { c.ctx = ctx }
+}
+
+func newConfig(opts []Option) config {
+	c := config{ctx: context.Background(), workers: 1}
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
 }
 
 // OutAttrs is the output schema every instantiated TDP will use.
 func (p *Plan) OutAttrs() []string { return p.outAttrs }
+
+// TotalTuples is the number of tuples across all reduced relations of
+// the plan — the input size of one Instantiate pass. The facade's
+// default-parallelism threshold consults it to decide whether fanning
+// the π computation out is worth the scheduling overhead.
+func (p *Plan) TotalTuples() int {
+	total := 0
+	for _, n := range p.nodes {
+		total += n.Rel.Len()
+	}
+	return total
+}
 
 // Empty reports whether the compiled query has no results.
 func (p *Plan) Empty() bool { return p.nodes[0].Rel.Len() == 0 }
@@ -107,9 +167,17 @@ func Build(q *yannakakis.Query, agg ranking.Aggregate) (*TDP, error) {
 
 // NewPlan runs the aggregate-independent compilation: full reduction,
 // preorder layout along the join tree, candidate grouping by parent key,
-// and the parent-row → child-group maps.
-func NewPlan(q *yannakakis.Query) (*Plan, error) {
-	red := q.FullReduce()
+// and the parent-row → child-group maps. With WithWorkers(n) the full
+// reducer's semi-join sweeps run level-synchronized and the per-node
+// grouping — independent across nodes: each task hashes its own rows
+// and writes only its own node's Groups/GroupOfRow plus its private
+// ChildGroup slot on the parent — fans out across all nodes at once.
+func NewPlan(q *yannakakis.Query, opts ...Option) (*Plan, error) {
+	cfg := newConfig(opts)
+	red, err := q.FullReduceWith(cfg.ctx, cfg.workers)
+	if err != nil {
+		return nil, err
+	}
 	tree := q.Tree
 	m := len(tree.Order)
 
@@ -128,7 +196,22 @@ func NewPlan(q *yannakakis.Query) (*Plan, error) {
 		for _, c := range tree.Children[edge] {
 			n.Children = append(n.Children, posOf[c])
 		}
+		if len(n.Children) > 0 {
+			// Preallocated so concurrent grouping tasks write disjoint
+			// ChildGroup slots without racing on the slice header.
+			n.ChildGroup = make([][]int32, len(n.Children))
+		}
 		t.nodes[pos] = n
+	}
+
+	// Depth levels, mapped from tree-node ids to preorder positions
+	// (each level stays in preorder sequence, i.e. ascending positions).
+	for _, lv := range tree.Levels() {
+		poss := make([]int, len(lv))
+		for i, u := range lv {
+			poss[i] = posOf[u]
+		}
+		t.levels = append(t.levels, poss)
 	}
 
 	// Output schema and emit map.
@@ -143,75 +226,83 @@ func NewPlan(q *yannakakis.Query) (*Plan, error) {
 		}
 	}
 
-	// Group rows by parent key.
-	for pos, n := range t.nodes {
-		if n.Parent < 0 {
-			rows := make([]int32, n.Rel.Len())
-			for i := range rows {
-				rows[i] = int32(i)
-			}
-			n.Groups = []Group{{Rows: rows}}
-			n.GroupOfRow = make([]int32, n.Rel.Len())
-			continue
-		}
-		parent := t.nodes[n.Parent]
-		shared := parent.Rel.SharedAttrs(n.Rel)
-		if len(shared) == 0 {
-			return nil, fmt.Errorf("dp: node %d shares no attributes with its parent (tree edge would be a cartesian product)", pos)
-		}
-		selfCols, err := n.Rel.AttrIndexes(shared)
-		if err != nil {
-			return nil, err
-		}
-		groupIndex := make(map[string]int32)
-		n.GroupOfRow = make([]int32, n.Rel.Len())
-		var buf []byte
-		key := make([]relation.Value, len(selfCols))
-		for row, tp := range n.Rel.Tuples {
-			for k, c := range selfCols {
-				key[k] = tp[c]
-			}
-			buf = relation.AppendKey(buf[:0], key)
-			gi, ok := groupIndex[string(buf)]
-			if !ok {
-				gi = int32(len(n.Groups))
-				groupIndex[string(buf)] = gi
-				n.Groups = append(n.Groups, Group{})
-			}
-			n.Groups[gi].Rows = append(n.Groups[gi].Rows, int32(row))
-			n.GroupOfRow[row] = gi
-		}
-		// Parent rows resolve to this node's groups.
-		pCols, err := parent.Rel.AttrIndexes(shared)
-		if err != nil {
-			return nil, err
-		}
-		cg := make([]int32, parent.Rel.Len())
-		for row, tp := range parent.Rel.Tuples {
-			for k, c := range pCols {
-				key[k] = tp[c]
-			}
-			buf = relation.AppendKey(buf[:0], key)
-			gi, ok := groupIndex[string(buf)]
-			if !ok {
-				gi = -1 // dangling parent row: impossible after full reduction
-			}
-			cg[row] = gi
-		}
-		// Locate this child's index within the parent's Children.
-		ci := -1
-		for i, c := range parent.Children {
-			if c == pos {
-				ci = i
-				break
-			}
-		}
-		if parent.ChildGroup == nil {
-			parent.ChildGroup = make([][]int32, len(parent.Children))
-		}
-		parent.ChildGroup[ci] = cg
+	// Group rows by parent key, one independent task per node.
+	if err := parallel.ForEach(cfg.ctx, cfg.workers, m, func(pos int) error {
+		return groupNode(t.nodes, pos)
+	}); err != nil {
+		return nil, err
 	}
 	return t, nil
+}
+
+// groupNode partitions node pos's rows into candidate groups by their
+// join key with the parent and resolves the parent's rows to those
+// groups. It writes only pos's own Groups/GroupOfRow and the
+// ChildGroup slot the parent reserves for pos, so tasks for different
+// nodes never touch the same memory.
+func groupNode(nodes []*Node, pos int) error {
+	n := nodes[pos]
+	if n.Parent < 0 {
+		rows := make([]int32, n.Rel.Len())
+		for i := range rows {
+			rows[i] = int32(i)
+		}
+		n.Groups = []Group{{Rows: rows}}
+		n.GroupOfRow = make([]int32, n.Rel.Len())
+		return nil
+	}
+	parent := nodes[n.Parent]
+	shared := parent.Rel.SharedAttrs(n.Rel)
+	if len(shared) == 0 {
+		return fmt.Errorf("dp: node %d shares no attributes with its parent (tree edge would be a cartesian product)", pos)
+	}
+	selfCols, err := n.Rel.AttrIndexes(shared)
+	if err != nil {
+		return err
+	}
+	groupIndex := make(map[string]int32)
+	n.GroupOfRow = make([]int32, n.Rel.Len())
+	var buf []byte
+	key := make([]relation.Value, len(selfCols))
+	for row, tp := range n.Rel.Tuples {
+		for k, c := range selfCols {
+			key[k] = tp[c]
+		}
+		buf = relation.AppendKey(buf[:0], key)
+		gi, ok := groupIndex[string(buf)]
+		if !ok {
+			gi = int32(len(n.Groups))
+			groupIndex[string(buf)] = gi
+			n.Groups = append(n.Groups, Group{})
+		}
+		n.Groups[gi].Rows = append(n.Groups[gi].Rows, int32(row))
+		n.GroupOfRow[row] = gi
+	}
+	// Parent rows resolve to this node's groups.
+	pCols, err := parent.Rel.AttrIndexes(shared)
+	if err != nil {
+		return err
+	}
+	cg := make([]int32, parent.Rel.Len())
+	for row, tp := range parent.Rel.Tuples {
+		for k, c := range pCols {
+			key[k] = tp[c]
+		}
+		buf = relation.AppendKey(buf[:0], key)
+		gi, ok := groupIndex[string(buf)]
+		if !ok {
+			gi = -1 // dangling parent row: impossible after full reduction
+		}
+		cg[row] = gi
+	}
+	// Locate this child's index within the parent's Children.
+	for i, c := range parent.Children {
+		if c == pos {
+			parent.ChildGroup[i] = cg
+			break
+		}
+	}
+	return nil
 }
 
 // Instantiate derives the T-DP for one ranking aggregate: it copies the
@@ -220,7 +311,18 @@ func NewPlan(q *yannakakis.Query) (*Plan, error) {
 // reduced database — no hypergraph analysis, reduction, or hashing is
 // repeated. The plan itself is not modified, so instantiations for
 // different aggregates may proceed from one plan.
-func (p *Plan) Instantiate(agg ranking.Aggregate) (*TDP, error) {
+//
+// With WithWorkers(n) the π pass is level-synchronized: the tree is
+// processed bottom-up one depth level at a time, and the nodes of a
+// level — whose π values depend only on deeper levels, already
+// finalised behind a barrier — fan out on the worker pool. Every node's
+// π array and group bests are computed by exactly one task running the
+// unchanged sequential loop, so the result is bit-identical to the
+// sequential instantiation for any worker count and any schedule.
+// WithContext makes the pass cancelable between node tasks; a canceled
+// Instantiate returns ctx.Err() and no TDP.
+func (p *Plan) Instantiate(agg ranking.Aggregate, opts ...Option) (*TDP, error) {
+	cfg := newConfig(opts)
 	m := len(p.nodes)
 	t := &TDP{Agg: agg, Nodes: make([]*Node, m), OutAttrs: p.outAttrs, emits: p.emits}
 	for pos, sn := range p.nodes {
@@ -238,37 +340,53 @@ func (p *Plan) Instantiate(agg ranking.Aggregate) (*TDP, error) {
 		t.Nodes[pos] = n
 	}
 
-	// Bottom-up π computation (reverse preorder: children first).
-	for pos := m - 1; pos >= 0; pos-- {
-		n := t.Nodes[pos]
-		n.Pi = make([]float64, n.Rel.Len())
-		for row := range n.Rel.Tuples {
-			pi := n.Rel.Weights[row]
-			for ci, c := range n.Children {
-				gi := n.ChildGroup[ci][row]
-				if gi < 0 {
-					return nil, fmt.Errorf("dp: dangling row survived full reduction at node %d", pos)
-				}
-				pi = agg.Combine(pi, t.Nodes[c].Groups[gi].BestPi)
-			}
-			n.Pi[row] = pi
-		}
-		for gi := range n.Groups {
-			g := &n.Groups[gi]
-			if len(g.Rows) == 0 {
-				continue
-			}
-			g.BestIdx = 0
-			g.BestPi = n.Pi[g.Rows[0]]
-			for i := 1; i < len(g.Rows); i++ {
-				if agg.Less(n.Pi[g.Rows[i]], g.BestPi) {
-					g.BestIdx = int32(i)
-					g.BestPi = n.Pi[g.Rows[i]]
-				}
-			}
+	// Bottom-up π computation, deepest level first (children of a node
+	// always sit exactly one level deeper, so their group bests are
+	// final when the node's level runs).
+	for li := len(p.levels) - 1; li >= 0; li-- {
+		lv := p.levels[li]
+		if err := parallel.ForEach(cfg.ctx, cfg.workers, len(lv), func(i int) error {
+			return instantiateNode(t, agg, lv[i])
+		}); err != nil {
+			return nil, err
 		}
 	}
 	return t, nil
+}
+
+// instantiateNode computes node pos's π array and per-group bests. It
+// reads only the group bests of pos's children (one level deeper,
+// finalised behind the previous level's barrier) and writes only pos's
+// own state.
+func instantiateNode(t *TDP, agg ranking.Aggregate, pos int) error {
+	n := t.Nodes[pos]
+	n.Pi = make([]float64, n.Rel.Len())
+	for row := range n.Rel.Tuples {
+		pi := n.Rel.Weights[row]
+		for ci, c := range n.Children {
+			gi := n.ChildGroup[ci][row]
+			if gi < 0 {
+				return fmt.Errorf("dp: dangling row survived full reduction at node %d", pos)
+			}
+			pi = agg.Combine(pi, t.Nodes[c].Groups[gi].BestPi)
+		}
+		n.Pi[row] = pi
+	}
+	for gi := range n.Groups {
+		g := &n.Groups[gi]
+		if len(g.Rows) == 0 {
+			continue
+		}
+		g.BestIdx = 0
+		g.BestPi = n.Pi[g.Rows[0]]
+		for i := 1; i < len(g.Rows); i++ {
+			if agg.Less(n.Pi[g.Rows[i]], g.BestPi) {
+				g.BestIdx = int32(i)
+				g.BestPi = n.Pi[g.Rows[i]]
+			}
+		}
+	}
+	return nil
 }
 
 // Empty reports whether the query has no results.

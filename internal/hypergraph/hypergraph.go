@@ -163,6 +163,30 @@ func (h *Hypergraph) BuildJoinTree() (*JoinTree, bool) {
 	return t, true
 }
 
+// Levels partitions the tree nodes by depth: Levels()[0] is [Root],
+// Levels()[d] holds every node d edges below it, each level in Order
+// (preorder) sequence. Nodes within one level are pairwise unrelated —
+// no ancestor/descendant pairs — which is what makes level-synchronized
+// parallel sweeps (the full reducer's semi-joins, the T-DP's bottom-up
+// π pass) safe: a level only reads state written by deeper or shallower
+// levels, never by its own.
+func (t *JoinTree) Levels() [][]int {
+	depth := make([]int, len(t.Parent))
+	var levels [][]int
+	for _, u := range t.Order {
+		d := 0
+		if p := t.Parent[u]; p >= 0 {
+			d = depth[p] + 1
+		}
+		depth[u] = d
+		if d == len(levels) {
+			levels = append(levels, nil)
+		}
+		levels[d] = append(levels[d], u)
+	}
+	return levels
+}
+
 func (t *JoinTree) dfsOrder() []int {
 	order := make([]int, 0, len(t.Parent))
 	var visit func(int)

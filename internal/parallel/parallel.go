@@ -1,9 +1,13 @@
 // Package parallel provides the small bounded worker pool that the
 // prepare phase of the library fans out on: decomposition bags are
 // independent of each other (internal/decomp materialises one bag per
-// task) and Generic-Join decomposes over the first variable's domain
-// (internal/wcoj partitions it across tasks), so both levels reduce to
-// "run n independent, index-addressed tasks on at most w goroutines".
+// task), Generic-Join decomposes over the first variable's domain
+// (internal/wcoj partitions it across tasks), and join-tree sweeps are
+// independent within a depth level (internal/dp and
+// internal/yannakakis run the T-DP π pass and the full reducer's
+// semi-joins level-synchronized, one ForEach barrier per level), so
+// every level reduces to "run n independent, index-addressed tasks on
+// at most w goroutines".
 //
 // The pool is deliberately deterministic: tasks write results into
 // index-addressed slots owned by the caller, every task runs regardless

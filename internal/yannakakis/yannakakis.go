@@ -9,10 +9,12 @@
 package yannakakis
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/hypergraph"
 	"repro/internal/join"
+	"repro/internal/parallel"
 	"repro/internal/ranking"
 	"repro/internal/relation"
 )
@@ -62,27 +64,60 @@ func (q *Query) queryRel(i int) *relation.Relation {
 // (renamed to query variables), aligned with tree nodes. The input
 // relations are not modified.
 func (q *Query) FullReduce() []*relation.Relation {
+	red, err := q.FullReduceWith(context.Background(), 1)
+	if err != nil {
+		// Unreachable: a background context never cancels and the sweeps
+		// report no other errors.
+		panic(err)
+	}
+	return red
+}
+
+// FullReduceWith is FullReduce on a bounded worker pool: each semi-join
+// sweep processes the tree one depth level at a time, and the nodes of a
+// level — which are pairwise unrelated, so each reads only relations
+// finalised by an earlier level and writes only its own slot — fan out
+// on at most workers goroutines. The reduced relations are identical to
+// the sequential ones for any worker count (each node's semi-join chain
+// runs unchanged; only the interleaving across nodes varies).
+// Cancellation is checked between nodes; a canceled reduction returns
+// ctx.Err() and no relations.
+func (q *Query) FullReduceWith(ctx context.Context, workers int) ([]*relation.Relation, error) {
 	n := len(q.Rels)
 	red := make([]*relation.Relation, n)
 	for i := 0; i < n; i++ {
 		red[i] = q.queryRel(i)
 	}
-	order := q.Tree.Order
-	// Bottom-up pass: children reduce parents (visit in reverse preorder
-	// so every node's children have already been processed).
-	for oi := len(order) - 1; oi >= 0; oi-- {
-		u := order[oi]
-		for _, c := range q.Tree.Children[u] {
-			red[u] = join.SemiJoin(red[u], red[c])
+	levels := q.Tree.Levels()
+	// Bottom-up pass: children reduce parents (deepest level first so
+	// every node's children have already been processed).
+	for li := len(levels) - 1; li >= 0; li-- {
+		lv := levels[li]
+		err := parallel.ForEach(ctx, workers, len(lv), func(i int) error {
+			u := lv[i]
+			for _, c := range q.Tree.Children[u] {
+				red[u] = join.SemiJoin(red[u], red[c])
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 	}
-	// Top-down pass: parents reduce children.
-	for _, u := range order {
-		if p := q.Tree.Parent[u]; p >= 0 {
-			red[u] = join.SemiJoin(red[u], red[p])
+	// Top-down pass: parents reduce children (root level first).
+	for _, lv := range levels {
+		err := parallel.ForEach(ctx, workers, len(lv), func(i int) error {
+			u := lv[i]
+			if p := q.Tree.Parent[u]; p >= 0 {
+				red[u] = join.SemiJoin(red[u], red[p])
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 	}
-	return red
+	return red, nil
 }
 
 // Evaluate computes the full join result with the Yannakakis algorithm:

@@ -42,8 +42,9 @@ func benchFiveCycle(n int) *Query {
 	return q
 }
 
-// benchPrepare measures the full first-run prepare path (bag
-// materialisation + tree compilation) at the given parallelism. Each
+// benchPrepare measures the full first-run prepare path — bag
+// materialisation + tree compilation for cyclic shapes, plan build +
+// T-DP instantiation for acyclic ones — at the given parallelism. Each
 // iteration compiles a fresh handle so the per-ranking cache never
 // short-circuits the work being measured.
 func benchPrepare(b *testing.B, mk func(int) *Query, n, workers int) {
@@ -61,8 +62,23 @@ func benchPrepare(b *testing.B, mk func(int) *Query, n, workers int) {
 	}
 }
 
+// benchAcyclicStar builds a wide acyclic star (8 relations sharing a
+// hub), the shape whose level-synchronized T-DP instantiation the
+// parallel acyclic prepare path fans out best on.
+func benchAcyclicStar(n int) *Query {
+	inst := workload.Star(8, n, n/20+1, workload.UniformWeights(), 19)
+	q := NewQuery()
+	for i, r := range inst.Rels {
+		q.Rel(r.Name, inst.H.Edges[i].Vars, r.Tuples, r.Weights)
+	}
+	return q
+}
+
 func BenchmarkPrepareBowtieSequential(b *testing.B) { benchPrepare(b, benchBowtie, 3000, 1) }
 func BenchmarkPrepareBowtieParallel(b *testing.B)   { benchPrepare(b, benchBowtie, 3000, 0) }
 
 func BenchmarkPrepareFiveCycleSequential(b *testing.B) { benchPrepare(b, benchFiveCycle, 2000, 1) }
 func BenchmarkPrepareFiveCycleParallel(b *testing.B)   { benchPrepare(b, benchFiveCycle, 2000, 0) }
+
+func BenchmarkPrepareAcyclicStarSequential(b *testing.B) { benchPrepare(b, benchAcyclicStar, 20000, 1) }
+func BenchmarkPrepareAcyclicStarParallel(b *testing.B)   { benchPrepare(b, benchAcyclicStar, 20000, 0) }

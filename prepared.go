@@ -66,9 +66,19 @@ type Prepared struct {
 	ghdDec   *hypergraph.Decomposition
 
 	// workers is the compile-time default parallelism for the prepare
-	// phase (bag materialisation); WithParallelism on a Run overrides it
-	// for the build that run triggers.
-	workers int
+	// phase (Instantiate for acyclic queries, bag materialisation for
+	// cyclic ones); workersSet records whether WithParallelism was passed
+	// to Compile at all. When it was not, the prepare parallelism is
+	// chosen per build: GOMAXPROCS when the estimated input size clears
+	// prepareParallelThreshold, sequential below it. WithParallelism on a
+	// Run overrides both for the build that run triggers.
+	workers    int
+	workersSet bool
+
+	// estTuples is the estimated total tuple count the prepare phase
+	// processes (reduced plan nodes for acyclic queries, input relations
+	// for cyclic ones) — the input to the default-parallelism threshold.
+	estTuples int
 
 	tdps    onceCache[*dp.TDP]      // acyclic: T-DP per ranking function
 	decomps onceCache[*decomp.Plan] // cyclic: decomposition per ranking function
@@ -128,6 +138,42 @@ func (c *onceCache[V]) get(ctx context.Context, agg ranking.Aggregate, build fun
 	}
 }
 
+// prepareParallelThreshold is the estimated total tuple count (summed
+// across plan nodes or input relations) above which an unset
+// WithParallelism resolves to GOMAXPROCS instead of sequential. Below
+// it the prepare work is so small that goroutine scheduling costs more
+// than it saves: measured with BenchmarkInstantiate* and
+// BenchmarkPrepare*, parallel prepare breaks even at a few thousand
+// tuples and the fan-out overhead is single-digit microseconds, so
+// 8192 keeps tiny queries on the zero-overhead sequential path while
+// everything benchmark-sized parallelises. Tests override it to force
+// either path deterministically.
+var prepareParallelThreshold = 8192
+
+// resolveWorkers picks the prepare parallelism for one build:
+// an explicit WithParallelism (set on the Run, else on Compile) always
+// wins; otherwise the size threshold decides between GOMAXPROCS and
+// sequential.
+func resolveWorkers(set bool, workers, estTuples int) int {
+	if set {
+		return workers
+	}
+	if estTuples >= prepareParallelThreshold {
+		return parallel.Degree(0)
+	}
+	return 1
+}
+
+// prepareWorkers resolves the worker count for a build triggered by a
+// Run with config cfg, layering the per-run override over the handle
+// default over the size threshold.
+func (p *Prepared) prepareWorkers(cfg runConfig) int {
+	if cfg.workersSet {
+		return cfg.workers
+	}
+	return resolveWorkers(p.workersSet, p.workers, p.estTuples)
+}
+
 // Compile analyses and plans the query once, returning a reusable
 // handle. Acyclic queries are planned onto the T-DP join tree; triangle,
 // 4-cycle, and longer cycle queries onto their canonical decompositions
@@ -135,10 +181,16 @@ func (c *onceCache[V]) get(ctx context.Context, agg ranking.Aggregate, build fun
 // the generalized-hypertree-decomposition search and compiles onto the
 // resulting bag tree.
 //
-// Of the run options only WithParallelism is consulted at compile time:
-// it sets the handle's default prepare parallelism (how many workers
-// materialise decomposition bags on the first Run with each ranking
-// function). The other options are per-run and ignored here.
+// Of the run options only WithParallelism and WithContext are
+// consulted at compile time. WithParallelism drives the acyclic plan
+// build (full reduction and grouping) and sets the handle's default
+// prepare parallelism (how many workers run Instantiate or materialise
+// decomposition bags on the first Run with each ranking function);
+// when it is omitted, parallelism defaults to GOMAXPROCS for inputs
+// above a size threshold and sequential below it. WithContext makes
+// the acyclic plan build cancelable (a canceled Compile returns
+// ctx.Err() and no handle); it is not retained by the handle. The
+// other options are per-run and ignored here.
 func Compile(q *Query, opts ...RunOption) (*Prepared, error) {
 	if q.err != nil {
 		return nil, q.err
@@ -146,9 +198,13 @@ func Compile(q *Query, opts ...RunOption) (*Prepared, error) {
 	if len(q.rels) == 0 {
 		return nil, fmt.Errorf("repro: empty query")
 	}
-	cfg := runConfig{workers: 1}
+	cfg := runConfig{}
 	for _, o := range opts {
 		o(&cfg)
+	}
+	inputTuples := 0
+	for _, r := range q.rels {
+		inputTuples += r.Len()
 	}
 	h := hypergraph.New(q.edges...)
 	if h.IsAcyclic() {
@@ -156,20 +212,37 @@ func Compile(q *Query, opts ...RunOption) (*Prepared, error) {
 		if err != nil {
 			return nil, err
 		}
-		plan, err := dp.NewPlan(yq)
+		// The plan build itself (semi-join sweeps + grouping) runs at the
+		// same parallelism a first Run would, estimated from the input
+		// size (the reduced size is not known yet), and under the
+		// caller's context if one was supplied.
+		buildOpts := []dp.Option{dp.WithWorkers(resolveWorkers(cfg.workersSet, cfg.workers, inputTuples))}
+		if cfg.ctx != nil {
+			buildOpts = append(buildOpts, dp.WithContext(cfg.ctx))
+		}
+		plan, err := dp.NewPlan(yq, buildOpts...)
 		if err != nil {
 			return nil, err
 		}
 		return &Prepared{
-			outAttrs: plan.OutAttrs(),
-			kind:     kindAcyclic,
-			yq:       yq,
-			plan:     plan,
-			workers:  cfg.workers,
+			outAttrs:   plan.OutAttrs(),
+			kind:       kindAcyclic,
+			yq:         yq,
+			plan:       plan,
+			workers:    cfg.workers,
+			workersSet: cfg.workersSet,
+			// Instantiate passes run over the reduced plan, so the
+			// threshold consults the post-reduction size.
+			estTuples: plan.TotalTuples(),
 		}, nil
 	}
 	if l, rels, ok := q.matchCycle(); ok {
-		p := &Prepared{cycleRels: rels, workers: cfg.workers}
+		p := &Prepared{
+			cycleRels:  rels,
+			workers:    cfg.workers,
+			workersSet: cfg.workersSet,
+			estTuples:  inputTuples,
+		}
 		switch l {
 		case 3:
 			p.kind, p.outAttrs = kindTriangle, decomp.TriangleAttrs
@@ -188,12 +261,14 @@ func Compile(q *Query, opts ...RunOption) (*Prepared, error) {
 		return nil, fmt.Errorf("repro: cyclic query %s: %w", h, err)
 	}
 	return &Prepared{
-		outAttrs: decomp.GHDAttrs(q.edges),
-		kind:     kindGeneric,
-		ghdEdges: q.edges,
-		ghdRels:  q.rels,
-		ghdDec:   dec,
-		workers:  cfg.workers,
+		outAttrs:   decomp.GHDAttrs(q.edges),
+		kind:       kindGeneric,
+		ghdEdges:   q.edges,
+		ghdRels:    q.rels,
+		ghdDec:     dec,
+		workers:    cfg.workers,
+		workersSet: cfg.workersSet,
+		estTuples:  inputTuples,
 	}, nil
 }
 
@@ -235,22 +310,32 @@ func WithK(k int) RunOption { return func(c *runConfig) { c.k = k } }
 // WithContext attaches a cancellation context to the run: once ctx is
 // done, the iterator's Next returns false and Err reports ctx.Err().
 // The context also covers the prepare work a first Run with a new
-// ranking function triggers (bag materialisation for cyclic shapes):
-// cancellation there fails the Run with ctx.Err(), and a later Run
-// simply rebuilds — a canceled prepare is never cached.
+// ranking function triggers (T-DP instantiation for acyclic queries,
+// bag materialisation for cyclic shapes): cancellation there fails the
+// Run with ctx.Err(), and a later Run simply rebuilds — a canceled
+// prepare is never cached.
 func WithContext(ctx context.Context) RunOption { return func(c *runConfig) { c.ctx = ctx } }
 
-// WithParallelism sets how many workers materialise decomposition bags
-// during the prepare phase of cyclic queries (the first Run with each
-// ranking function): independent bags build concurrently, and leftover
+// WithParallelism sets how many workers run the prepare phase (the
+// first Run with each ranking function). For acyclic queries that is
+// the plan build and the T-DP instantiation: join-tree nodes process
+// level-synchronized, bottom-up, fanning the per-node π/grouping work
+// out across each depth level. For cyclic queries it is bag
+// materialisation: independent bags build concurrently, and leftover
 // workers partition the first join variable inside each Generic-Join
-// bag. n <= 0 selects GOMAXPROCS; the default is 1 (sequential).
+// bag. n <= 0 selects GOMAXPROCS; n == 1 forces the sequential path.
+//
+// When the option is omitted entirely, parallelism is on by default:
+// builds over inputs of at least a few thousand tuples (the measured
+// break-even; see docs/ARCHITECTURE.md) use GOMAXPROCS workers, smaller
+// ones stay sequential to skip the scheduling overhead.
 //
 // Parallel preparation is bit-identical to sequential preparation —
-// same bag contents and order, same Stats — so the only observable
-// difference is latency. Passed to Compile it sets the handle's
-// default; passed to Run it overrides the default for the build that
-// run triggers. Enumeration itself is unaffected.
+// same π weights, bag contents and order, same Stats — so the only
+// observable difference is latency. Passed to Compile it sets the
+// handle's default (and drives the acyclic plan build itself); passed
+// to Run it overrides the default for the build that run triggers.
+// Enumeration itself is unaffected.
 func WithParallelism(n int) RunOption {
 	return func(c *runConfig) {
 		c.workers = parallel.Degree(n)
@@ -269,7 +354,7 @@ func (p *Prepared) Run(opts ...RunOption) (Iterator, error) {
 	}
 	var it Iterator
 	if p.kind == kindAcyclic {
-		t, err := p.tdpFor(cfg.agg, cfg.ctx)
+		t, err := p.tdpFor(cfg.agg, cfg.ctx, p.prepareWorkers(cfg))
 		if err != nil {
 			return nil, err
 		}
@@ -278,11 +363,7 @@ func (p *Prepared) Run(opts ...RunOption) (Iterator, error) {
 			return nil, err
 		}
 	} else {
-		workers := p.workers
-		if cfg.workersSet {
-			workers = cfg.workers
-		}
-		d, err := p.decompFor(cfg.agg, cfg.ctx, workers)
+		d, err := p.decompFor(cfg.agg, cfg.ctx, p.prepareWorkers(cfg))
 		if err != nil {
 			return nil, err
 		}
@@ -353,11 +434,18 @@ func (p *Prepared) IsEmpty(opts ...RunOption) (bool, error) {
 }
 
 // tdpFor returns (instantiating and caching on first use) the T-DP of
-// the acyclic plan under agg. Instantiate is not cancelable, so the
-// context only matters for the cache's retry-on-cancel policy (which
-// never triggers here).
-func (p *Prepared) tdpFor(agg ranking.Aggregate, ctx context.Context) (*dp.TDP, error) {
-	return p.tdps.get(ctx, agg, p.plan.Instantiate)
+// the acyclic plan under agg. The ctx and worker count only matter to
+// the Run that triggers the build; cache hits ignore them. Instantiate
+// is cancelable between node tasks, and a canceled instantiation fails
+// with ctx.Err() and is dropped from the cache (the onceCache
+// retry-on-cancel policy), so one run's cancellation never poisons the
+// per-aggregate entry — the next Run rebuilds. Parallel instantiations
+// are bit-identical to sequential ones, so the cached TDP does not
+// depend on which Run won the build.
+func (p *Prepared) tdpFor(agg ranking.Aggregate, ctx context.Context, workers int) (*dp.TDP, error) {
+	return p.tdps.get(ctx, agg, func(a ranking.Aggregate) (*dp.TDP, error) {
+		return p.plan.Instantiate(a, dp.WithContext(ctx), dp.WithWorkers(workers))
+	})
 }
 
 // decompFor returns (building and caching on first use) the cyclic
