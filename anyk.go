@@ -52,7 +52,11 @@
 package repro
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
+	"sort"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/decomp"
@@ -163,9 +167,10 @@ func (q *Query) Rel(name string, vars []string, tuples []Tuple, weights []float6
 // OutAttrs reports the output schema the iterators of this query will
 // use, computed from the query structure alone (no data is touched, so
 // it is cheap even on large relations): for acyclic queries the query
-// variables in join-tree preorder; for the canonical cyclic shapes the
-// fixed schema (A,B,C) for triangles, (A,B,C,D) for 4-cycles, and
-// (A0,...,A_{l-1}) for longer cycles; and for every other cyclic shape
+// variables in join-tree preorder; for cycle queries of any length the
+// query variables in the order the cycle is walked (starting from the
+// first declared atom's first variable — the positions the canonical
+// cycle decompositions enumerate); and for every other cyclic shape
 // (compiled through the generic GHD planner) the query variables in
 // sorted order. Prepared.OutAttrs reports the same schema from a
 // compiled handle.
@@ -190,17 +195,71 @@ func (q *Query) OutAttrs() ([]string, error) {
 		}
 		return attrs, nil
 	}
-	if order, _, ok := q.matchCycleShape(); ok {
-		switch l := len(order); l {
-		case 3:
-			return decomp.TriangleAttrs, nil
-		case 4:
-			return decomp.FourCycleAttrs, nil
-		default:
-			return decomp.CycleAttrs(l), nil
-		}
+	if order, flip, ok := q.matchCycleShape(); ok {
+		return cycleWalkVars(q.edges, order, flip), nil
 	}
 	return decomp.GHDAttrs(q.edges), nil
+}
+
+// cycleWalkVars names the canonical cycle output positions A0..A_{l-1}
+// with the query's own variables in walk order: position i is the
+// source variable of the i-th edge along the walk matchCycleShape
+// found, which is exactly the column the cycle decompositions emit
+// there — so iterators stream tuples labeled with the user's names
+// instead of the engine's canonical placeholders.
+func cycleWalkVars(edges []hypergraph.Edge, order []int, flip []bool) []string {
+	out := make([]string, len(order))
+	for i, ei := range order {
+		if flip[i] {
+			out[i] = edges[ei].Vars[1]
+		} else {
+			out[i] = edges[ei].Vars[0]
+		}
+	}
+	return out
+}
+
+// Fingerprint returns a stable identifier of the query's *shape*: a
+// hex-encoded SHA-256 over the canonical form of the atom multiset,
+// where each atom is rendered as its arity plus the query variables it
+// binds in declaration position order, and the rendered atoms are
+// sorted lexicographically. The fingerprint is therefore independent of
+// the order the Rel calls declared the atoms, of the relation names,
+// and of the data (tuples and weights) — but sensitive to arities and
+// to the variable pattern, i.e. which positions of which atoms share a
+// variable. Variable names are part of the pattern: renaming variables
+// consistently produces a different fingerprint (no graph-isomorphism
+// canonicalisation is attempted, so equal fingerprints always mean
+// structurally identical queries — the safe direction for a cache key).
+//
+// It is the natural key for caching compiled plans across requests: two
+// queries with equal fingerprints over the same relations (in any
+// declaration order) compile to interchangeable plans. The serving
+// layer (internal/server) combines it with dataset identities and the
+// ranking function to key its prepared-plan registry.
+func (q *Query) Fingerprint() (string, error) {
+	if q.err != nil {
+		return "", q.err
+	}
+	if len(q.edges) == 0 {
+		return "", fmt.Errorf("repro: empty query")
+	}
+	atoms := make([]string, len(q.edges))
+	for i, e := range q.edges {
+		// Length-prefixed rendering (arity, then "len.name" per variable)
+		// is injective for arbitrary variable names — no separator a name
+		// could contain can smuggle one shape into another's canonical
+		// form, so distinct shapes cannot collide before hashing.
+		var b strings.Builder
+		fmt.Fprintf(&b, "%d:", len(e.Vars))
+		for _, v := range e.Vars {
+			fmt.Fprintf(&b, "%d.%s,", len(v), v)
+		}
+		atoms[i] = b.String()
+	}
+	sort.Strings(atoms)
+	h := sha256.Sum256([]byte(strings.Join(atoms, ";")))
+	return hex.EncodeToString(h[:]), nil
 }
 
 // Ranked compiles the query and returns a ranked-enumeration iterator —

@@ -25,16 +25,22 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"repro"
 	"repro/internal/experiments"
 	"repro/internal/parallel"
+	"repro/internal/server"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -122,6 +128,7 @@ func main() {
 	asCSV := flag.Bool("csv", false, "emit comma-separated values instead of aligned tables")
 	benchJSON := flag.String("benchjson", "", "write BENCH_<name>.json with per-variant TTF/TTK/total and exit")
 	par := flag.Int("parallel", 0, "prepare workers for the -benchjson parallel measurement (<= 0 selects GOMAXPROCS)")
+	serve := flag.Bool("serve", false, "with -benchjson: also measure the anykd serving layer end-to-end and record serve_topk_qps")
 	flag.Parse()
 	render := func(t *stats.Table) string {
 		if *asCSV {
@@ -137,7 +144,7 @@ func main() {
 	}
 
 	if *benchJSON != "" {
-		path, err := writeBenchJSON(*benchJSON, *scale, cfg, *par)
+		path, err := writeBenchJSON(*benchJSON, *scale, cfg, *par, *serve)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
@@ -218,6 +225,17 @@ type benchReport struct {
 	AcyclicPrepareN     int    `json:"acyclic_prepare_n"`
 	AcyclicPrepareSeqNs int64  `json:"acyclic_prepare_seq_ns"`
 	AcyclicPrepareParNs int64  `json:"acyclic_prepare_par_ns"`
+
+	// Serving layer (-serve): warm top-k throughput through the full
+	// HTTP stack — internal/server with its plan registry, admission
+	// control, and NDJSON streaming — measured with ServeClients
+	// concurrent clients issuing ServeRequests total requests against a
+	// warm plan. serve_topk_qps is the end-to-end requests/second.
+	ServeTopKQPS   float64 `json:"serve_topk_qps,omitempty"`
+	ServeRequests  int     `json:"serve_requests,omitempty"`
+	ServeClients   int     `json:"serve_clients,omitempty"`
+	ServeK         int     `json:"serve_k,omitempty"`
+	ServeCacheHits int64   `json:"serve_cache_hits,omitempty"`
 }
 
 // bowtieBench builds the bowtie query (two triangles sharing A — a
@@ -272,11 +290,112 @@ func measurePrepare(q *repro.Query, workers int) (time.Duration, error) {
 	return best, nil
 }
 
+// measureServe stands up the serving layer in-process (the same
+// internal/server an anykd binary runs), registers the path workload's
+// relations as datasets and a query over them, warms the plan with one
+// request, then hammers /topk with `clients` concurrent clients for
+// `requests` total requests. It returns the end-to-end QPS and the
+// plan-registry hit count (which must account for every warm request —
+// zero re-preparation is the serving layer's core claim).
+func measureServe(inst *workload.Instance, k, clients, requests int) (qps float64, cacheHits int64, err error) {
+	s := server.New(server.Config{MaxInflight: clients * 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Close()
+
+	post := func(url string, payload any) error {
+		b, err := json.Marshal(payload)
+		if err != nil {
+			return err
+		}
+		resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("POST %s: status %d", url, resp.StatusCode)
+		}
+		return nil
+	}
+	atoms := make([]map[string]any, len(inst.Rels))
+	for i, r := range inst.Rels {
+		dsName := fmt.Sprintf("serve_r%d", i)
+		if err := post(ts.URL+"/v1/datasets/"+dsName, map[string]any{
+			"tuples": r.Tuples, "weights": r.Weights,
+		}); err != nil {
+			return 0, 0, err
+		}
+		atoms[i] = map[string]any{"dataset": dsName, "vars": inst.H.Edges[i].Vars}
+	}
+	if err := post(ts.URL+"/v1/queries/serve_path", map[string]any{"atoms": atoms}); err != nil {
+		return 0, 0, err
+	}
+
+	topkURL := fmt.Sprintf("%s/v1/query/serve_path/topk?k=%d", ts.URL, k)
+	get := func() error {
+		resp, err := http.Get(topkURL)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("GET topk: status %d", resp.StatusCode)
+		}
+		return nil
+	}
+	if err := get(); err != nil { // cold request builds + warms the plan
+		return 0, 0, err
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	per := requests / clients
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := get(); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return 0, 0, err
+	}
+
+	// Read the registry hit count back through the public stats surface.
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Registry struct {
+			Hits int64 `json:"hits"`
+		} `json:"registry"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return 0, 0, err
+	}
+	return float64(per*clients) / elapsed.Seconds(), st.Registry.Hits, nil
+}
+
 // writeBenchJSON compiles a 4-relation path query once and measures
 // every any-k variant off the shared prepared plan: time-to-first,
 // time-to-k, and total enumeration time. It then measures the cyclic
-// prepare path sequentially and with `workers` workers.
-func writeBenchJSON(name, scale string, cfg scaleCfg, workers int) (string, error) {
+// prepare path sequentially and with `workers` workers, and (with
+// -serve) the serving layer's warm top-k throughput.
+func writeBenchJSON(name, scale string, cfg scaleCfg, workers int, serve bool) (string, error) {
 	n := cfg.e6ns[len(cfg.e6ns)-1]
 	k := cfg.e6k
 	inst := workload.Path(4, n, n/5+1, workload.UniformWeights(), 42)
@@ -369,6 +488,19 @@ func writeBenchJSON(name, scale string, cfg scaleCfg, workers int) (string, erro
 	report.AcyclicPrepareN = acycN
 	report.AcyclicPrepareSeqNs = acycSeq.Nanoseconds()
 	report.AcyclicPrepareParNs = acycPar.Nanoseconds()
+
+	if serve {
+		clients, requests, serveK := 4, 400, 10
+		qps, cacheHits, err := measureServe(inst, serveK, clients, requests)
+		if err != nil {
+			return "", fmt.Errorf("serve: %w", err)
+		}
+		report.ServeTopKQPS = qps
+		report.ServeRequests = requests
+		report.ServeClients = clients
+		report.ServeK = serveK
+		report.ServeCacheHits = cacheHits
+	}
 
 	path := fmt.Sprintf("BENCH_%s.json", name)
 	data, err := json.MarshalIndent(report, "", "  ")

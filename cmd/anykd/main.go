@@ -1,0 +1,89 @@
+// Command anykd serves ranked top-k join queries over HTTP — the
+// serving layer of the reproduction (internal/server) as a standalone
+// daemon.
+//
+// Quickstart:
+//
+//	anykd -addr :8080 &
+//	curl -X POST -H 'Content-Type: text/csv' --data-binary @edges.csv \
+//	    'http://localhost:8080/v1/datasets/edges?weights=true'
+//	curl -X POST -H 'Content-Type: application/json' \
+//	    -d '{"atoms":[{"dataset":"edges","vars":["A","B"]},{"dataset":"edges","vars":["B","C"]}]}' \
+//	    http://localhost:8080/v1/queries/hops2
+//	curl 'http://localhost:8080/v1/query/hops2/topk?k=5&agg=sum&variant=Lazy'
+//
+// Results stream as NDJSON in ranking order with a trailing
+// {"done":true,"count":N} line; /v1/stats surfaces plan-registry
+// hit/miss counters, admission state, and per-plan statistics. SIGINT
+// or SIGTERM triggers a graceful shutdown: new streams are refused,
+// in-flight enumerations drain within -grace, stragglers are canceled.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	maxInflight := flag.Int("max-inflight", 64, "max concurrent enumerations before /topk returns 429")
+	timeout := flag.Duration("timeout", 10*time.Second, "default per-request deadline")
+	maxTimeout := flag.Duration("max-timeout", 60*time.Second, "cap on client-requested ?timeout=")
+	maxBody := flag.Int64("max-body-bytes", 64<<20, "max dataset/query upload size")
+	maxK := flag.Int("max-k", 0, "cap on ?k= (0 = unlimited)")
+	registryCap := flag.Int("registry-cap", 128, "max resident prepared plans")
+	registryShards := flag.Int("registry-shards", 8, "plan-registry shards")
+	grace := flag.Duration("grace", 15*time.Second, "graceful-shutdown drain window")
+	flag.Parse()
+
+	s := server.New(server.Config{
+		MaxInflight:      *maxInflight,
+		DefaultTimeout:   *timeout,
+		MaxTimeout:       *maxTimeout,
+		MaxBodyBytes:     *maxBody,
+		MaxK:             *maxK,
+		RegistryCapacity: *registryCap,
+		RegistryShards:   *registryShards,
+	})
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("anykd listening on %s (max-inflight %d, registry %d plans / %d shards)",
+			*addr, *maxInflight, *registryCap, *registryShards)
+		errCh <- hs.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		log.Fatalf("anykd: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("anykd: shutting down (draining up to %v)", *grace)
+	shCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := s.Shutdown(shCtx); err != nil {
+		log.Printf("anykd: streams cut after grace period: %v", err)
+	}
+	if err := hs.Shutdown(shCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("anykd: http shutdown: %v", err)
+	}
+	log.Print("anykd: bye")
+	os.Exit(0)
+}

@@ -12,7 +12,7 @@ import (
 // it by weight, then iterate. Time-to-first is Θ(r log r); time-to-last
 // is asymptotically optimal but pays the full sort even for k = 1.
 type batchIter struct {
-	Lifecycle
+	*Lifecycle
 	t       *dp.TDP
 	rows    []int32 // all solutions, flattened (m per solution)
 	weights []float64
@@ -28,6 +28,7 @@ type batchIter struct {
 // context's error from Err.
 func NewBatch(ctx context.Context, t *dp.TDP) Iterator {
 	it := &batchIter{Lifecycle: NewLifecycle(ctx), t: t, m: len(t.Nodes)}
+	it.OnRelease(func() { it.rows, it.weights, it.order = nil, nil, nil })
 	if t.Empty() {
 		return it
 	}
@@ -51,7 +52,7 @@ func NewBatch(ctx context.Context, t *dp.TDP) Iterator {
 	}
 	if fill(0) {
 		for {
-			if len(it.weights)%4096 == 0 && !it.Proceed() {
+			if len(it.weights)%4096 == 0 && it.Interrupted() {
 				it.rows, it.weights = nil, nil
 				return it
 			}
@@ -84,17 +85,14 @@ func NewBatch(ctx context.Context, t *dp.TDP) Iterator {
 	return it
 }
 
-// Close terminates enumeration and releases the materialised output.
-func (it *batchIter) Close() error {
-	it.Lifecycle.Close()
-	it.rows, it.weights, it.order = nil, nil, nil
-	return nil
-}
-
+// Next yields the next solution in sorted order. Close (promoted from
+// Lifecycle, safe to call concurrently) releases the materialised
+// output once no Next body is in flight.
 func (it *batchIter) Next() (Result, bool) {
 	if !it.Proceed() {
 		return Result{}, false
 	}
+	defer it.End()
 	if it.k >= len(it.order) {
 		it.Exhaust()
 		return Result{}, false

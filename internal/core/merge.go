@@ -13,7 +13,7 @@ import (
 // submodular-width decompositions route disjoint subsets of the input to
 // different trees, so their outputs interleave by weight).
 type mergeIter struct {
-	Lifecycle
+	*Lifecycle
 	agg   ranking.Aggregate
 	pq    *heap.Heap[mergeHead]
 	srcs  []Iterator
@@ -42,6 +42,7 @@ func Merge(ctx context.Context, agg ranking.Aggregate, dedup bool, iters ...Iter
 	if dedup {
 		m.dedup = make(map[string]bool)
 	}
+	m.OnRelease(func() { m.pq = nil })
 	for _, it := range iters {
 		if r, ok := it.Next(); ok {
 			m.pq.Push(mergeHead{r: r, src: it})
@@ -54,10 +55,11 @@ func Merge(ctx context.Context, agg ranking.Aggregate, dedup bool, iters ...Iter
 }
 
 func (m *mergeIter) Next() (Result, bool) {
+	if !m.Proceed() {
+		return Result{}, false
+	}
+	defer m.End()
 	for {
-		if !m.Proceed() {
-			return Result{}, false
-		}
 		head, ok := m.pq.Pop()
 		if !ok {
 			m.Exhaust()
@@ -73,6 +75,11 @@ func (m *mergeIter) Next() (Result, bool) {
 			m.buf = relation.AppendKey(m.buf[:0], head.r.Tuple)
 			k := string(m.buf)
 			if m.dedup[k] {
+				// Long duplicate runs must still notice a concurrent Close
+				// or cancellation between pops.
+				if m.Interrupted() {
+					return Result{}, false
+				}
 				continue
 			}
 			m.dedup[k] = true
@@ -81,13 +88,15 @@ func (m *mergeIter) Next() (Result, bool) {
 	}
 }
 
-// Close terminates the merge and closes every source iterator.
+// Close terminates the merge and closes every source iterator. Like all
+// lifecycle-backed Closes it is safe concurrently with Next: the merge
+// queue is released once no Next body is in flight, and each source's
+// own lifecycle serialises its shutdown.
 func (m *mergeIter) Close() error {
 	for _, s := range m.srcs {
 		s.Close()
 	}
 	m.Lifecycle.Close()
-	m.pq = nil
 	return nil
 }
 

@@ -26,6 +26,7 @@ func NewNaiveLawler(ctx context.Context, t *dp.TDP) Iterator {
 			return t.Agg.Less(a.weight, b.weight)
 		}),
 	}
+	it.OnRelease(func() { it.pq = nil })
 	if t.Empty() {
 		return it
 	}
@@ -46,7 +47,7 @@ type naiveItem struct {
 }
 
 type naiveIter struct {
-	Lifecycle
+	*Lifecycle
 	t  *dp.TDP
 	pq *heap.Heap[*naiveItem]
 }
@@ -139,6 +140,7 @@ func (it *naiveIter) Next() (Result, bool) {
 	if !it.Proceed() {
 		return Result{}, false
 	}
+	defer it.End()
 	item, ok := it.pq.Pop()
 	if !ok {
 		it.Exhaust()

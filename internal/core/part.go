@@ -26,7 +26,7 @@ type partItem struct {
 
 // partIter implements ANYK-PART over a T-DP.
 type partIter struct {
-	Lifecycle
+	*Lifecycle
 	t  *dp.TDP
 	pq *heap.Heap[*partItem]
 	// structs[node][group] is the candidate structure, created lazily.
@@ -59,6 +59,7 @@ func NewPart(ctx context.Context, t *dp.TDP, v Variant) (Iterator, error) {
 	for pos, n := range t.Nodes {
 		it.structs[pos] = make([]candStruct, len(n.Groups))
 	}
+	it.OnRelease(func() { it.pq = nil; it.structs = nil })
 	if t.Empty() {
 		return it, nil
 	}
@@ -80,21 +81,15 @@ func (it *partIter) structAt(pos int, group int32) candStruct {
 	return s
 }
 
-// Close terminates enumeration and releases the queue and successor
-// structures.
-func (it *partIter) Close() error {
-	it.Lifecycle.Close()
-	it.pq = nil
-	it.structs = nil
-	return nil
-}
-
 // Next pops the best unseen solution, materialises it, and pushes its
-// Lawler successors.
+// Lawler successors. Close (promoted from Lifecycle, safe to call
+// concurrently) releases the queue and successor structures once no
+// Next body is in flight.
 func (it *partIter) Next() (Result, bool) {
 	if !it.Proceed() {
 		return Result{}, false
 	}
+	defer it.End()
 	item, ok := it.pq.Pop()
 	if !ok {
 		it.Exhaust()

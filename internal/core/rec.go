@@ -38,7 +38,7 @@ type recState struct {
 
 // recIter implements ANYK-REC over a T-DP.
 type recIter struct {
-	Lifecycle
+	*Lifecycle
 	t *dp.TDP
 	// states[node][group], created lazily.
 	states [][]*recState
@@ -52,6 +52,7 @@ func NewRec(ctx context.Context, t *dp.TDP) Iterator {
 	for pos, n := range t.Nodes {
 		it.states[pos] = make([]*recState, len(n.Groups))
 	}
+	it.OnRelease(func() { it.states = nil; it.root = nil })
 	if !t.Empty() {
 		it.root = it.stateAt(0, 0)
 	}
@@ -144,19 +145,14 @@ func (it *recIter) expand(s *recState, solIdx int, rows []int32) {
 	}
 }
 
-// Close terminates enumeration and releases the memoized states.
-func (it *recIter) Close() error {
-	it.Lifecycle.Close()
-	it.states = nil
-	it.root = nil
-	return nil
-}
-
-// Next returns the k-th best solution overall.
+// Next returns the k-th best solution overall. Close (promoted from
+// Lifecycle, safe to call concurrently) releases the memoized states
+// once no Next body is in flight.
 func (it *recIter) Next() (Result, bool) {
 	if !it.Proceed() {
 		return Result{}, false
 	}
+	defer it.End()
 	if it.root == nil {
 		it.Exhaust()
 		return Result{}, false

@@ -197,7 +197,7 @@ func TriangleAnyK(rels [3]*relation.Relation, agg ranking.Aggregate, opts ...Pre
 // sortedIter enumerates a materialised relation in weight order using an
 // incremental heap sort (O(r) build, O(log r) per result).
 type sortedIter struct {
-	core.Lifecycle
+	*core.Lifecycle
 	rel *relation.Relation
 	inc *heap.IncSort[int32]
 	k   int
@@ -219,6 +219,7 @@ func (s *sortedIter) Next() (core.Result, bool) {
 	if !s.Proceed() {
 		return core.Result{}, false
 	}
+	defer s.End()
 	row, ok := s.inc.Get(s.k)
 	if !ok {
 		s.Exhaust()

@@ -44,11 +44,21 @@ func (d *Dictionary) Lookup(s string) (Value, bool) {
 
 // String returns the string for code c, or "" if out of range.
 func (d *Dictionary) String(c Value) string {
+	s, _ := d.Decode(c)
+	return s
+}
+
+// Decode returns the string for c when c is a code this dictionary
+// assigned, with ok=false for ordinary numeric values (or codes it
+// never assigned). Unlike String it distinguishes an encoded empty
+// string from "not a dictionary code", which the serving layer needs
+// when rendering mixed numeric/string output tuples.
+func (d *Dictionary) Decode(c Value) (string, bool) {
 	idx := c - DictBase
 	if idx < 0 || int(idx) >= len(d.toStr) {
-		return ""
+		return "", false
 	}
-	return d.toStr[idx]
+	return d.toStr[idx], true
 }
 
 // Len reports the number of distinct strings.
@@ -119,6 +129,13 @@ func ReadCSV(r io.Reader, name string, weightCol bool, dict *Dictionary) (*Relat
 				v, err := strconv.ParseInt(row[i], 10, 64)
 				if err != nil {
 					return nil, fmt.Errorf("relation %s line %d: bad numeric value %q: %w", name, ln+2, row[i], err)
+				}
+				// With a dictionary in play, raw integers at or above
+				// DictBase would be indistinguishable from string codes
+				// (Decode would render them as unrelated strings), so the
+				// numeric domain is capped below the code space.
+				if dict != nil && v >= DictBase {
+					return nil, fmt.Errorf("relation %s line %d: integer value %d collides with the dictionary code space (numeric values must be < 2^40)", name, ln+2, v)
 				}
 				t[i] = v
 			} else if dict != nil {

@@ -1,0 +1,232 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro"
+)
+
+// sfCache is a singleflight LRU of prepared handles — the building
+// block both registry layers share. A missing key is built by the first
+// caller while every concurrent caller for the same key blocks on the
+// entry's ready channel and receives the same result; failed (or
+// canceled) builds are removed before ready closes, so they are never
+// cached and the next request retries. The LRU bound evicts only
+// entries whose build finished — in-flight builds are skipped (their
+// builder and waiters hold references, and dropping them would only
+// duplicate work).
+type sfCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*sfEntry
+	lru     *list.List // front = most recently used; values are *sfEntry
+
+	evicted atomic.Int64
+}
+
+type sfEntry struct {
+	key   string
+	elem  *list.Element
+	ready chan struct{} // closed when the build finished (either way)
+	built atomic.Bool   // true once ready is closed with err == nil
+	p     *repro.Prepared
+	err   error
+}
+
+func newSFCache(capacity int) *sfCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &sfCache{
+		cap:     capacity,
+		entries: make(map[string]*sfEntry),
+		lru:     list.New(),
+	}
+}
+
+// get returns the handle for key, building it with build on a miss;
+// found reports whether the key was already resident (built or
+// in-flight — either way the caller runs zero preparation itself).
+// A waiter's own ctx can abandon the wait, but a finished build is
+// preferred over a racing cancellation so a warm hit with an expired
+// context still returns the plan (the run's own Next then reports the
+// cancellation deterministically).
+func (c *sfCache) get(ctx context.Context, key string, build func() (*repro.Prepared, error)) (p *repro.Prepared, found bool, err error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(e.elem)
+		c.mu.Unlock()
+		select {
+		case <-e.ready:
+		default:
+			select {
+			case <-e.ready:
+			case <-ctx.Done():
+				return nil, true, ctx.Err()
+			}
+		}
+		return e.p, true, e.err
+	}
+	e := &sfEntry{key: key, ready: make(chan struct{})}
+	e.elem = c.lru.PushFront(e)
+	c.entries[key] = e
+	c.mu.Unlock()
+
+	e.p, e.err = build()
+	if e.err == nil {
+		e.built.Store(true)
+	}
+	close(e.ready)
+	c.mu.Lock()
+	if e.err != nil {
+		if c.entries[key] == e {
+			delete(c.entries, key)
+			c.lru.Remove(e.elem)
+		}
+	} else {
+		for el := c.lru.Back(); el != nil && c.lru.Len() > c.cap; {
+			prev := el.Prev()
+			ev := el.Value.(*sfEntry)
+			if ev.built.Load() {
+				c.lru.Remove(el)
+				delete(c.entries, ev.key)
+				c.evicted.Add(1)
+			}
+			el = prev
+		}
+	}
+	c.mu.Unlock()
+	return e.p, false, e.err
+}
+
+// len reports the resident entry count.
+func (c *sfCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// each calls f for every built resident entry. The entry list is
+// snapshotted under the lock but f runs outside it, so an expensive
+// callback (PlanStats walks plan structures) never blocks concurrent
+// gets on this cache.
+func (c *sfCache) each(f func(key string, p *repro.Prepared)) {
+	type kv struct {
+		key string
+		p   *repro.Prepared
+	}
+	c.mu.Lock()
+	snap := make([]kv, 0, len(c.entries))
+	for key, e := range c.entries {
+		if e.built.Load() {
+			snap = append(snap, kv{key, e.p})
+		}
+	}
+	c.mu.Unlock()
+	for _, e := range snap {
+		f(e.key, e.p)
+	}
+}
+
+// registry is the sharded prepared-plan cache at the heart of the
+// serving layer. Fully prepared plans are keyed by (query-shape
+// fingerprint, dataset bindings, ranking function) — see planKey — and
+// live in one sfCache per shard, so a warm request does zero
+// preparation and concurrent cold requests for one key run exactly one
+// build, a singleflight on top of the per-handle onceCache the facade
+// already maintains. One level deeper, the compiles cache shares the
+// aggregate-independent repro.Compile across the per-ranking entries
+// of a query (keyed by dataKey alone), so a query served under five
+// rankings plans and reduces its shape once. Sharding by key hash
+// keeps the plan-level lock fine-grained under concurrent load; the
+// LRU bounds resident plans per shard.
+type registry struct {
+	shards   []*sfCache
+	compiles *sfCache
+
+	hits   atomic.Int64 // key found (built or joining an in-flight build)
+	misses atomic.Int64 // key absent: this caller ran the build
+}
+
+// newRegistry creates a registry with `shards` plan shards and a total
+// plan capacity of roughly `capacity`, distributed evenly (each shard
+// holds at least one); the compile cache holds up to `capacity`
+// handles.
+func newRegistry(shards, capacity int) *registry {
+	if shards < 1 {
+		shards = 1
+	}
+	r := &registry{
+		shards:   make([]*sfCache, shards),
+		compiles: newSFCache(capacity),
+	}
+	for i := range r.shards {
+		r.shards[i] = newSFCache(capacity / shards)
+	}
+	return r
+}
+
+func (r *registry) shard(key string) *sfCache {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return r.shards[h.Sum32()%uint32(len(r.shards))]
+}
+
+// get returns the plan for key, building it with build on a miss.
+// A caller that finds the key resident — built or in-flight — and
+// receives the plan counts as a hit, because it did zero preparation;
+// every build attempt counts as a miss. Waiters that abandon the wait
+// or inherit a failed build are not counted, so hits never exceed
+// successfully served zero-preparation requests — the invariant the
+// acceptance tests measure against.
+func (r *registry) get(ctx context.Context, key string, build func() (*repro.Prepared, error)) (p *repro.Prepared, hit bool, err error) {
+	p, hit, err = r.shard(key).get(ctx, key, build)
+	switch {
+	case !hit:
+		r.misses.Add(1)
+	case err == nil:
+		r.hits.Add(1)
+	}
+	return p, hit, err
+}
+
+// evictions sums the plans dropped by the per-shard LRU bounds.
+func (r *registry) evictions() int64 {
+	n := int64(0)
+	for _, sh := range r.shards {
+		n += sh.evicted.Load()
+	}
+	return n
+}
+
+// size reports the number of resident plans across all shards.
+func (r *registry) size() int {
+	n := 0
+	for _, sh := range r.shards {
+		n += sh.len()
+	}
+	return n
+}
+
+// regPlan is one resident plan in a registry snapshot.
+type regPlan struct {
+	Key  string          `json:"key"`
+	Plan repro.PlanStats `json:"plan"`
+}
+
+// snapshot lists the built resident plans sorted by key, for /v1/stats.
+func (r *registry) snapshot() []regPlan {
+	var out []regPlan
+	for _, sh := range r.shards {
+		sh.each(func(key string, p *repro.Prepared) {
+			out = append(out, regPlan{Key: key, Plan: p.PlanStats()})
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}

@@ -1,0 +1,152 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro"
+)
+
+func compileTinyPlan(t testing.TB) func() (*repro.Prepared, error) {
+	return func() (*repro.Prepared, error) {
+		q := repro.NewQuery().
+			Rel("R", []string{"A", "B"}, []repro.Tuple{{1, 2}}, []float64{1}).
+			Rel("S", []string{"B", "C"}, []repro.Tuple{{2, 3}}, []float64{2})
+		return repro.Compile(q)
+	}
+}
+
+// TestRegistrySingleflight is the cold-burst half of the acceptance
+// criterion: N concurrent requests for one cold key run exactly one
+// build; everyone else joins it and counts as a hit.
+func TestRegistrySingleflight(t *testing.T) {
+	reg := newRegistry(4, 16)
+	var builds atomic.Int64
+	build := func() (*repro.Prepared, error) {
+		builds.Add(1)
+		return compileTinyPlan(t)()
+	}
+	const n = 64
+	var wg sync.WaitGroup
+	plans := make([]*repro.Prepared, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, _, err := reg.get(context.Background(), "k1", build)
+			if err != nil {
+				t.Error(err)
+			}
+			plans[i] = p
+		}(i)
+	}
+	wg.Wait()
+	if got := builds.Load(); got != 1 {
+		t.Fatalf("%d builds for one key under %d concurrent requests, want 1", got, n)
+	}
+	if reg.misses.Load() != 1 || reg.hits.Load() != n-1 {
+		t.Fatalf("hits=%d misses=%d, want %d/1", reg.hits.Load(), reg.misses.Load(), n-1)
+	}
+	for i := 1; i < n; i++ {
+		if plans[i] != plans[0] {
+			t.Fatal("concurrent requests received different plan handles")
+		}
+	}
+}
+
+// TestRegistryFailedBuildNotCached: a build error must propagate to the
+// caller (and any joiners) but the next request retries fresh.
+func TestRegistryFailedBuildNotCached(t *testing.T) {
+	reg := newRegistry(1, 4)
+	boom := errors.New("boom")
+	if _, _, err := reg.get(context.Background(), "k", func() (*repro.Prepared, error) {
+		return nil, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if reg.size() != 0 {
+		t.Fatal("failed build left a cache entry")
+	}
+	p, hit, err := reg.get(context.Background(), "k", compileTinyPlan(t))
+	if err != nil || hit || p == nil {
+		t.Fatalf("retry after failed build: p=%v hit=%v err=%v", p, hit, err)
+	}
+}
+
+// TestRegistryLRUEviction: capacity bounds resident plans, dropping the
+// least recently used.
+func TestRegistryLRUEviction(t *testing.T) {
+	reg := newRegistry(1, 2)
+	for i := 0; i < 3; i++ {
+		if _, _, err := reg.get(context.Background(), fmt.Sprintf("k%d", i), compileTinyPlan(t)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if reg.size() != 2 {
+		t.Fatalf("size = %d, want 2", reg.size())
+	}
+	if reg.evictions() != 1 {
+		t.Fatalf("evictions = %d, want 1", reg.evictions())
+	}
+	// k0 was evicted; k1 and k2 must still be warm.
+	for _, k := range []string{"k1", "k2"} {
+		if _, hit, _ := reg.get(context.Background(), k, compileTinyPlan(t)); !hit {
+			t.Fatalf("%s evicted, want resident", k)
+		}
+	}
+	if _, hit, _ := reg.get(context.Background(), "k0", compileTinyPlan(t)); hit {
+		t.Fatal("k0 resident, want evicted")
+	}
+}
+
+// TestRegistryLRURecency: touching an entry protects it from eviction.
+func TestRegistryLRURecency(t *testing.T) {
+	reg := newRegistry(1, 2)
+	for _, k := range []string{"a", "b"} {
+		if _, _, err := reg.get(context.Background(), k, compileTinyPlan(t)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch "a" so "b" is now least recently used.
+	reg.get(context.Background(), "a", compileTinyPlan(t))
+	reg.get(context.Background(), "c", compileTinyPlan(t))
+	if _, hit, _ := reg.get(context.Background(), "a", compileTinyPlan(t)); !hit {
+		t.Fatal("recently used entry was evicted")
+	}
+	if _, hit, _ := reg.get(context.Background(), "b", compileTinyPlan(t)); hit {
+		t.Fatal("least recently used entry survived eviction")
+	}
+}
+
+// TestRegistryJoinerCancel: a joiner whose context dies while a build is
+// in flight unblocks with the context error; the build itself finishes
+// and serves later requests.
+func TestRegistryJoinerCancel(t *testing.T) {
+	reg := newRegistry(1, 4)
+	gate := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		reg.get(context.Background(), "k", func() (*repro.Prepared, error) {
+			close(gate) // build is in flight
+			<-release
+			return compileTinyPlan(t)()
+		})
+	}()
+	<-gate
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := reg.get(ctx, "k", nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("joiner err = %v, want context.Canceled", err)
+	}
+	close(release)
+	<-done
+	if _, hit, err := reg.get(context.Background(), "k", nil); !hit || err != nil {
+		t.Fatalf("after build: hit=%v err=%v, want warm hit", hit, err)
+	}
+}

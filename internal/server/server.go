@@ -1,0 +1,941 @@
+// Package server is the serving layer of the reproduction: an
+// embeddable HTTP query service over the facade's prepare-once /
+// execute-many API. Clients register named datasets (JSON tuples or
+// CSV), register named queries binding those datasets to query
+// variables, and stream ranked top-k results as NDJSON.
+//
+// The expensive half of every request — hypergraph analysis, T-DP or
+// decomposition planning, per-ranking instantiation — is paid once per
+// (query shape, dataset versions, ranking) and cached in a sharded LRU
+// plan registry with singleflight build deduplication (see registry):
+// under concurrent load a cold key triggers exactly one preparation and
+// every warm request does zero preparation, going straight to the any-k
+// enumeration whose per-result delay guarantees the streamed NDJSON
+// inherits.
+//
+// Operational behaviour:
+//
+//   - Admission control: at most Config.MaxInflight enumerations run
+//     concurrently; beyond that /topk returns 429 with Retry-After.
+//   - Deadlines: every request gets Config.DefaultTimeout (clients may
+//     lower — never raise past Config.MaxTimeout — via ?timeout=); the
+//     deadline cancels the iterator mid-stream through the facade's
+//     WithContext plumbing.
+//   - Disconnects: a client going away cancels the request context; a
+//     per-request watchdog additionally calls Iterator.Close
+//     concurrently with the draining handler — safe since
+//     core.Lifecycle serialises Close against Next — so the admission
+//     slot and the iterator's resources are released promptly.
+//   - Graceful shutdown: Shutdown stops admitting new streams, lets
+//     in-flight enumerations drain within the caller's context, then
+//     cancels the server base context (cutting any stragglers) and
+//     waits for every handler to return.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/ranking"
+	"repro/internal/relation"
+)
+
+// Config tunes a Server. The zero value selects the documented
+// defaults.
+type Config struct {
+	// MaxInflight bounds concurrently running enumerations (the
+	// admission-control semaphore). Default 64.
+	MaxInflight int
+	// DefaultTimeout is the per-request deadline when the client sends
+	// no ?timeout=. Default 10s.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps the client-requested ?timeout=. Default 60s.
+	MaxTimeout time.Duration
+	// MaxBodyBytes bounds dataset/query upload bodies. Default 64 MiB.
+	MaxBodyBytes int64
+	// MaxK caps ?k= (0 = unlimited). Default 0.
+	MaxK int
+	// RegistryCapacity bounds resident prepared plans across all
+	// registry shards. Default 128.
+	RegistryCapacity int
+	// RegistryShards is the number of plan-registry shards. Default 8.
+	RegistryShards int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 64
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 60 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	if c.RegistryCapacity <= 0 {
+		c.RegistryCapacity = 128
+	}
+	if c.RegistryShards <= 0 {
+		c.RegistryShards = 8
+	}
+	return c
+}
+
+// Server is the query service. Create one with New, mount Handler on an
+// http.Server (cmd/anykd does exactly that), and call Shutdown or Close
+// when done.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+	reg *registry
+	sem chan struct{} // admission semaphore, buffered to MaxInflight
+
+	baseCtx    context.Context // canceled to cut every in-flight stream
+	cancelBase context.CancelFunc
+
+	// Stream accounting. A plain counter under a mutex rather than a
+	// WaitGroup: handlers may start concurrently with Shutdown's wait,
+	// and WaitGroup panics when Add-from-zero races Wait. acquireStream
+	// atomically refuses once draining is set; idle is created by the
+	// first Shutdown and closed when the count reaches zero while
+	// draining.
+	streamMu   sync.Mutex
+	draining   bool
+	streams    int
+	idle       chan struct{}
+	idleClosed bool
+
+	mu       sync.RWMutex
+	datasets map[string]*dataset
+	queries  map[string]*queryDef
+
+	dictMu sync.RWMutex
+	dict   *relation.Dictionary // shared across datasets so string joins line up
+
+	requests atomic.Int64
+	rejected atomic.Int64
+	inflight atomic.Int64
+}
+
+// dataset is an immutable registered relation instance. Re-registering
+// a name installs a fresh dataset with a bumped version; plans compiled
+// against the old version age out of the registry LRU.
+type dataset struct {
+	name    string
+	version int
+	arity   int
+	attrs   []string // informational (CSV header or c0..cN-1)
+	tuples  []relation.Tuple
+	weights []float64
+}
+
+// atomDef binds one dataset to query variables, one per atom.
+type atomDef struct {
+	Dataset string   `json:"dataset"`
+	Vars    []string `json:"vars"`
+}
+
+// queryDef is a registered query: a shape over named datasets.
+type queryDef struct {
+	name        string
+	atoms       []atomDef
+	fingerprint string
+	outAttrs    []string
+}
+
+// New returns a ready-to-mount Server.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		mux:        http.NewServeMux(),
+		reg:        newRegistry(cfg.RegistryShards, cfg.RegistryCapacity),
+		sem:        make(chan struct{}, cfg.MaxInflight),
+		baseCtx:    ctx,
+		cancelBase: cancel,
+		datasets:   make(map[string]*dataset),
+		queries:    make(map[string]*queryDef),
+		dict:       relation.NewDictionary(),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("POST /v1/datasets/{name}", s.handleDatasetPut)
+	s.mux.HandleFunc("PUT /v1/datasets/{name}", s.handleDatasetPut)
+	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasetList)
+	s.mux.HandleFunc("POST /v1/queries/{name}", s.handleQueryPut)
+	s.mux.HandleFunc("PUT /v1/queries/{name}", s.handleQueryPut)
+	s.mux.HandleFunc("GET /v1/queries", s.handleQueryList)
+	s.mux.HandleFunc("GET /v1/query/{name}/topk", s.handleTopK)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s
+}
+
+// Handler returns the HTTP handler tree rooted at /.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// acquireStream registers one in-flight stream, refusing once the
+// server is draining. Pair a true return with releaseStream.
+func (s *Server) acquireStream() bool {
+	s.streamMu.Lock()
+	defer s.streamMu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.streams++
+	return true
+}
+
+func (s *Server) releaseStream() {
+	s.streamMu.Lock()
+	s.streams--
+	if s.streams == 0 && s.draining && s.idle != nil && !s.idleClosed {
+		s.idleClosed = true
+		close(s.idle)
+	}
+	s.streamMu.Unlock()
+}
+
+func (s *Server) isDraining() bool {
+	s.streamMu.Lock()
+	defer s.streamMu.Unlock()
+	return s.draining
+}
+
+// Shutdown gracefully stops the server: new /topk requests are refused
+// with 503, in-flight streams drain until ctx expires, then the base
+// context is canceled (which cancels every remaining iterator through
+// WithContext) and Shutdown waits for the handlers to return. The
+// HTTP listener itself is the caller's to close (http.Server.Shutdown).
+// Shutdown is idempotent and safe to call concurrently.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.streamMu.Lock()
+	s.draining = true
+	if s.idle == nil {
+		s.idle = make(chan struct{})
+		if s.streams == 0 {
+			s.idleClosed = true
+			close(s.idle)
+		}
+	}
+	idle := s.idle
+	s.streamMu.Unlock()
+	var err error
+	select {
+	case <-idle:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	// Cut any stragglers (no-op after a clean drain) and wait for them:
+	// canceled iterators stop at their next Proceed, so this converges
+	// within one result delay.
+	s.cancelBase()
+	<-idle
+	return err
+}
+
+// Close is Shutdown with no grace period.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s.Shutdown(ctx)
+	return nil
+}
+
+var nameRe = regexp.MustCompile(`^[A-Za-z0-9_.-]{1,64}$`)
+
+// writeGrace is how long past its deadline a stream may keep writing —
+// enough to deliver the trailer line explaining the termination.
+const writeGrace = 5 * time.Second
+
+// cancelWriteGrace is the tighter write budget a canceled stream gets:
+// once the request context is done (disconnect, deadline, shutdown)
+// the watchdog shrinks the write deadline so a handler stalled on a
+// non-reading client unblocks promptly while a live client can still
+// receive the trailer.
+const cancelWriteGrace = 2 * time.Second
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+// datasetUpload is the JSON form of a dataset body. Cells are JSON
+// numbers (must be integral — the engine's domain is int64) or strings
+// (dictionary-encoded server-wide, so string joins across datasets
+// work).
+type datasetUpload struct {
+	Attrs     []string          `json:"attrs"`
+	Weights   []float64         `json:"weights"`
+	RawTuples []json.RawMessage `json:"tuples"`
+}
+
+func (s *Server) handleDatasetPut(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !nameRe.MatchString(name) {
+		httpError(w, http.StatusBadRequest, "invalid dataset name %q", name)
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	ct := r.Header.Get("Content-Type")
+	var (
+		ds  *dataset
+		err error
+	)
+	if strings.HasPrefix(ct, "text/csv") {
+		ds, err = s.readCSVDataset(name, r)
+	} else {
+		ds, err = s.readJSONDataset(name, r)
+	}
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "dataset %s: %v", name, err)
+		return
+	}
+	s.mu.Lock()
+	if old, ok := s.datasets[name]; ok {
+		ds.version = old.version + 1
+	} else {
+		ds.version = 1
+	}
+	s.datasets[name] = ds
+	s.mu.Unlock()
+	writeJSON(w, map[string]any{
+		"name": name, "rows": len(ds.tuples), "arity": ds.arity, "version": ds.version,
+	})
+}
+
+// readCSVDataset ingests a CSV body through relation.ReadCSV: first row
+// is the header; ?weights=false treats every column as a value column
+// (default true: the last column is the float weight). Column typing
+// and dictionary encoding follow ReadCSV's whole-column rules. The
+// body is parsed against a request-local dictionary so a slow, large
+// upload never holds the shared dictionary lock that streaming
+// handlers decode under; the local codes are remapped into the shared
+// dictionary in one short critical section afterwards.
+func (s *Server) readCSVDataset(name string, r *http.Request) (*dataset, error) {
+	weightCol := true
+	if v := r.URL.Query().Get("weights"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return nil, fmt.Errorf("bad weights param %q", v)
+		}
+		weightCol = b
+	}
+	local := relation.NewDictionary()
+	rel, err := relation.ReadCSV(r.Body, name, weightCol, local)
+	if err != nil {
+		return nil, err
+	}
+	s.mergeDict(local, rel.Tuples)
+	return &dataset{
+		name:    name,
+		arity:   len(rel.Attrs),
+		attrs:   rel.Attrs,
+		tuples:  rel.Tuples,
+		weights: rel.Weights,
+	}, nil
+}
+
+// mergeDict rewrites the codes a request-local dictionary assigned in
+// tuples into the shared server dictionary, taking the shared lock for
+// one short remap instead of once per parsed string. Both ingest paths
+// reject raw integers at or above relation.DictBase, so every value in
+// the code space here is a local code.
+func (s *Server) mergeDict(local *relation.Dictionary, tuples []relation.Tuple) {
+	if local.Len() == 0 {
+		return
+	}
+	// Resolve already-known strings under the read lock first; the
+	// write lock covers only genuinely new strings (typically none on a
+	// re-upload), so streaming decodes stall as little as possible.
+	remap := make([]relation.Value, local.Len())
+	var misses []int
+	s.dictMu.RLock()
+	for i := range remap {
+		str, _ := local.Decode(relation.DictBase + relation.Value(i))
+		if c, ok := s.dict.Lookup(str); ok {
+			remap[i] = c
+		} else {
+			misses = append(misses, i)
+		}
+	}
+	s.dictMu.RUnlock()
+	if len(misses) > 0 {
+		s.dictMu.Lock()
+		for _, i := range misses {
+			str, _ := local.Decode(relation.DictBase + relation.Value(i))
+			remap[i] = s.dict.Code(str)
+		}
+		s.dictMu.Unlock()
+	}
+	for _, t := range tuples {
+		for j, v := range t {
+			if v >= relation.DictBase {
+				t[j] = remap[v-relation.DictBase]
+			}
+		}
+	}
+}
+
+func (s *Server) readJSONDataset(name string, r *http.Request) (*dataset, error) {
+	var up datasetUpload
+	dec := json.NewDecoder(r.Body)
+	dec.UseNumber()
+	if err := dec.Decode(&up); err != nil {
+		return nil, err
+	}
+	if len(up.RawTuples) == 0 {
+		return nil, fmt.Errorf("no tuples")
+	}
+	if up.Weights != nil && len(up.Weights) != len(up.RawTuples) {
+		return nil, fmt.Errorf("%d tuples but %d weights", len(up.RawTuples), len(up.Weights))
+	}
+	// Strings encode through a request-local dictionary first (merged
+	// into the shared one afterwards) so parsing a large body never
+	// holds the lock streaming handlers decode under.
+	local := relation.NewDictionary()
+	arity := -1
+	tuples := make([]relation.Tuple, len(up.RawTuples))
+	for i, raw := range up.RawTuples {
+		var cells []any
+		d := json.NewDecoder(bytes.NewReader(raw))
+		d.UseNumber()
+		if err := d.Decode(&cells); err != nil {
+			return nil, fmt.Errorf("tuple %d: %v", i, err)
+		}
+		if arity < 0 {
+			arity = len(cells)
+			if arity == 0 {
+				return nil, fmt.Errorf("tuple %d is empty", i)
+			}
+		} else if len(cells) != arity {
+			return nil, fmt.Errorf("tuple %d has arity %d, want %d", i, len(cells), arity)
+		}
+		t := make(relation.Tuple, arity)
+		for j, c := range cells {
+			switch v := c.(type) {
+			case json.Number:
+				n, err := strconv.ParseInt(v.String(), 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("tuple %d cell %d: value %v is not an integer (the engine's domain is int64; quote it to treat it as a string)", i, j, v)
+				}
+				// Integers in the dictionary code space would alias string
+				// codes and decode as unrelated strings downstream.
+				if n >= relation.DictBase {
+					return nil, fmt.Errorf("tuple %d cell %d: integer %d collides with the dictionary code space (numeric values must be < 2^40; quote it to treat it as a string)", i, j, n)
+				}
+				t[j] = n
+			case string:
+				t[j] = local.Code(v)
+			default:
+				return nil, fmt.Errorf("tuple %d cell %d: unsupported value %v", i, j, c)
+			}
+		}
+		tuples[i] = t
+	}
+	s.mergeDict(local, tuples)
+	weights := up.Weights
+	if weights == nil {
+		weights = make([]float64, len(tuples))
+	}
+	attrs := up.Attrs
+	if attrs == nil {
+		attrs = make([]string, arity)
+		for i := range attrs {
+			attrs[i] = fmt.Sprintf("c%d", i)
+		}
+	} else if len(attrs) != arity {
+		return nil, fmt.Errorf("%d attrs but arity %d", len(attrs), arity)
+	}
+	return &dataset{name: name, arity: arity, attrs: attrs, tuples: tuples, weights: weights}, nil
+}
+
+func (s *Server) handleDatasetList(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	type dsInfo struct {
+		Name    string `json:"name"`
+		Rows    int    `json:"rows"`
+		Arity   int    `json:"arity"`
+		Version int    `json:"version"`
+	}
+	out := make([]dsInfo, 0, len(s.datasets))
+	for _, ds := range s.datasets {
+		out = append(out, dsInfo{Name: ds.name, Rows: len(ds.tuples), Arity: ds.arity, Version: ds.version})
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	writeJSON(w, map[string]any{"datasets": out})
+}
+
+func (s *Server) handleQueryPut(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !nameRe.MatchString(name) {
+		httpError(w, http.StatusBadRequest, "invalid query name %q", name)
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var body struct {
+		Atoms []atomDef `json:"atoms"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		httpError(w, http.StatusBadRequest, "query %s: %v", name, err)
+		return
+	}
+	if len(body.Atoms) == 0 {
+		httpError(w, http.StatusBadRequest, "query %s: no atoms", name)
+		return
+	}
+	for i, a := range body.Atoms {
+		for _, v := range a.Vars {
+			if !nameRe.MatchString(v) {
+				httpError(w, http.StatusBadRequest, "query %s atom %d: invalid variable name %q", name, i, v)
+				return
+			}
+		}
+	}
+	s.mu.RLock()
+	for i, a := range body.Atoms {
+		ds, ok := s.datasets[a.Dataset]
+		if !ok {
+			s.mu.RUnlock()
+			httpError(w, http.StatusBadRequest, "query %s atom %d: unknown dataset %q", name, i, a.Dataset)
+			return
+		}
+		if len(a.Vars) != ds.arity {
+			s.mu.RUnlock()
+			httpError(w, http.StatusBadRequest, "query %s atom %d: %d vars but dataset %s has arity %d", name, i, len(a.Vars), a.Dataset, ds.arity)
+			return
+		}
+	}
+	s.mu.RUnlock()
+	// Validate the shape (duplicate variables per atom, plannability) on
+	// a data-free query: Fingerprint and OutAttrs only read structure.
+	q := repro.NewQuery()
+	for i, a := range body.Atoms {
+		q.Rel(fmt.Sprintf("%s#%d", a.Dataset, i), a.Vars, nil, nil)
+	}
+	fp, err := q.Fingerprint()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "query %s: %v", name, err)
+		return
+	}
+	outAttrs, err := q.OutAttrs()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "query %s: %v", name, err)
+		return
+	}
+	qd := &queryDef{name: name, atoms: body.Atoms, fingerprint: fp, outAttrs: outAttrs}
+	s.mu.Lock()
+	s.queries[name] = qd
+	s.mu.Unlock()
+	writeJSON(w, map[string]any{"name": name, "fingerprint": fp, "out_attrs": outAttrs})
+}
+
+func (s *Server) handleQueryList(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	type qInfo struct {
+		Name        string    `json:"name"`
+		Fingerprint string    `json:"fingerprint"`
+		OutAttrs    []string  `json:"out_attrs"`
+		Atoms       []atomDef `json:"atoms"`
+	}
+	out := make([]qInfo, 0, len(s.queries))
+	for _, qd := range s.queries {
+		out = append(out, qInfo{Name: qd.name, Fingerprint: qd.fingerprint, OutAttrs: qd.outAttrs, Atoms: qd.atoms})
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	writeJSON(w, map[string]any{"queries": out})
+}
+
+// aggByName maps the ?agg= parameter to the facade's ranking functions,
+// by their canonical Name().
+var aggByName = map[string]ranking.Aggregate{
+	repro.SumCost.Name():     repro.SumCost,
+	repro.SumBenefit.Name():  repro.SumBenefit,
+	repro.MaxCost.Name():     repro.MaxCost,
+	repro.MinBenefit.Name():  repro.MinBenefit,
+	repro.ProductCost.Name(): repro.ProductCost,
+}
+
+// variantByName maps the ?variant= parameter (case-insensitive) to the
+// any-k algorithm variants.
+var variantByName = func() map[string]repro.Variant {
+	m := make(map[string]repro.Variant)
+	for _, v := range core.Variants() {
+		m[strings.ToLower(string(v))] = v
+	}
+	return m
+}()
+
+// dataKey identifies one query shape over exact dataset versions: the
+// shape fingerprint, the sorted multiset of (dataset@version, vars)
+// bindings (variable names are nameRe-validated at registration, so
+// the separators are unambiguous), and the output schema. Two
+// registered query names with the same shape over the same dataset
+// versions share a dataKey — and therefore one compiled handle —
+// only when their output column order also matches: for acyclic
+// queries that order follows the join tree, which depends on atom
+// declaration order, so two reorderings of the same atoms can emit
+// differently-ordered tuples and must not alias each other's plans.
+// Re-registering a dataset bumps its version and naturally invalidates
+// by changing the key.
+func dataKey(fp string, atoms []atomDef, versions []int, outAttrs []string) string {
+	binds := make([]string, len(atoms))
+	for i, a := range atoms {
+		binds[i] = fmt.Sprintf("%s@%d(%s)", a.Dataset, versions[i], strings.Join(a.Vars, " "))
+	}
+	sort.Strings(binds)
+	return fp + "|" + strings.Join(binds, ",") + "|" + strings.Join(outAttrs, " ")
+}
+
+// planKey is the registry key of one (dataKey, ranking): warm hits on
+// it do zero preparation of any kind. Entries with the same dataKey
+// and different rankings share the underlying Prepared handle through
+// the registry's compileCache.
+func planKey(dk, aggName string) string { return dk + "|" + aggName }
+
+// topkLine is one streamed NDJSON line: a result, then a trailer with
+// done or error set.
+type topkLine struct {
+	Tuple  []any    `json:"tuple,omitempty"`
+	Weight *float64 `json:"weight,omitempty"`
+	Done   bool     `json:"done,omitempty"`
+	Count  *int     `json:"count,omitempty"`
+	Error  string   `json:"error,omitempty"`
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if s.isDraining() {
+		httpError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
+	name := r.PathValue("name")
+	qry := r.URL.Query()
+
+	k := 10
+	if v := qry.Get("k"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			httpError(w, http.StatusBadRequest, "bad k %q", v)
+			return
+		}
+		k = n
+	}
+	if s.cfg.MaxK > 0 && k > s.cfg.MaxK {
+		httpError(w, http.StatusBadRequest, "k %d exceeds maximum %d", k, s.cfg.MaxK)
+		return
+	}
+	aggName := qry.Get("agg")
+	if aggName == "" {
+		aggName = repro.SumCost.Name()
+	}
+	agg, ok := aggByName[aggName]
+	if !ok {
+		httpError(w, http.StatusBadRequest, "unknown agg %q (sum, sum-desc, max, min-desc, product)", aggName)
+		return
+	}
+	variant := repro.Lazy
+	if v := qry.Get("variant"); v != "" {
+		variant, ok = variantByName[strings.ToLower(v)]
+		if !ok {
+			httpError(w, http.StatusBadRequest, "unknown variant %q", v)
+			return
+		}
+	}
+	timeout := s.cfg.DefaultTimeout
+	if v := qry.Get("timeout"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			httpError(w, http.StatusBadRequest, "bad timeout %q", v)
+			return
+		}
+		timeout = d
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+
+	// Snapshot the query and its datasets under one read lock so the
+	// plan key and the build closure agree on the exact versions.
+	s.mu.RLock()
+	qd, ok := s.queries[name]
+	var (
+		snap     []*dataset
+		versions []int
+	)
+	if ok {
+		snap = make([]*dataset, len(qd.atoms))
+		versions = make([]int, len(qd.atoms))
+		for i, a := range qd.atoms {
+			ds := s.datasets[a.Dataset]
+			if ds == nil {
+				ok = false
+				break
+			}
+			snap[i], versions[i] = ds, ds.version
+		}
+	}
+	s.mu.RUnlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown query %q (or a dataset it references was removed)", name)
+		return
+	}
+	// Re-registering a dataset may have changed its arity since this
+	// query was validated; surface that as a client-addressable conflict
+	// instead of letting every request fail the compile with a 500.
+	for i, a := range qd.atoms {
+		if len(a.Vars) != snap[i].arity {
+			httpError(w, http.StatusConflict,
+				"query %s atom %d binds %d vars but dataset %s is now version %d with arity %d; re-register the query",
+				name, i, len(a.Vars), a.Dataset, snap[i].version, snap[i].arity)
+			return
+		}
+	}
+
+	// Admission control: reject instead of queueing, so saturation is
+	// visible to clients (and load balancers) immediately.
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "too many in-flight enumerations (max %d)", s.cfg.MaxInflight)
+		return
+	}
+	defer func() { <-s.sem }()
+	// Joining the stream group re-checks draining atomically: either we
+	// register before Shutdown flips it (and its drain covers us), or we
+	// are refused here.
+	if !s.acquireStream() {
+		httpError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
+	defer s.releaseStream()
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+
+	// Request context: client disconnect + per-request deadline + server
+	// shutdown all funnel into one cancellation the iterator observes.
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	stop := context.AfterFunc(s.baseCtx, cancel)
+	defer stop()
+
+	dk := dataKey(qd.fingerprint, qd.atoms, versions, qd.outAttrs)
+	p, hit, err := s.reg.get(ctx, planKey(dk, aggName), func() (*repro.Prepared, error) {
+		// Build under the server's lifetime (bounded by MaxTimeout), not
+		// this request's context: the winner disconnecting or timing out
+		// must not fail every healthy request waiting on the same build.
+		bctx, bcancel := context.WithTimeout(s.baseCtx, s.cfg.MaxTimeout)
+		defer bcancel()
+		return s.buildPlan(bctx, dk, qd, snap, agg)
+	})
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			code = http.StatusGatewayTimeout
+		}
+		httpError(w, code, "prepare %s: %v", name, err)
+		return
+	}
+
+	it, err := p.Run(
+		repro.WithRanking(agg),
+		repro.WithVariant(variant),
+		repro.WithK(k),
+		repro.WithContext(ctx),
+	)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "run %s: %v", name, err)
+		return
+	}
+	defer it.Close()
+	rc := http.NewResponseController(w)
+	// Bound stalled writes by the request deadline (plus a small grace
+	// so the error trailer of an expired request can still flush): a
+	// client that stops reading cannot pin the handler (and its
+	// admission slot) much past its own timeout. Set before the
+	// watchdog starts so its tighter cancellation deadline always wins,
+	// and cleared on return (after the watchdog joins — LIFO defers) so
+	// no deadline leaks onto the next keep-alive request on this
+	// connection.
+	defer rc.SetWriteDeadline(time.Time{})
+	if dl, ok := ctx.Deadline(); ok {
+		rc.SetWriteDeadline(dl.Add(writeGrace))
+	}
+	// Watchdog: on disconnect/deadline/shutdown, close the iterator
+	// concurrently with the drain below — the core.Lifecycle audit makes
+	// this safe — so resources and the admission slot free promptly even
+	// if the handler is blocked writing to a dead connection. The
+	// tightened write deadline additionally unblocks a handler stalled
+	// in a write to a non-reading client (net.Conn deadlines are safe to
+	// set concurrently with writes), which keeps graceful shutdown from
+	// waiting out the full per-request write budget. The handler joins
+	// the watchdog before returning: the ResponseWriter must not be
+	// touched after ServeHTTP returns, or the deadline could land on a
+	// recycled keep-alive connection.
+	watchdogDone := make(chan struct{})
+	watchdogExit := make(chan struct{})
+	defer func() {
+		close(watchdogDone)
+		<-watchdogExit
+	}()
+	go func() {
+		defer close(watchdogExit)
+		select {
+		case <-ctx.Done():
+			it.Close()
+			rc.SetWriteDeadline(time.Now().Add(cancelWriteGrace))
+		case <-watchdogDone:
+		}
+	}()
+
+	h := w.Header()
+	h.Set("Content-Type", "application/x-ndjson")
+	h.Set("X-Plan-Cache", map[bool]string{true: "hit", false: "miss"}[hit])
+	h.Set("X-Query-Fingerprint", qd.fingerprint)
+	h.Set("X-Out-Attrs", strings.Join(qd.outAttrs, ","))
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	count := 0
+	for {
+		res, ok := it.Next()
+		if !ok {
+			break
+		}
+		line := topkLine{Tuple: s.decodeTuple(res.Tuple), Weight: &res.Weight}
+		if err := enc.Encode(line); err != nil {
+			// Client gone; the deferred Close releases everything.
+			return
+		}
+		count++
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	trailer := topkLine{Count: &count}
+	if err := it.Err(); err != nil {
+		// The watchdog may have closed the iterator a beat before it
+		// observed the cancellation itself; report the root cause.
+		if ctxErr := ctx.Err(); ctxErr != nil && errors.Is(err, repro.ErrClosed) {
+			err = ctxErr
+		}
+		trailer.Error = err.Error()
+	} else {
+		trailer.Done = true
+	}
+	enc.Encode(trailer)
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// buildPlan builds one registry entry: the aggregate-independent
+// Compile runs (or is joined) once per dataKey through the registry's
+// compileCache, then one Run with the requested ranking forces that
+// ranking's physical artefacts (T-DP instantiation or bag
+// materialisation) into the shared handle's cache — so every later
+// request on this (dataKey, ranking) — any k, any variant — does zero
+// preparation, and a query served under several rankings still plans
+// and reduces its shape exactly once. A canceled or failed build is
+// never cached (both caches drop it) and the next request retries.
+func (s *Server) buildPlan(ctx context.Context, dk string, qd *queryDef, snap []*dataset, agg ranking.Aggregate) (*repro.Prepared, error) {
+	p, _, err := s.reg.compiles.get(ctx, dk, func() (*repro.Prepared, error) {
+		q := repro.NewQuery()
+		for i, a := range qd.atoms {
+			q.Rel(fmt.Sprintf("%s#%d", a.Dataset, i), a.Vars, snap[i].tuples, snap[i].weights)
+		}
+		return repro.Compile(q, repro.WithContext(ctx))
+	})
+	if err != nil {
+		return nil, err
+	}
+	it, err := p.Run(repro.WithRanking(agg), repro.WithContext(ctx), repro.WithK(1))
+	if err != nil {
+		return nil, err
+	}
+	it.Close()
+	return p, nil
+}
+
+// decodeTuple renders an output tuple for NDJSON, mapping dictionary
+// codes back to the strings the client uploaded.
+func (s *Server) decodeTuple(t relation.Tuple) []any {
+	out := make([]any, len(t))
+	s.dictMu.RLock()
+	for i, v := range t {
+		if str, ok := s.dict.Decode(v); ok {
+			out[i] = str
+		} else {
+			out[i] = v
+		}
+	}
+	s.dictMu.RUnlock()
+	return out
+}
+
+// statsResponse is the /v1/stats payload.
+type statsResponse struct {
+	Datasets int `json:"datasets"`
+	Queries  int `json:"queries"`
+	Registry struct {
+		Hits      int64 `json:"hits"`
+		Misses    int64 `json:"misses"`
+		Evictions int64 `json:"evictions"`
+		Size      int   `json:"size"`
+		Capacity  int   `json:"capacity"`
+		Shards    int   `json:"shards"`
+	} `json:"registry"`
+	Requests    int64     `json:"requests"`
+	Rejected    int64     `json:"rejected"`
+	Inflight    int64     `json:"inflight"`
+	MaxInflight int       `json:"max_inflight"`
+	Plans       []regPlan `json:"plans"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	var resp statsResponse
+	s.mu.RLock()
+	resp.Datasets = len(s.datasets)
+	resp.Queries = len(s.queries)
+	s.mu.RUnlock()
+	resp.Registry.Hits = s.reg.hits.Load()
+	resp.Registry.Misses = s.reg.misses.Load()
+	resp.Registry.Evictions = s.reg.evictions()
+	resp.Registry.Size = s.reg.size()
+	resp.Registry.Capacity = s.cfg.RegistryCapacity
+	resp.Registry.Shards = s.cfg.RegistryShards
+	resp.Requests = s.requests.Load()
+	resp.Rejected = s.rejected.Load()
+	resp.Inflight = s.inflight.Load()
+	resp.MaxInflight = s.cfg.MaxInflight
+	resp.Plans = s.reg.snapshot()
+	writeJSON(w, &resp)
+}

@@ -1,0 +1,117 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestMidStreamDisconnectReleasesEverything is the satellite coverage
+// for mid-stream cancellation: a client that disconnects during NDJSON
+// streaming must release the iterator (via the watchdog's concurrent
+// Close), free the admission slot, and leave no goroutines behind.
+func TestMidStreamDisconnectReleasesEverything(t *testing.T) {
+	s := New(Config{MaxInflight: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Close()
+	registerBigPath(t, ts.URL)
+
+	// Warm the plan so the disconnect exercises enumeration, and settle
+	// the goroutine baseline after the HTTP keep-alive machinery spins
+	// up.
+	resp, err := http.Get(ts.URL + "/v1/query/big/topk?k=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	waitFor(t, "baseline idle", func() bool { return s.inflight.Load() == 0 })
+	base := runtime.NumGoroutine()
+
+	for trial := 0; trial < 5; trial++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		req, _ := http.NewRequestWithContext(ctx, "GET", ts.URL+"/v1/query/big/topk?k=2000000&timeout=30s", nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			cancel()
+			t.Fatal(err)
+		}
+		br := bufio.NewReader(resp.Body)
+		// Read a couple of lines so the disconnect is genuinely
+		// mid-stream, then hang up.
+		for i := 0; i < 2; i++ {
+			if _, err := br.ReadString('\n'); err != nil {
+				t.Fatalf("trial %d: stream died before disconnect: %v", trial, err)
+			}
+		}
+		cancel()
+		resp.Body.Close()
+
+		// The admission slot must come back: with MaxInflight=1 the next
+		// request only succeeds once the disconnected stream fully
+		// released it.
+		waitFor(t, "admission slot release", func() bool {
+			r2, err := http.Get(ts.URL + "/v1/query/big/topk?k=1")
+			if err != nil {
+				return false
+			}
+			defer r2.Body.Close()
+			io.Copy(io.Discard, r2.Body)
+			return r2.StatusCode == http.StatusOK
+		})
+	}
+
+	// No goroutine leaks: the watchdogs, handlers, and iterator
+	// plumbing of all five aborted streams must be gone. Allow a little
+	// slack for idle HTTP keep-alive conns.
+	waitFor(t, "goroutines to settle", func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= base+3
+	})
+}
+
+// TestMidStreamDeadlineTrailer drives a slow consumer into the request
+// deadline and checks the stream ends with an explanatory error trailer
+// rather than a silent cut.
+func TestMidStreamDeadlineTrailer(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Close()
+	registerBigPath(t, ts.URL)
+
+	resp, err := http.Get(ts.URL + "/v1/query/big/topk?k=2000000&timeout=250ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+	last := lines[len(lines)-1]
+	if !strings.Contains(last, "deadline") {
+		t.Fatalf("final line %q does not mention the deadline (total %d lines)", last, len(lines))
+	}
+	waitFor(t, "inflight to drain", func() bool { return s.inflight.Load() == 0 })
+}

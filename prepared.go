@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/decomp"
@@ -46,6 +48,7 @@ const (
 type Prepared struct {
 	outAttrs []string
 	kind     queryKind
+	fp       string // Query.Fingerprint, computed once at Compile
 
 	// Acyclic: the validated query (for Count/IsEmpty counting passes)
 	// plus the aggregate-independent T-DP plan.
@@ -64,6 +67,12 @@ type Prepared struct {
 	ghdEdges []hypergraph.Edge
 	ghdRels  []*relation.Relation
 	ghdDec   *hypergraph.Decomposition
+
+	// solutions is the exact output cardinality for acyclic handles,
+	// computed once at Compile from the reduced plan's counting pass
+	// (an O(total tuples) DP that must not re-run per Count/PlanStats
+	// call); -1 for cyclic kinds, whose Count enumerates.
+	solutions int
 
 	// workers is the compile-time default parallelism for the prepare
 	// phase (Instantiate for acyclic queries, bag materialisation for
@@ -98,6 +107,9 @@ type onceEntry[V any] struct {
 	once sync.Once
 	v    V
 	err  error
+	// done flips to true after a successful build; the atomic store
+	// publishes v to concurrent snapshot readers (onceCache.built).
+	done atomic.Bool
 }
 
 // get returns the cached value for agg, building it with this caller's
@@ -122,7 +134,12 @@ func (c *onceCache[V]) get(ctx context.Context, agg ranking.Aggregate, build fun
 			c.m[agg] = e
 		}
 		c.mu.Unlock()
-		e.once.Do(func() { e.v, e.err = build(agg) })
+		e.once.Do(func() {
+			e.v, e.err = build(agg)
+			if e.err == nil {
+				e.done.Store(true)
+			}
+		})
 		if e.err == nil || (!errors.Is(e.err, context.Canceled) && !errors.Is(e.err, context.DeadlineExceeded)) {
 			return e.v, e.err
 		}
@@ -136,6 +153,22 @@ func (c *onceCache[V]) get(ctx context.Context, agg ranking.Aggregate, build fun
 			return e.v, e.err
 		}
 	}
+}
+
+// built snapshots the successfully built entries: the per-ranking
+// artefacts a monitoring endpoint can report without triggering (or
+// waiting on) any build. Entries still building, failed, or dropped are
+// omitted.
+func (c *onceCache[V]) built() map[ranking.Aggregate]V {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[ranking.Aggregate]V, len(c.m))
+	for agg, e := range c.m {
+		if e.done.Load() {
+			out[agg] = e.v
+		}
+	}
+	return out
 }
 
 // prepareParallelThreshold is the estimated total tuple count (summed
@@ -202,6 +235,10 @@ func Compile(q *Query, opts ...RunOption) (*Prepared, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	fp, err := q.Fingerprint()
+	if err != nil {
+		return nil, err
+	}
 	inputTuples := 0
 	for _, r := range q.rels {
 		inputTuples += r.Len()
@@ -227,6 +264,8 @@ func Compile(q *Query, opts ...RunOption) (*Prepared, error) {
 		return &Prepared{
 			outAttrs:   plan.OutAttrs(),
 			kind:       kindAcyclic,
+			fp:         fp,
+			solutions:  plan.NumSolutions(),
 			yq:         yq,
 			plan:       plan,
 			workers:    cfg.workers,
@@ -237,7 +276,14 @@ func Compile(q *Query, opts ...RunOption) (*Prepared, error) {
 		}, nil
 	}
 	if l, rels, ok := q.matchCycle(); ok {
+		// The engine enumerates the canonical cycle positions; the handle
+		// labels them with the user's variables in walk order (the same
+		// schema Query.OutAttrs reports).
+		order, flip, _ := q.matchCycleShape()
 		p := &Prepared{
+			fp:         fp,
+			solutions:  -1,
+			outAttrs:   cycleWalkVars(q.edges, order, flip),
 			cycleRels:  rels,
 			workers:    cfg.workers,
 			workersSet: cfg.workersSet,
@@ -245,11 +291,11 @@ func Compile(q *Query, opts ...RunOption) (*Prepared, error) {
 		}
 		switch l {
 		case 3:
-			p.kind, p.outAttrs = kindTriangle, decomp.TriangleAttrs
+			p.kind = kindTriangle
 		case 4:
-			p.kind, p.outAttrs = kindFourCycle, decomp.FourCycleAttrs
+			p.kind = kindFourCycle
 		default:
-			p.kind, p.outAttrs = kindLongCycle, decomp.CycleAttrs(l)
+			p.kind = kindLongCycle
 		}
 		return p, nil
 	}
@@ -263,6 +309,8 @@ func Compile(q *Query, opts ...RunOption) (*Prepared, error) {
 	return &Prepared{
 		outAttrs:   decomp.GHDAttrs(q.edges),
 		kind:       kindGeneric,
+		fp:         fp,
+		solutions:  -1,
 		ghdEdges:   q.edges,
 		ghdRels:    q.rels,
 		ghdDec:     dec,
@@ -278,6 +326,86 @@ func (q *Query) Prepare(opts ...RunOption) (*Prepared, error) { return Compile(q
 // OutAttrs returns the output schema every iterator of this handle
 // yields. The returned slice must not be modified.
 func (p *Prepared) OutAttrs() []string { return p.outAttrs }
+
+// Fingerprint returns the shape fingerprint of the compiled query (see
+// Query.Fingerprint), computed once at Compile time.
+func (p *Prepared) Fingerprint() string { return p.fp }
+
+// PlanStats describes a compiled handle for monitoring: what shape it
+// compiled to, how much input the prepare phase processes, and which
+// per-ranking physical artefacts have been built so far. The serving
+// layer surfaces it from /v1/stats.
+type PlanStats struct {
+	// Fingerprint is the query-shape fingerprint (Query.Fingerprint).
+	Fingerprint string `json:"fingerprint"`
+	// Kind is the compiled shape: "acyclic", "triangle", "four-cycle",
+	// "cycle", or "ghd".
+	Kind string `json:"kind"`
+	// OutAttrs is the output schema of every iterator of the handle.
+	OutAttrs []string `json:"out_attrs"`
+	// EstTuples is the estimated tuple count the prepare phase processes
+	// (the input to the default-parallelism threshold).
+	EstTuples int `json:"est_tuples"`
+	// Solutions is the exact output cardinality for acyclic handles
+	// (known from the compiled plan without enumeration), -1 otherwise.
+	Solutions int `json:"solutions"`
+	// Rankings lists the ranking functions whose physical artefacts
+	// (T-DP instantiation or materialised decomposition bags) are built
+	// and cached on the handle, sorted by name. A run with any of these
+	// rankings does zero preparation.
+	Rankings []RankingStats `json:"rankings"`
+}
+
+// RankingStats describes the cached physical artefacts of one ranking
+// function on a Prepared handle.
+type RankingStats struct {
+	// Ranking is the aggregate's Name().
+	Ranking string `json:"ranking"`
+	// BagSizes reports the materialised bag sizes of cyclic plans (one
+	// inner slice per tree, one entry per bag); nil for acyclic handles.
+	BagSizes [][]int `json:"bag_sizes,omitempty"`
+	// TotalMaterialized sums all bag sizes; 0 for acyclic handles.
+	TotalMaterialized int `json:"total_materialized,omitempty"`
+}
+
+// PlanStats snapshots the handle without triggering or waiting on any
+// build: rankings mid-build are simply not listed yet. Safe to call
+// concurrently with Runs.
+func (p *Prepared) PlanStats() PlanStats {
+	st := PlanStats{
+		Fingerprint: p.fp,
+		OutAttrs:    p.outAttrs,
+		EstTuples:   p.estTuples,
+		Solutions:   p.solutions,
+	}
+	switch p.kind {
+	case kindAcyclic:
+		st.Kind = "acyclic"
+		for agg := range p.tdps.built() {
+			st.Rankings = append(st.Rankings, RankingStats{Ranking: agg.Name()})
+		}
+	case kindTriangle, kindFourCycle, kindLongCycle, kindGeneric:
+		switch p.kind {
+		case kindTriangle:
+			st.Kind = "triangle"
+		case kindFourCycle:
+			st.Kind = "four-cycle"
+		case kindLongCycle:
+			st.Kind = "cycle"
+		default:
+			st.Kind = "ghd"
+		}
+		for agg, d := range p.decomps.built() {
+			st.Rankings = append(st.Rankings, RankingStats{
+				Ranking:           agg.Name(),
+				BagSizes:          d.Stats.BagSizes,
+				TotalMaterialized: d.Stats.TotalMaterialized,
+			})
+		}
+	}
+	sort.Slice(st.Rankings, func(i, j int) bool { return st.Rankings[i].Ranking < st.Rankings[j].Ranking })
+	return st
+}
 
 // runConfig collects the per-execution options of one Run.
 type runConfig struct {
@@ -399,7 +527,7 @@ func (p *Prepared) TopK(k int, opts ...RunOption) ([]Result, error) {
 // full cardinality.
 func (p *Prepared) Count(opts ...RunOption) (int, error) {
 	if p.kind == kindAcyclic {
-		return p.plan.NumSolutions(), nil
+		return p.solutions, nil
 	}
 	it, err := p.Run(append(append([]RunOption(nil), opts...), WithK(0))...)
 	if err != nil {
