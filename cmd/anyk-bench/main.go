@@ -226,6 +226,23 @@ type benchReport struct {
 	AcyclicPrepareSeqNs int64  `json:"acyclic_prepare_seq_ns"`
 	AcyclicPrepareParNs int64  `json:"acyclic_prepare_par_ns"`
 
+	// Cost-based planner: the Zipf-skewed chorded 5-cycle prepared with
+	// statistics disabled (the structural heuristic) vs the default
+	// catalog-backed cost model, same fresh-handle best-of-three timing
+	// as the pairs above. The bench verifies both plans return identical
+	// top-k answers before recording anything, so the speedup is never a
+	// wrong-answer artifact. The materialised totals and decomposition
+	// strings record *why* the costed plan wins; CI diffs the timing pair
+	// and warns when the optimized prepare is slower than the heuristic.
+	OptShape          string `json:"opt_shape"`
+	OptN              int    `json:"opt_n"`
+	HeurPrepareNs     int64  `json:"heur_prepare_ns"`
+	OptPrepareNs      int64  `json:"opt_prepare_ns"`
+	HeurMaterialized  int    `json:"heur_materialized"`
+	OptMaterialized   int    `json:"opt_materialized"`
+	HeurDecomposition string `json:"heur_decomposition"`
+	OptDecomposition  string `json:"opt_decomposition"`
+
 	// Serving layer (-serve): warm top-k throughput through the full
 	// HTTP stack — internal/server with its plan registry, admission
 	// control, and NDJSON streaming — measured with ServeClients
@@ -264,18 +281,32 @@ func starBench(n int) *repro.Query {
 	return q
 }
 
+// chordedBench builds the Zipf-skewed chorded 5-cycle
+// (workload.SkewedChordedCycle) the optimizer on/off comparison runs
+// on. The fixture is pinned — same size, skew, and seed at every
+// -scale — so the heur/opt prepare pair diffs comparably across
+// snapshots.
+func chordedBench() *repro.Query {
+	inst := workload.SkewedChordedCycle(2000, 200, 5, 1.1, workload.UniformWeights(), 42)
+	q := repro.NewQuery()
+	for i, r := range inst.Rels {
+		q.Rel(r.Name, inst.H.Edges[i].Vars, r.Tuples, r.Weights)
+	}
+	return q
+}
+
 // measurePrepare times the first-run prepare path (for cyclic queries
 // decomposition bag materialisation + tree compilation, for acyclic
-// ones the T-DP instantiation) at the given parallelism. The Compile
-// call — whose GHD structure search is sequential either way, and
-// which for acyclic queries builds the aggregate-independent plan —
+// ones the T-DP instantiation) under the given compile options. The
+// Compile call — whose GHD structure search is sequential either way,
+// and which for acyclic queries builds the aggregate-independent plan —
 // stays outside the timer, and the best of three fresh-handle samples
-// is reported so the recorded sequential-vs-parallel ratio reflects
-// the per-ranking prepare work rather than one-off cache or GC noise.
-func measurePrepare(q *repro.Query, workers int) (time.Duration, error) {
+// is reported so the recorded ratios reflect the per-ranking prepare
+// work rather than one-off cache or GC noise.
+func measurePrepare(q *repro.Query, opts ...repro.RunOption) (time.Duration, error) {
 	var best time.Duration
 	for i := 0; i < 3; i++ {
-		p, err := repro.Compile(q, repro.WithParallelism(workers))
+		p, err := repro.Compile(q, opts...)
 		if err != nil {
 			return 0, err
 		}
@@ -455,12 +486,12 @@ func writeBenchJSON(name, scale string, cfg scaleCfg, workers int, serve bool) (
 
 	prepN := cfg.e6ns[len(cfg.e6ns)-1]
 	bq := bowtieBench(prepN)
-	seq, err := measurePrepare(bq, 1)
+	seq, err := measurePrepare(bq, repro.WithParallelism(1))
 	if err != nil {
 		return "", err
 	}
 	workers = parallel.Degree(workers)
-	parT, err := measurePrepare(bq, workers)
+	parT, err := measurePrepare(bq, repro.WithParallelism(workers))
 	if err != nil {
 		return "", err
 	}
@@ -476,11 +507,11 @@ func writeBenchJSON(name, scale string, cfg scaleCfg, workers int, serve bool) (
 	// measurable).
 	acycN := prepN * 8
 	aq := starBench(acycN)
-	acycSeq, err := measurePrepare(aq, 1)
+	acycSeq, err := measurePrepare(aq, repro.WithParallelism(1))
 	if err != nil {
 		return "", err
 	}
-	acycPar, err := measurePrepare(aq, workers)
+	acycPar, err := measurePrepare(aq, repro.WithParallelism(workers))
 	if err != nil {
 		return "", err
 	}
@@ -488,6 +519,56 @@ func writeBenchJSON(name, scale string, cfg scaleCfg, workers int, serve bool) (
 	report.AcyclicPrepareN = acycN
 	report.AcyclicPrepareSeqNs = acycSeq.Nanoseconds()
 	report.AcyclicPrepareParNs = acycPar.Nanoseconds()
+
+	// Cost-based planner: the same chorded-cycle query prepared with the
+	// structural heuristic (repro.WithStatistics(nil)) and with the
+	// default catalog-backed cost model. Before timing, one verification
+	// pass checks the two plans agree on the full top-k answer — a
+	// costed plan that answered differently would make the recorded
+	// speedup meaningless — and reads back each plan's materialisation
+	// totals and decomposition through PlanStats.
+	cq := chordedBench()
+	ph, err := repro.Compile(cq, repro.WithStatistics(nil))
+	if err != nil {
+		return "", err
+	}
+	po, err := repro.Compile(cq)
+	if err != nil {
+		return "", err
+	}
+	rh, err := ph.TopK(k)
+	if err != nil {
+		return "", err
+	}
+	ro, err := po.TopK(k)
+	if err != nil {
+		return "", err
+	}
+	if len(rh) != len(ro) {
+		return "", fmt.Errorf("optimizer check: heuristic plan returned %d results, costed plan %d", len(rh), len(ro))
+	}
+	for i := range rh {
+		if d := rh[i].Weight - ro[i].Weight; d > 1e-9 || d < -1e-9 {
+			return "", fmt.Errorf("optimizer check: result %d weight differs: heuristic %g vs costed %g", i, rh[i].Weight, ro[i].Weight)
+		}
+	}
+	heurT, err := measurePrepare(cq, repro.WithStatistics(nil))
+	if err != nil {
+		return "", err
+	}
+	optT, err := measurePrepare(cq)
+	if err != nil {
+		return "", err
+	}
+	sh, so := ph.PlanStats(), po.PlanStats()
+	report.OptShape = "chorded5"
+	report.OptN = 2000
+	report.HeurPrepareNs = heurT.Nanoseconds()
+	report.OptPrepareNs = optT.Nanoseconds()
+	report.HeurMaterialized = sh.Rankings[0].TotalMaterialized
+	report.OptMaterialized = so.Rankings[0].TotalMaterialized
+	report.HeurDecomposition = sh.Decomposition
+	report.OptDecomposition = so.Decomposition
 
 	if serve {
 		clients, requests, serveK := 4, 400, 10

@@ -41,10 +41,12 @@ import (
 )
 
 // prepCfg collects the per-prepare options: how many workers materialise
-// bags and which context can cancel the prepare phase.
+// bags, which context can cancel the prepare phase, and an optional
+// data-aware chooser for Generic-Join variable orders.
 type prepCfg struct {
 	ctx     context.Context
 	workers int
+	order   func([]wcoj.Atom) ([]string, error)
 }
 
 // PrepareOption configures one Prepare* call. The defaults are fully
@@ -67,6 +69,44 @@ func WithWorkers(n int) PrepareOption {
 // partitions; a canceled prepare returns ctx.Err() and no plan.
 func WithContext(ctx context.Context) PrepareOption {
 	return func(c *prepCfg) { c.ctx = ctx }
+}
+
+// WithOrderChooser installs a data-aware Generic-Join variable-order
+// chooser (e.g. catalog.ChooseOrder) consulted per bag by the GHD
+// planner. The chooser must return an order over exactly the variables
+// of the atoms it is given; when it errors or returns a different
+// variable set, the bag silently falls back to the structural
+// wcoj.SuggestOrder heuristic, so a chooser can never make a prepare
+// fail. The per-bag order only affects materialisation cost, not
+// results: bags are sorted into canonical attribute order before the
+// join tree is built.
+func WithOrderChooser(f func([]wcoj.Atom) ([]string, error)) PrepareOption {
+	return func(c *prepCfg) { c.order = f }
+}
+
+// chooseOrder resolves one bag's variable order: the configured chooser
+// when it yields a valid order over the atoms' variables, otherwise the
+// structural heuristic.
+func (c *prepCfg) chooseOrder(atoms []wcoj.Atom) []string {
+	fallback := wcoj.SuggestOrder(atoms)
+	if c.order == nil {
+		return fallback
+	}
+	order, err := c.order(atoms)
+	if err != nil || len(order) != len(fallback) {
+		return fallback
+	}
+	want := make(map[string]bool, len(fallback))
+	for _, v := range fallback {
+		want[v] = true
+	}
+	for _, v := range order {
+		if !want[v] {
+			return fallback
+		}
+		delete(want, v)
+	}
+	return order
 }
 
 func newPrepCfg(opts []PrepareOption) prepCfg {

@@ -127,7 +127,7 @@ func PrepareGHDWith(d *hypergraph.Decomposition, edges []hypergraph.Edge, rels [
 		if err != nil {
 			return err
 		}
-		order := wcoj.SuggestOrder(atoms)
+		order := cfg.chooseOrder(atoms)
 		if len(order) != len(bagVars) {
 			return fmt.Errorf("decomp: bag %v atoms cover %d of %d variables", bagVars, len(order), len(bagVars))
 		}

@@ -2,6 +2,7 @@ package hypergraph
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -27,6 +28,22 @@ type Decomposition struct {
 	// this estimates the fractional hypertree width, not the bag's exact
 	// materialised size).
 	Width float64
+	// EstBagSizes holds the coster's per-bag materialization estimates,
+	// aligned with Bags. Nil when the decomposition was chosen purely
+	// structurally (DecomposeCosted with a nil coster / Decompose).
+	EstBagSizes []float64
+	// EstCost is the total estimated materialization cost (the sum of
+	// EstBagSizes); 0 when the decomposition was chosen structurally.
+	EstCost float64
+}
+
+// BagCoster estimates the cost of materializing one candidate bag (the
+// join of the query's relations projected to the bag's variables). It
+// is implemented by catalog.CostModel; defining the interface here lets
+// the decomposition search consume data statistics without importing
+// the catalog package.
+type BagCoster interface {
+	BagCost(bag []string) float64
 }
 
 // String renders the decomposition as {A,B,C} {A,C,D} (width w).
@@ -53,6 +70,23 @@ const maxExhaustiveVars = 7
 // one bag, evaluated by one Generic-Join) is always a candidate, so
 // Decompose succeeds for every connected or disconnected query shape.
 func (h *Hypergraph) Decompose() (*Decomposition, error) {
+	return h.DecomposeCosted(nil)
+}
+
+// decompBeamWidth bounds the costed beam search over elimination orders
+// used by DecomposeCosted on queries too large for exhaustive
+// enumeration.
+const decompBeamWidth = 4
+
+// DecomposeCosted is Decompose with an optional data-aware bag coster.
+// A nil coster reproduces the structural search exactly. With a coster,
+// candidates are ranked by total estimated bag materialization cost
+// (Σ coster.BagCost(bag)) — the structural criteria only break
+// near-ties — and, for queries beyond the exhaustive range, a beam
+// search over elimination orders guided by the coster contributes extra
+// candidates. The winning decomposition then carries the coster's
+// per-bag estimates in EstBagSizes/EstCost.
+func (h *Hypergraph) DecomposeCosted(coster BagCoster) (*Decomposition, error) {
 	if len(h.Edges) == 0 {
 		return nil, fmt.Errorf("hypergraph: cannot decompose an empty hypergraph")
 	}
@@ -74,6 +108,11 @@ func (h *Hypergraph) Decompose() (*Decomposition, error) {
 	} else {
 		add(h.eliminationBags(h.greedyOrder(false)))
 		add(h.eliminationBags(h.greedyOrder(true)))
+		if coster != nil {
+			for _, bags := range h.beamEliminationBags(coster, decompBeamWidth) {
+				add(bags)
+			}
+		}
 	}
 
 	// Score candidates; deterministic iteration via sorted keys.
@@ -84,6 +123,7 @@ func (h *Hypergraph) Decompose() (*Decomposition, error) {
 	sort.Strings(keys)
 
 	var best *Decomposition
+	bestCost := 0.0
 	for _, k := range keys {
 		bags := candidates[k]
 		width, err := h.maxBagCover(bags)
@@ -91,8 +131,15 @@ func (h *Hypergraph) Decompose() (*Decomposition, error) {
 			continue // LP failure on one candidate is not fatal
 		}
 		cand := &Decomposition{Bags: bags, Width: width}
-		if best == nil || better(cand, best) {
-			best = cand
+		if coster == nil {
+			if best == nil || better(cand, best) {
+				best = cand
+			}
+			continue
+		}
+		cost := totalBagCost(coster, bags)
+		if best == nil || costedBetter(cand, cost, best, bestCost) {
+			best, bestCost = cand, cost
 		}
 	}
 	if best == nil {
@@ -113,6 +160,14 @@ func (h *Hypergraph) Decompose() (*Decomposition, error) {
 			return nil, err
 		}
 		best = &Decomposition{Bags: merged, Width: w}
+	}
+	if coster != nil {
+		best.EstBagSizes = make([]float64, len(best.Bags))
+		best.EstCost = 0
+		for i, b := range best.Bags {
+			best.EstBagSizes[i] = coster.BagCost(b)
+			best.EstCost += best.EstBagSizes[i]
+		}
 	}
 	best.Contains = h.containment(best.Bags)
 	for ei := range h.Edges {
@@ -153,6 +208,108 @@ func totalBagVars(bags [][]string) int {
 		n += len(b)
 	}
 	return n
+}
+
+// costedBetter ranks candidate a (estimated cost ca) against b (cost
+// cb): a clearly cheaper candidate wins; within a relative epsilon the
+// structural criteria of better() decide, keeping the choice
+// deterministic when estimates coincide.
+func costedBetter(a *Decomposition, ca float64, b *Decomposition, cb float64) bool {
+	tol := 1e-6 * (1 + math.Max(ca, cb))
+	if ca < cb-tol {
+		return true
+	}
+	if ca > cb+tol {
+		return false
+	}
+	return better(a, b)
+}
+
+// totalBagCost sums the coster's estimate over a candidate's bags.
+func totalBagCost(coster BagCoster, bags [][]string) float64 {
+	c := 0.0
+	for _, b := range bags {
+		c += coster.BagCost(b)
+	}
+	return c
+}
+
+// beamEliminationBags beam-searches vertex elimination orders, scoring
+// a partial order by the accumulated estimated cost of the bags it has
+// created, and returns the bag sets of the surviving orders. It
+// complements the min-degree/min-fill candidates on queries too large
+// for exhaustive permutation.
+func (h *Hypergraph) beamEliminationBags(coster BagCoster, width int) [][][]string {
+	type state struct {
+		order []string
+		adj   map[string]map[string]bool
+		cost  float64
+	}
+	vars := h.Vars()
+	states := []*state{{adj: h.primalAdjacency()}}
+	for step := 0; step < len(vars); step++ {
+		var next []*state
+		for _, s := range states {
+			for v, nbrs := range s.adj {
+				bag := make([]string, 0, len(nbrs)+1)
+				bag = append(bag, v)
+				for u := range nbrs {
+					bag = append(bag, u)
+				}
+				sort.Strings(bag)
+				next = append(next, &state{
+					order: append(append([]string(nil), s.order...), v),
+					adj:   eliminateClone(s.adj, v),
+					cost:  s.cost + coster.BagCost(bag),
+				})
+			}
+		}
+		// Deterministic despite map iteration: sort expansions by cost,
+		// ties by the order string.
+		sort.Slice(next, func(i, j int) bool {
+			if next[i].cost != next[j].cost {
+				return next[i].cost < next[j].cost
+			}
+			return strings.Join(next[i].order, ",") < strings.Join(next[j].order, ",")
+		})
+		if len(next) > width {
+			next = next[:width]
+		}
+		states = next
+	}
+	out := make([][][]string, 0, len(states))
+	for _, s := range states {
+		out = append(out, h.eliminationBags(s.order))
+	}
+	return out
+}
+
+// eliminateClone returns a copy of adj with v eliminated: v removed and
+// its neighbours pairwise connected (fill edges). The input is not
+// modified.
+func eliminateClone(adj map[string]map[string]bool, v string) map[string]map[string]bool {
+	nbrs := adj[v]
+	out := make(map[string]map[string]bool, len(adj)-1)
+	for u, m := range adj {
+		if u == v {
+			continue
+		}
+		cm := make(map[string]bool, len(m)+len(nbrs))
+		for w := range m {
+			if w != v {
+				cm[w] = true
+			}
+		}
+		out[u] = cm
+	}
+	for u := range nbrs {
+		for w := range nbrs {
+			if u != w {
+				out[u][w] = true
+			}
+		}
+	}
+	return out
 }
 
 // eliminationBags builds the tree-decomposition bags induced by a vertex

@@ -270,6 +270,33 @@ func (h *Hypergraph) AGMBound(sizes []float64) (float64, error) {
 	return math.Exp(logBound), nil
 }
 
+// AGMBoundOf is AGMBound restricted to a subset of the variables: the
+// bound ∏ |R_e|^{x*_e} on the size of the join projected to vars, where
+// x* is the minimum log-weighted fractional cover of vars only. Sizes
+// align with h.Edges and must be ≥ 1 (a size-0 relation reports 0).
+func (h *Hypergraph) AGMBoundOf(vars []string, sizes []float64) (float64, error) {
+	if len(sizes) != len(h.Edges) {
+		return 0, fmt.Errorf("hypergraph: %d sizes for %d edges", len(sizes), len(h.Edges))
+	}
+	for _, s := range sizes {
+		if s == 0 {
+			return 0, nil
+		}
+		if s < 1 {
+			return 0, fmt.Errorf("hypergraph: relation size %g < 1", s)
+		}
+	}
+	x, _, err := h.weightedCoverOf(vars, func(i int) float64 { return math.Log(sizes[i]) })
+	if err != nil {
+		return 0, err
+	}
+	logBound := 0.0
+	for i, xi := range x {
+		logBound += xi * math.Log(sizes[i])
+	}
+	return math.Exp(logBound), nil
+}
+
 // weightedCover minimizes Σ cost(e)·x_e subject to covering every
 // variable.
 func (h *Hypergraph) weightedCover(cost func(int) float64) ([]float64, float64, error) {

@@ -1,0 +1,34 @@
+package relation
+
+// ColumnSummary holds the per-column facts a single ingest-time scan can
+// collect without sketches: the value range and whether the column has
+// any values at all. The statistics catalog (internal/catalog) layers
+// distinct-count and heavy-hitter sketches on top of these.
+type ColumnSummary struct {
+	Min, Max Value
+	// NonEmpty is false for a column of an empty relation, in which case
+	// Min and Max are meaningless zeros.
+	NonEmpty bool
+}
+
+// ColumnSummaries scans the relation once and returns the min/max
+// summary of every column, aligned with Attrs.
+func (r *Relation) ColumnSummaries() []ColumnSummary {
+	out := make([]ColumnSummary, r.Arity())
+	for _, t := range r.Tuples {
+		for c, v := range t {
+			s := &out[c]
+			if !s.NonEmpty {
+				s.Min, s.Max, s.NonEmpty = v, v, true
+				continue
+			}
+			if v < s.Min {
+				s.Min = v
+			}
+			if v > s.Max {
+				s.Max = v
+			}
+		}
+	}
+	return out
+}

@@ -213,10 +213,14 @@ func (r *registry) size() int {
 	return n
 }
 
-// regPlan is one resident plan in a registry snapshot.
+// regPlan is one resident plan in a registry snapshot. Recost mirrors
+// the plan's NeedsRecost flag at the top level so operators scanning
+// /v1/stats spot misestimated plans without digging into each plan's
+// estimator fields.
 type regPlan struct {
-	Key  string          `json:"key"`
-	Plan repro.PlanStats `json:"plan"`
+	Key    string          `json:"key"`
+	Plan   repro.PlanStats `json:"plan"`
+	Recost bool            `json:"recost,omitempty"`
 }
 
 // snapshot lists the built resident plans sorted by key, for /v1/stats.
@@ -224,7 +228,8 @@ func (r *registry) snapshot() []regPlan {
 	var out []regPlan
 	for _, sh := range r.shards {
 		sh.each(func(key string, p *repro.Prepared) {
-			out = append(out, regPlan{Key: key, Plan: p.PlanStats()})
+			st := p.PlanStats()
+			out = append(out, regPlan{Key: key, Plan: st, Recost: st.NeedsRecost})
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })

@@ -48,6 +48,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/ranking"
 	"repro/internal/relation"
@@ -143,6 +144,13 @@ type dataset struct {
 	attrs   []string // informational (CSV header or c0..cN-1)
 	tuples  []relation.Tuple
 	weights []float64
+	// stats are the per-column statistics collected once at
+	// registration and handed to every Compile over this snapshot via
+	// the catalog. Like the rest of the struct they are immutable:
+	// re-registering the dataset builds a fresh dataset (bumped
+	// version) with fresh statistics, so stale stats can never plan a
+	// new snapshot.
+	stats *catalog.RelationStats
 }
 
 // atomDef binds one dataset to query variables, one per atom.
@@ -316,6 +324,11 @@ func (s *Server) handleDatasetPut(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "dataset %s: %v", name, err)
 		return
 	}
+	// Collect planner statistics once per upload, outside the lock (one
+	// linear scan per column; sketches keep it constant-memory).
+	ds.stats = catalog.Collect(&relation.Relation{
+		Name: name, Attrs: ds.attrs, Tuples: ds.tuples, Weights: ds.weights,
+	})
 	s.mu.Lock()
 	if old, ok := s.datasets[name]; ok {
 		ds.version = old.version + 1
@@ -869,10 +882,20 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 func (s *Server) buildPlan(ctx context.Context, dk string, qd *queryDef, snap []*dataset, agg ranking.Aggregate) (*repro.Prepared, error) {
 	p, _, err := s.reg.compiles.get(ctx, dk, func() (*repro.Prepared, error) {
 		q := repro.NewQuery()
+		// Hand Compile the registration-time statistics of the exact
+		// dataset snapshot this plan binds to, keyed by atom name. A
+		// re-registered dataset produces a new snapshot (and dataKey)
+		// carrying its own fresh stats, so this catalog can never mix
+		// statistics from a different version of the data.
+		cat := catalog.New()
 		for i, a := range qd.atoms {
-			q.Rel(fmt.Sprintf("%s#%d", a.Dataset, i), a.Vars, snap[i].tuples, snap[i].weights)
+			atomName := fmt.Sprintf("%s#%d", a.Dataset, i)
+			q.Rel(atomName, a.Vars, snap[i].tuples, snap[i].weights)
+			if snap[i].stats != nil {
+				cat.Put(atomName, snap[i].version, snap[i].stats)
+			}
 		}
-		return repro.Compile(q, repro.WithContext(ctx))
+		return repro.Compile(q, repro.WithContext(ctx), repro.WithStatistics(cat))
 	})
 	if err != nil {
 		return nil, err

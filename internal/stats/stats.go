@@ -2,6 +2,10 @@
 // harness uses: wall-clock timers, per-result delay recorders for the
 // any-k metrics (time-to-first, time-to-k-th, time-to-last, maximum
 // delay), and plain-text result tables.
+//
+// It measures experiment *runs*. Statistics about the *data* —
+// per-column distinct counts, heavy hitters, and the cost model the
+// planner consumes — live in internal/catalog.
 package stats
 
 import (

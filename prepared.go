@@ -9,6 +9,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/decomp"
 	"repro/internal/dp"
@@ -88,6 +89,17 @@ type Prepared struct {
 	// processes (reduced plan nodes for acyclic queries, input relations
 	// for cyclic ones) — the input to the default-parallelism threshold.
 	estTuples int
+
+	// costBased records whether a cost model drove this compilation (see
+	// WithStatistics); when it did, estOutput is the model's output-
+	// cardinality estimate, and estBags its per-bag materialisation
+	// estimates for the shapes that expose them (the triangle's single
+	// bag, the GHD planner's costed decomposition) — nil for the
+	// canonical 4-cycle and fan-cycle plans, whose bag structure is
+	// fixed by the shape rather than searched.
+	costBased bool
+	estOutput float64
+	estBags   []float64
 
 	tdps    onceCache[*dp.TDP]      // acyclic: T-DP per ranking function
 	decomps onceCache[*decomp.Plan] // cyclic: decomposition per ranking function
@@ -214,16 +226,18 @@ func (p *Prepared) prepareWorkers(cfg runConfig) int {
 // the generalized-hypertree-decomposition search and compiles onto the
 // resulting bag tree.
 //
-// Of the run options only WithParallelism and WithContext are
-// consulted at compile time. WithParallelism drives the acyclic plan
-// build (full reduction and grouping) and sets the handle's default
-// prepare parallelism (how many workers run Instantiate or materialise
-// decomposition bags on the first Run with each ranking function);
-// when it is omitted, parallelism defaults to GOMAXPROCS for inputs
-// above a size threshold and sequential below it. WithContext makes
-// the acyclic plan build cancelable (a canceled Compile returns
-// ctx.Err() and no handle); it is not retained by the handle. The
-// other options are per-run and ignored here.
+// Of the run options only WithParallelism, WithContext, WithStatistics
+// and WithCostModel are consulted at compile time. WithParallelism
+// drives the acyclic plan build (full reduction and grouping) and sets
+// the handle's default prepare parallelism (how many workers run
+// Instantiate or materialise decomposition bags on the first Run with
+// each ranking function); when it is omitted, parallelism defaults to
+// GOMAXPROCS for inputs above a size threshold and sequential below it.
+// WithContext makes the acyclic plan build cancelable (a canceled
+// Compile returns ctx.Err() and no handle); it is not retained by the
+// handle. WithStatistics/WithCostModel steer cost-based planning (on by
+// default; see WithStatistics). The other options are per-run and
+// ignored here.
 func Compile(q *Query, opts ...RunOption) (*Prepared, error) {
 	if q.err != nil {
 		return nil, q.err
@@ -244,6 +258,19 @@ func Compile(q *Query, opts ...RunOption) (*Prepared, error) {
 		inputTuples += r.Len()
 	}
 	h := hypergraph.New(q.edges...)
+	// Resolve the cost model: an explicit WithCostModel wins;
+	// WithStatistics(nil) disables cost-based planning entirely;
+	// otherwise build one from the supplied catalog (statistics for
+	// atoms it misses are collected from the query's relations on the
+	// spot — the default-on path when no option was passed at all).
+	cm := cfg.cm
+	if cm == nil && !(cfg.catSet && cfg.cat == nil) {
+		cm = catalog.NewCostModel(q.edges, q.rels, cfg.cat)
+	}
+	estOutput := 0.0
+	if cm != nil {
+		estOutput = cm.EstimateOutput()
+	}
 	if h.IsAcyclic() {
 		yq, err := yannakakis.NewQuery(h, q.rels)
 		if err != nil {
@@ -273,6 +300,8 @@ func Compile(q *Query, opts ...RunOption) (*Prepared, error) {
 			// Instantiate passes run over the reduced plan, so the
 			// threshold consults the post-reduction size.
 			estTuples: plan.TotalTuples(),
+			costBased: cm != nil,
+			estOutput: estOutput,
 		}, nil
 	}
 	if l, rels, ok := q.matchCycle(); ok {
@@ -288,10 +317,18 @@ func Compile(q *Query, opts ...RunOption) (*Prepared, error) {
 			workers:    cfg.workers,
 			workersSet: cfg.workersSet,
 			estTuples:  inputTuples,
+			costBased:  cm != nil,
+			estOutput:  estOutput,
 		}
 		switch l {
 		case 3:
 			p.kind = kindTriangle
+			if cm != nil {
+				// The triangle plan is a single bag holding the full
+				// output, so the output estimate doubles as its bag
+				// estimate.
+				p.estBags = []float64{estOutput}
+			}
 		case 4:
 			p.kind = kindFourCycle
 		default:
@@ -301,8 +338,17 @@ func Compile(q *Query, opts ...RunOption) (*Prepared, error) {
 	}
 	// Arbitrary cyclic shape: search for a generalized hypertree
 	// decomposition now (structure only — bags materialise lazily per
-	// ranking function on first Run).
-	dec, err := h.Decompose()
+	// ranking function on first Run). With a cost model the search ranks
+	// candidates by estimated materialisation cost instead of the purely
+	// structural width criteria. The explicit nil-check matters: an
+	// interface holding a typed nil would not reproduce the structural
+	// path.
+	var dec *hypergraph.Decomposition
+	if cm != nil {
+		dec, err = h.DecomposeCosted(cm)
+	} else {
+		dec, err = h.Decompose()
+	}
 	if err != nil {
 		return nil, fmt.Errorf("repro: cyclic query %s: %w", h, err)
 	}
@@ -317,6 +363,9 @@ func Compile(q *Query, opts ...RunOption) (*Prepared, error) {
 		workers:    cfg.workers,
 		workersSet: cfg.workersSet,
 		estTuples:  inputTuples,
+		costBased:  cm != nil,
+		estOutput:  estOutput,
+		estBags:    dec.EstBagSizes,
 	}, nil
 }
 
@@ -354,6 +403,46 @@ type PlanStats struct {
 	// and cached on the handle, sorted by name. A run with any of these
 	// rankings does zero preparation.
 	Rankings []RankingStats `json:"rankings"`
+	// CostBased reports whether a cost model (statistics catalog) drove
+	// this compilation; false means the purely structural heuristics
+	// planned it.
+	CostBased bool `json:"cost_based"`
+	// Decomposition renders the chosen bag decomposition of "ghd" plans
+	// (hypergraph.Decomposition.String); empty for other kinds.
+	Decomposition string `json:"decomposition,omitempty"`
+	// EstOutput is the cost model's output-cardinality estimate; 0 when
+	// the plan is not cost-based.
+	EstOutput float64 `json:"est_output,omitempty"`
+	// EstBagSizes are the cost model's per-bag materialisation estimates
+	// for shapes that expose them (triangle, ghd), aligned with the
+	// flattened actual bag sizes of any built ranking.
+	EstBagSizes []float64 `json:"est_bag_sizes,omitempty"`
+	// EstimatorError is the estimator's worst per-bag error factor,
+	// max(est+1, actual+1)/min(est+1, actual+1) over the compared sizes:
+	// per materialised bag once some ranking has been built for cyclic
+	// plans, est-vs-exact output for acyclic ones. 0 until actuals are
+	// known (or when the plan is not cost-based).
+	EstimatorError float64 `json:"estimator_error,omitempty"`
+	// NeedsRecost flags a plan whose EstimatorError exceeds
+	// RecostThreshold — the statistics that planned it misjudged the
+	// data badly enough that recompiling against fresh statistics is
+	// warranted. The serving registry surfaces it per cached plan.
+	NeedsRecost bool `json:"needs_recost,omitempty"`
+}
+
+// RecostThreshold is the EstimatorError factor above which PlanStats
+// sets NeedsRecost. A variable, not a constant, so operators (and
+// tests) can tune how tolerant the flag is.
+var RecostThreshold = 8.0
+
+// estRatio is the symmetric error factor between an estimate and an
+// actual count, add-one smoothed so empty bags compare cleanly.
+func estRatio(est, actual float64) float64 {
+	a, b := est+1, actual+1
+	if a < b {
+		return b / a
+	}
+	return a / b
 }
 
 // RankingStats describes the cached physical artefacts of one ranking
@@ -378,6 +467,11 @@ func (p *Prepared) PlanStats() PlanStats {
 		EstTuples:   p.estTuples,
 		Solutions:   p.solutions,
 	}
+	// actualBags flattens one built ranking's materialised bag sizes.
+	// Bag contents (and so sizes) are identical across rankings — only
+	// the weights differ — so any built entry serves as the actuals the
+	// estimates are compared against.
+	var actualBags []int
 	switch p.kind {
 	case kindAcyclic:
 		st.Kind = "acyclic"
@@ -394,6 +488,7 @@ func (p *Prepared) PlanStats() PlanStats {
 			st.Kind = "cycle"
 		default:
 			st.Kind = "ghd"
+			st.Decomposition = p.ghdDec.String()
 		}
 		for agg, d := range p.decomps.built() {
 			st.Rankings = append(st.Rankings, RankingStats{
@@ -401,9 +496,30 @@ func (p *Prepared) PlanStats() PlanStats {
 				BagSizes:          d.Stats.BagSizes,
 				TotalMaterialized: d.Stats.TotalMaterialized,
 			})
+			if actualBags == nil {
+				for _, tree := range d.Stats.BagSizes {
+					actualBags = append(actualBags, tree...)
+				}
+			}
 		}
 	}
 	sort.Slice(st.Rankings, func(i, j int) bool { return st.Rankings[i].Ranking < st.Rankings[j].Ranking })
+	st.CostBased = p.costBased
+	if p.costBased {
+		st.EstOutput = p.estOutput
+		st.EstBagSizes = p.estBags
+		switch {
+		case p.kind == kindAcyclic:
+			st.EstimatorError = estRatio(p.estOutput, float64(p.solutions))
+		case len(p.estBags) > 0 && len(actualBags) == len(p.estBags):
+			for i, a := range actualBags {
+				if r := estRatio(p.estBags[i], float64(a)); r > st.EstimatorError {
+					st.EstimatorError = r
+				}
+			}
+		}
+		st.NeedsRecost = st.EstimatorError > RecostThreshold
+	}
 	return st
 }
 
@@ -415,6 +531,9 @@ type runConfig struct {
 	ctx        context.Context
 	workers    int
 	workersSet bool
+	cat        *catalog.Catalog
+	catSet     bool
+	cm         *catalog.CostModel
 }
 
 // RunOption configures one execution of a Prepared query. The defaults
@@ -469,6 +588,30 @@ func WithParallelism(n int) RunOption {
 		c.workers = parallel.Degree(n)
 		c.workersSet = true
 	}
+}
+
+// WithStatistics supplies the statistics catalog cost-based planning
+// reads at Compile time. Atoms the catalog has no entry for (or whose
+// entry's arity does not match) fall back to statistics collected
+// directly from the query's relations. When the option is omitted
+// entirely, cost-based planning is still on by default — Compile
+// collects statistics from the relations on the spot. Passing a nil
+// catalog disables cost-based planning altogether, reproducing the
+// purely structural plans (min-degree/min-fill decomposition search,
+// wcoj.SuggestOrder variable orders) bit for bit. Consulted only by
+// Compile; ignored on Run.
+func WithStatistics(c *catalog.Catalog) RunOption {
+	return func(cfg *runConfig) {
+		cfg.cat = c
+		cfg.catSet = true
+	}
+}
+
+// WithCostModel supplies a pre-built cost model, overriding both
+// WithStatistics and the default statistics collection. Consulted only
+// by Compile; ignored on Run.
+func WithCostModel(m *catalog.CostModel) RunOption {
+	return func(cfg *runConfig) { cfg.cm = m }
 }
 
 // Run executes the compiled plan and returns a ranked iterator. Always
@@ -592,6 +735,14 @@ func (p *Prepared) decompFor(agg ranking.Aggregate, ctx context.Context, workers
 
 func (p *Prepared) buildDecomp(agg ranking.Aggregate, ctx context.Context, workers int) (*decomp.Plan, error) {
 	opts := []decomp.PrepareOption{decomp.WithWorkers(workers), decomp.WithContext(ctx)}
+	if p.costBased && p.kind == kindGeneric {
+		// Cost-based compilations also pick each GHD bag's Generic-Join
+		// variable order from statistics over the bag's actual atoms.
+		// Only the generic planner takes the chooser: the canonical
+		// triangle/4-cycle/fan plans hardwire orders their tests and
+		// golden files pin.
+		opts = append(opts, decomp.WithOrderChooser(catalog.ChooseOrder))
+	}
 	switch p.kind {
 	case kindTriangle:
 		var three [3]*relation.Relation
