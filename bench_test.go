@@ -70,7 +70,7 @@ func benchFourCycleBooleanSubmodular(b *testing.B, n int) {
 	copy(rels[:], inst.Rels)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		it, _, err := decomp.FourCycleSubmodular(rels, sumAgg, core.Lazy)
+		it, _, err := decomp.FourCycleSubmodular(context.Background(), rels, sumAgg, core.Lazy)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -232,7 +232,7 @@ func benchLightestCycles(b *testing.B, n, k int, batch bool) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if batch {
-			it, _, err := decomp.FourCycleSingleTree(rels, sumAgg, core.Batch)
+			it, _, err := decomp.FourCycleSingleTree(context.Background(), rels, sumAgg, core.Batch)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -242,7 +242,7 @@ func benchLightestCycles(b *testing.B, n, k int, batch bool) {
 				}
 			}
 		} else {
-			it, _, err := decomp.FourCycleSubmodular(rels, sumAgg, core.Lazy)
+			it, _, err := decomp.FourCycleSubmodular(context.Background(), rels, sumAgg, core.Lazy)
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -26,6 +26,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -33,8 +34,10 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"os/signal"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro"
@@ -130,6 +133,28 @@ func main() {
 	par := flag.Int("parallel", 0, "prepare workers for the -benchjson parallel measurement (<= 0 selects GOMAXPROCS)")
 	serve := flag.Bool("serve", false, "with -benchjson: also measure the anykd serving layer end-to-end and record serve_topk_qps")
 	flag.Parse()
+	// Ctrl-C cancels the in-flight experiment's enumeration instead of
+	// killing the process mid-table.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		// After the first signal has canceled ctx, unregister so a
+		// second Ctrl-C kills the process the default way.
+		<-ctx.Done()
+		stop()
+	}()
+	// The experiment helpers panic on iterator errors; when the error is
+	// this cancellation, exit with the conventional interrupt status
+	// instead of a stack trace.
+	defer func() {
+		if r := recover(); r != nil {
+			if ctx.Err() != nil {
+				fmt.Fprintln(os.Stderr, "anyk-bench: interrupted")
+				os.Exit(130)
+			}
+			panic(r)
+		}
+	}()
 	render := func(t *stats.Table) string {
 		if *asCSV {
 			return t.CSV()
@@ -155,19 +180,19 @@ func main() {
 
 	runners := map[string]func() *stats.Table{
 		"E1":  func() *stats.Table { return experiments.E1(cfg.e1ns) },
-		"E2":  func() *stats.Table { return experiments.E2(cfg.e2ns) },
+		"E2":  func() *stats.Table { return experiments.E2(ctx, cfg.e2ns) },
 		"E3":  func() *stats.Table { return experiments.E3(cfg.e3ns) },
 		"E4":  func() *stats.Table { return experiments.E4(cfg.e4n, cfg.e4ks) },
 		"E5":  func() *stats.Table { return experiments.E5(cfg.e5n, cfg.e5ks) },
-		"E6":  func() *stats.Table { return experiments.E6(cfg.e6ns, cfg.e6k) },
-		"E7":  func() *stats.Table { return experiments.E7(cfg.e7n) },
-		"E8":  func() *stats.Table { return experiments.E8(cfg.e8ns, cfg.e8k) },
-		"E9":  func() *stats.Table { return experiments.E9(cfg.e9ns, cfg.e9k) },
+		"E6":  func() *stats.Table { return experiments.E6(ctx, cfg.e6ns, cfg.e6k) },
+		"E7":  func() *stats.Table { return experiments.E7(ctx, cfg.e7n) },
+		"E8":  func() *stats.Table { return experiments.E8(ctx, cfg.e8ns, cfg.e8k) },
+		"E9":  func() *stats.Table { return experiments.E9(ctx, cfg.e9ns, cfg.e9k) },
 		"E10": func() *stats.Table { return experiments.E10(cfg.e10n) },
-		"E11": func() *stats.Table { return experiments.E11(cfg.e11n, cfg.e11ks) },
-		"E12": func() *stats.Table { return experiments.E12(cfg.e12n) },
-		"E13": func() *stats.Table { return experiments.E13(cfg.e13ns, cfg.e13k) },
-		"E14": func() *stats.Table { return experiments.E14(cfg.e14n) },
+		"E11": func() *stats.Table { return experiments.E11(ctx, cfg.e11n, cfg.e11ks) },
+		"E12": func() *stats.Table { return experiments.E12(ctx, cfg.e12n) },
+		"E13": func() *stats.Table { return experiments.E13(ctx, cfg.e13ns, cfg.e13k) },
+		"E14": func() *stats.Table { return experiments.E14(ctx, cfg.e14n) },
 		"E15": func() *stats.Table { return experiments.E15(cfg.e15ns) },
 	}
 	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15"}

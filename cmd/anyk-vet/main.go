@@ -1,0 +1,125 @@
+// Command anyk-vet is the project's static-analysis multichecker. It
+// machine-enforces the invariants the ranked-enumeration guarantees
+// rest on (see docs/ARCHITECTURE.md, "Enforced invariants"):
+//
+//	mapdeterminism  no order-sensitive accumulation over map ranges in
+//	                planner packages
+//	lifecycle       iterators are closed and their Err consulted
+//	ctxplumb        no detached contexts in library code
+//	lockdiscipline  no mutex copies, no Lock without Unlock
+//
+// Standalone:
+//
+//	go run ./cmd/anyk-vet ./...
+//
+// As a vet tool (also covers test-variant packages; test files
+// themselves are skipped by every analyzer):
+//
+//	go build -o /tmp/anyk-vet ./cmd/anyk-vet
+//	go vet -vettool=/tmp/anyk-vet ./...
+//
+// Individual analyzers can be toggled with -<name>=false. Findings are
+// suppressed per-site with a justified annotation:
+//
+//	//anykvet:allow <analyzer> -- <reason>
+//
+// Exit status: 0 when clean, 1 on findings (standalone), 2 on findings
+// (vet protocol), non-zero on load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	versionFlag := flag.String("V", "", "print version and exit (go vet protocol)")
+	flagsFlag := flag.Bool("flags", false, "print analyzer flags as JSON and exit (go vet protocol)")
+	enabled := map[string]*bool{}
+	for _, a := range analysis.Suite() {
+		enabled[a.Name] = flag.Bool(a.Name, true, "enable the "+a.Name+" analyzer")
+	}
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: anyk-vet [flags] [package pattern ...]\n\n")
+		for _, a := range analysis.Suite() {
+			fmt.Fprintf(flag.CommandLine.Output(), "%s: %s\n\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *versionFlag != "" {
+		// The go command caches vet results keyed on this string.
+		fmt.Printf("anyk-vet version v1.0.0\n")
+		return
+	}
+	if *flagsFlag {
+		printFlagsJSON()
+		return
+	}
+
+	var active []*analysis.Analyzer
+	for _, a := range analysis.Suite() {
+		if *enabled[a.Name] {
+			active = append(active, a)
+		}
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		runUnitchecker(args[0], active)
+		return
+	}
+
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", args...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "anyk-vet:", err)
+		os.Exit(2)
+	}
+	found := false
+	for _, pkg := range pkgs {
+		for _, d := range analysis.RunAnalyzers(pkg, active) {
+			fmt.Println(d)
+			found = true
+		}
+	}
+	if found {
+		os.Exit(1)
+	}
+}
+
+// printFlagsJSON emits the flag description list the go command
+// requests (via -flags) before driving a vet tool.
+func printFlagsJSON() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var out []jsonFlag
+	flag.VisitAll(func(f *flag.Flag) {
+		if f.Name == "V" || f.Name == "flags" {
+			return
+		}
+		isBool := false
+		if b, ok := f.Value.(interface{ IsBoolFlag() bool }); ok {
+			isBool = b.IsBoolFlag()
+		}
+		out = append(out, jsonFlag{Name: f.Name, Bool: isBool, Usage: f.Usage})
+	})
+	fmt.Print("[")
+	for i, f := range out {
+		if i > 0 {
+			fmt.Print(",")
+		}
+		fmt.Printf("{%q:%q,%q:%v,%q:%q}", "Name", f.Name, "Bool", f.Bool, "Usage", f.Usage)
+	}
+	fmt.Println("]")
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// vetConfig mirrors the JSON config the go command hands a vet tool
+// (one file per package, path ending in .cfg). Field names follow the
+// de-facto protocol established by cmd/go and x/tools' unitchecker.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnitchecker analyzes the single package described by cfgFile under
+// the go vet driver protocol: diagnostics go to stderr in file:line:col
+// form with exit status 2; a (fact-free) .vetx output is always written
+// so the go command can cache the result.
+func runUnitchecker(cfgFile string, active []*analysis.Analyzer) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fatal(err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatal(fmt.Errorf("parse %s: %v", cfgFile, err))
+	}
+
+	// This suite exports no cross-package facts; an empty vetx file
+	// satisfies the protocol for both VetxOnly (deps) and full runs.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fatal(err)
+		}
+	}
+	if cfg.VetxOnly {
+		return
+	}
+
+	pkg, err := analysis.LoadConfig(cfg.ImportPath, cfg.GoFiles, cfg.ImportMap, cfg.PackageFile)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return
+		}
+		fatal(err)
+	}
+	diags := analysis.RunAnalyzers(pkg, active)
+	if len(diags) == 0 {
+		return
+	}
+	for _, d := range diags {
+		// The driver prefixes the analyzed package itself; keep the
+		// message single-line for it.
+		fmt.Fprintf(os.Stderr, "%s: %s\n", d.Pos, strings.ReplaceAll(d.Message, "\n", " "))
+	}
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "anyk-vet:", err)
+	os.Exit(1)
+}

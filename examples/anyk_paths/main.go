@@ -49,6 +49,7 @@ func main() {
 			rec.Mark()
 			count++
 		}
+		it.Close()
 		table.Add(string(v), count, rec.TTF(), rec.TTK(*k), rec.TTL(), rec.MaxDelay())
 	}
 	fmt.Println(table)
@@ -57,6 +58,7 @@ func main() {
 	q, _ := yannakakis.NewQuery(inst.H, inst.Rels)
 	t, _ := dp.Build(q, ranking.SumCost{})
 	it, _ := core.New(context.Background(), t, core.Lazy)
+	defer it.Close()
 	fmt.Println("three best join results (lightest paths):")
 	for i := 0; i < 3; i++ {
 		r, ok := it.Next()

@@ -10,6 +10,8 @@
 package main
 
 import (
+	"context"
+
 	"flag"
 	"fmt"
 	"time"
@@ -36,10 +38,11 @@ func main() {
 	agg := ranking.SumCost{}
 
 	start := time.Now()
-	it, st, err := decomp.FourCycleSubmodular(rels, agg, core.Lazy)
+	it, st, err := decomp.FourCycleSubmodular(context.Background(), rels, agg, core.Lazy)
 	if err != nil {
 		panic(err)
 	}
+	defer it.Close()
 	prep := time.Since(start)
 	fmt.Printf("graph: %d edges, %d vertices; heavy B values: %d, heavy D values: %d\n",
 		*edges, *vertices, st.HeavyB, st.HeavyD)
@@ -65,10 +68,11 @@ func main() {
 	// Contrast with the batch baseline: materialise every 4-cycle via the
 	// single-tree plan and sort.
 	bstart := time.Now()
-	itB, stB, err := decomp.FourCycleSingleTree(rels, agg, core.Batch)
+	itB, stB, err := decomp.FourCycleSingleTree(context.Background(), rels, agg, core.Batch)
 	if err != nil {
 		panic(err)
 	}
+	defer itB.Close()
 	total := 0
 	for {
 		if _, ok := itB.Next(); !ok {

@@ -1,0 +1,268 @@
+// Package analysis is the project-specific static-analysis suite
+// behind cmd/anyk-vet. It machine-enforces the hand-maintained
+// conventions the repo's correctness guarantees rest on — deterministic
+// planning, iterator lifecycle discipline, context plumbing, and lock
+// hygiene — as described per analyzer in docs/ARCHITECTURE.md
+// ("Enforced invariants").
+//
+// The framework deliberately mirrors the shape of
+// golang.org/x/tools/go/analysis (Analyzer, Pass, Diagnostic) but is
+// built on the standard library alone: packages are loaded either via
+// `go list -export` (see Load) or from a `go vet -vettool` unitchecker
+// config, and analyzers see one type-checked package at a time.
+//
+// # Suppressions
+//
+// Every analyzer honors an allow annotation on the flagged line or the
+// line directly above it:
+//
+//	//anykvet:allow <analyzer> -- <justification>
+//
+// The justification is mandatory: an annotation without one is itself
+// reported. Suppressions are per-site by design — there is no
+// file-level or package-level opt-out, so every exception to an
+// invariant is visible and justified where it happens.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //anykvet:allow annotations.
+	Name string
+
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+
+	// Run applies the analyzer to one package and reports findings via
+	// pass.Report.
+	Run func(*Pass)
+}
+
+// A Pass presents one type-checked package to an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags  *[]Diagnostic
+	allows map[string]map[int][]allowMark // filename -> line -> annotations
+}
+
+// A Diagnostic is one finding, positioned inside the analyzed package.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Suite returns every analyzer of the anyk-vet multichecker, sorted by
+// name.
+func Suite() []*Analyzer {
+	s := []*Analyzer{
+		CtxPlumb,
+		Lifecycle,
+		LockDiscipline,
+		MapDeterminism,
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i].Name < s[j].Name })
+	return s
+}
+
+// RunAnalyzers applies every analyzer in as to one loaded package and
+// returns the findings sorted by position.
+func RunAnalyzers(pkg *Package, as []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range as {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			diags:     &diags,
+		}
+		pass.buildAllows()
+		a.Run(pass)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// Reportf records a finding at pos unless an //anykvet:allow annotation
+// for this analyzer covers the position's line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.allowed(position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.TypesInfo.TypeOf(e) }
+
+// ObjectOf resolves an identifier to its object (definition or use), or
+// nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if o := p.TypesInfo.Defs[id]; o != nil {
+		return o
+	}
+	return p.TypesInfo.Uses[id]
+}
+
+// InTestFile reports whether pos lies in a _test.go file. Analyzers
+// skip test files: the standalone loader never presents them, but the
+// unitchecker path (go vet) does, and the two modes must agree.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// allowRe matches //anykvet:allow annotations. The analyzer name is
+// mandatory; everything after “--” is the justification. A trailing
+// `// …` chunk (the golden fixtures' want markers) is not part of the
+// justification.
+var allowRe = regexp.MustCompile(`^//anykvet:allow\s+([a-z]+)\s*(?:--\s*(.*?))?\s*(?://.*)?$`)
+
+type allowMark struct {
+	analyzer string
+	reason   string
+	pos      token.Pos
+}
+
+// buildAllows indexes every //anykvet:allow comment by file and line,
+// and reports annotations that are missing their justification.
+func (p *Pass) buildAllows() {
+	p.allows = make(map[string]map[int][]allowMark)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				mark := allowMark{analyzer: m[1], reason: strings.TrimSpace(m[2]), pos: c.Pos()}
+				position := p.Fset.Position(c.Pos())
+				byLine := p.allows[position.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]allowMark)
+					p.allows[position.Filename] = byLine
+				}
+				byLine[position.Line] = append(byLine[position.Line], mark)
+				if mark.analyzer == p.Analyzer.Name && mark.reason == "" {
+					*p.diags = append(*p.diags, Diagnostic{
+						Pos:      position,
+						Analyzer: p.Analyzer.Name,
+						Message:  "allow annotation is missing its justification: write //anykvet:allow " + mark.analyzer + " -- <reason>",
+					})
+				}
+			}
+		}
+	}
+}
+
+// allowed reports whether an annotation for the current analyzer covers
+// position (same line or the line directly above).
+func (p *Pass) allowed(position token.Position) bool {
+	byLine := p.allows[position.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range []int{position.Line, position.Line - 1} {
+		for _, m := range byLine[line] {
+			if m.analyzer == p.Analyzer.Name && m.reason != "" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// hasMethod reports whether t's method set (through a pointer, for
+// addressable receivers) contains a niladic method named name returning
+// exactly (error) when wantErr, or anything otherwise.
+func hasMethod(t types.Type, name string, wantErr bool) bool {
+	ms := types.NewMethodSet(t)
+	if _, ok := t.Underlying().(*types.Interface); !ok {
+		if _, isPtr := t.(*types.Pointer); !isPtr {
+			ms = types.NewMethodSet(types.NewPointer(t))
+		}
+	}
+	for i := 0; i < ms.Len(); i++ {
+		f, ok := ms.At(i).Obj().(*types.Func)
+		if !ok || f.Name() != name {
+			continue
+		}
+		sig, ok := f.Type().(*types.Signature)
+		if !ok || sig.Params().Len() != 0 {
+			continue
+		}
+		if !wantErr {
+			return true
+		}
+		if sig.Results().Len() == 1 && sig.Results().At(0).Type().String() == "error" {
+			return true
+		}
+	}
+	return false
+}
+
+// isLifecycleType reports whether t is an iterator-lifecycle value: its
+// method set carries both Close() error and Err() error, the contract
+// core.Lifecycle provides by embedding.
+func isLifecycleType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if basic, ok := t.Underlying().(*types.Basic); ok && basic.Kind() == types.Invalid {
+		return false
+	}
+	return hasMethod(t, "Close", true) && hasMethod(t, "Err", true)
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// pkgPathSegments splits an import path into its slash segments.
+func pkgPathSegments(path string) []string { return strings.Split(path, "/") }

@@ -1,0 +1,139 @@
+// Package analysistest runs analyzers against golden fixture packages
+// and matches their findings against `// want` comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the standard library
+// alone.
+//
+// Fixtures live under internal/analysis/testdata/src — a self-contained
+// module (module path "fixtures") the go tool ignores from the parent
+// module (testdata directories are never matched by package patterns)
+// but which compiles on its own, so fixtures are loaded exactly like
+// real packages.
+//
+// Expectation syntax, on the line the diagnostic must point at:
+//
+//	code() // want "regexp"
+//	code() // want "first" "second"
+//
+// Every diagnostic must match a want on its line, and every want must
+// be matched by a diagnostic; anything unmatched fails the test.
+package analysistest
+
+import (
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run loads the fixture package pkgPath (e.g. "fixtures/decomp") from
+// internal/analysis/testdata/src and checks a's findings against the
+// fixture's want comments.
+func Run(t *testing.T, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	pkgs, err := analysis.Load(fixtureDir(t), pkgPath)
+	if err != nil {
+		t.Fatalf("load %s: %v", pkgPath, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("load %s: got %d packages, want 1", pkgPath, len(pkgs))
+	}
+	pkg := pkgs[0]
+	diags := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{a})
+
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		key := posKey(d.Pos)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: %s", key, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("no diagnostic at %s matching %q", key, w.re)
+			}
+		}
+	}
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// wantRe matches one or more quoted regexps after a `// want` marker.
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+var wantArgRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// collectWants scans every fixture file for want comments, keyed by
+// file:line.
+func collectWants(t *testing.T, pkg *analysis.Package) map[string][]*want {
+	t.Helper()
+	wants := make(map[string][]*want)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := posKey(pos)
+				for _, arg := range wantArgRe.FindAllStringSubmatch(m[1], -1) {
+					re, err := regexp.Compile(arg[1])
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, arg[1], err)
+					}
+					wants[key] = append(wants[key], &want{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func posKey(pos token.Position) string {
+	return filepath.Base(pos.Filename) + ":" + itoa(pos.Line)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// fixtureDir locates internal/analysis/testdata/src relative to this
+// source file, so tests work from any package directory.
+func fixtureDir(t *testing.T) string {
+	t.Helper()
+	_, thisFile, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate analysistest source file")
+	}
+	dir := filepath.Join(filepath.Dir(thisFile), "..", "testdata", "src")
+	if !strings.HasSuffix(filepath.ToSlash(dir), "internal/analysis/testdata/src") {
+		t.Fatalf("unexpected fixture dir %s", dir)
+	}
+	return dir
+}

@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxPlumb flags context-plumbing gaps in library packages: raw
+// context.Background()/TODO() calls (which detach work from caller
+// cancellation — the server's deadline, disconnect, and shutdown
+// machinery all rely on ctx reaching the leaves), and exported
+// functions that spawn goroutines without any context in reach.
+var CtxPlumb = &Analyzer{
+	Name: "ctxplumb",
+	Doc: "flags context.Background()/context.TODO() in library packages (allowed in cmd/, examples/, " +
+		"tests, and explicitly annotated sites such as the server's detached-build path) and exported " +
+		"functions that spawn goroutines without accepting or referencing a context.Context",
+	Run: runCtxPlumb,
+}
+
+func runCtxPlumb(pass *Pass) {
+	if ctxExemptPackage(pass.Pkg.Path()) {
+		return
+	}
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkRawContext(pass, n)
+			case *ast.FuncDecl:
+				checkGoroutineWithoutCtx(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// ctxExemptPackage reports whether the package is a binary or example —
+// the composition roots where creating a root context is the point.
+func ctxExemptPackage(path string) bool {
+	for _, seg := range pkgPathSegments(path) {
+		if seg == "cmd" || seg == "examples" {
+			return true
+		}
+	}
+	return false
+}
+
+// checkRawContext flags context.Background() and context.TODO() calls.
+func checkRawContext(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Background" && sel.Sel.Name != "TODO") {
+		return
+	}
+	pkgID, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pkgName, ok := pass.ObjectOf(pkgID).(*types.PkgName)
+	if !ok || pkgName.Imported().Path() != "context" {
+		return
+	}
+	pass.Reportf(call.Pos(), "context.%s() in a library package detaches this path from caller cancellation (deadlines, disconnects, shutdown); accept a ctx from the caller or annotate //anykvet:allow ctxplumb -- <reason>", sel.Sel.Name)
+}
+
+// checkGoroutineWithoutCtx flags exported functions that start
+// goroutines while no context.Context is in sight — neither a
+// parameter nor any ctx-typed value the body references (a stored
+// base context on the receiver counts).
+func checkGoroutineWithoutCtx(pass *Pass, fn *ast.FuncDecl) {
+	if fn.Body == nil || !fn.Name.IsExported() {
+		return
+	}
+	var goStmt *ast.GoStmt
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok && goStmt == nil {
+			goStmt = g
+		}
+		return goStmt == nil
+	})
+	if goStmt == nil {
+		return
+	}
+	if fn.Type.Params != nil {
+		for _, field := range fn.Type.Params.List {
+			if isContextType(pass.TypeOf(field.Type)) {
+				return
+			}
+		}
+	}
+	ctxInReach := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if e, ok := n.(ast.Expr); ok && isContextType(pass.TypeOf(e)) {
+			ctxInReach = true
+		}
+		return !ctxInReach
+	})
+	if !ctxInReach {
+		pass.Reportf(goStmt.Pos(), "exported %s spawns a goroutine with no context.Context in reach: the goroutine cannot be canceled by callers; accept a ctx parameter or annotate //anykvet:allow ctxplumb -- <reason>", fn.Name.Name)
+	}
+}

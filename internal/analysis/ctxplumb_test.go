@@ -1,0 +1,18 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestCtxPlumb(t *testing.T) {
+	analysistest.Run(t, analysis.CtxPlumb, "fixtures/ctxlib")
+}
+
+// TestCtxPlumbExemptsCommands checks that packages under a cmd/ path
+// segment — composition roots — are skipped wholesale.
+func TestCtxPlumbExemptsCommands(t *testing.T) {
+	analysistest.Run(t, analysis.CtxPlumb, "fixtures/cmd/tool")
+}

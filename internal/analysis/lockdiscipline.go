@@ -1,0 +1,217 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockDiscipline flags two mutex-hygiene bugs: copying a value whose
+// type (transitively) contains a sync.Mutex or sync.RWMutex — the copy
+// silently forks the lock, so the two copies no longer exclude each
+// other — and Lock/RLock calls with no matching Unlock/RUnlock in the
+// same function.
+var LockDiscipline = &Analyzer{
+	Name: "lockdiscipline",
+	Doc: "flags by-value copies of structs containing sync.Mutex/RWMutex (assignments, call arguments, " +
+		"range values, value-receiver method calls) and Lock/RLock calls whose function has no matching " +
+		"Unlock/RUnlock (direct or deferred) on the same receiver",
+	Run: runLockDiscipline,
+}
+
+func runLockDiscipline(pass *Pass) {
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				checkLockCopyAssign(pass, n)
+			case *ast.RangeStmt:
+				checkLockCopyRange(pass, n)
+			case *ast.CallExpr:
+				checkLockCopyCall(pass, n)
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkLockPairing(pass, n)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// copiesValue reports whether evaluating e yields a fresh copy of an
+// existing lock-containing value: reads of variables, fields, elements,
+// or pointer dereferences. Composite literals and call results are
+// fresh values, not copies of a live lock.
+func copiesValue(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+		return true
+	case *ast.ParenExpr:
+		return copiesValue(e.X)
+	}
+	return false
+}
+
+func checkLockCopyAssign(pass *Pass, as *ast.AssignStmt) {
+	for i := range as.Lhs {
+		if i >= len(as.Rhs) {
+			break
+		}
+		rhs := as.Rhs[i]
+		if !copiesValue(rhs) {
+			continue
+		}
+		if t := pass.TypeOf(rhs); containsLock(t) {
+			pass.Reportf(as.Pos(), "assignment copies a value of type %s containing a sync mutex: the copy's lock is independent of the original's, so they no longer exclude each other; use a pointer", types.TypeString(pass.TypeOf(rhs), types.RelativeTo(pass.Pkg)))
+		}
+	}
+}
+
+func checkLockCopyRange(pass *Pass, rs *ast.RangeStmt) {
+	if rs.Value == nil {
+		return
+	}
+	if t := pass.TypeOf(rs.Value); containsLock(t) {
+		pass.Reportf(rs.Pos(), "range copies elements of type %s containing a sync mutex into the loop variable; range over indices and take pointers instead", types.TypeString(pass.TypeOf(rs.Value), types.RelativeTo(pass.Pkg)))
+	}
+}
+
+func checkLockCopyCall(pass *Pass, call *ast.CallExpr) {
+	for _, arg := range call.Args {
+		if !copiesValue(arg) {
+			continue
+		}
+		if t := pass.TypeOf(arg); containsLock(t) {
+			pass.Reportf(arg.Pos(), "call passes a value of type %s containing a sync mutex by value; pass a pointer", types.TypeString(t, types.RelativeTo(pass.Pkg)))
+		}
+	}
+	// A method call through a value receiver copies the receiver too.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if s := pass.TypesInfo.Selections[sel]; s != nil && s.Kind() == types.MethodVal {
+			if f, ok := s.Obj().(*types.Func); ok {
+				sig := f.Type().(*types.Signature)
+				if recv := sig.Recv(); recv != nil {
+					if _, isPtr := recv.Type().(*types.Pointer); !isPtr && containsLock(recv.Type()) {
+						pass.Reportf(call.Pos(), "method %s has a value receiver of type %s containing a sync mutex: every call locks a throwaway copy; give it a pointer receiver", f.Name(), types.TypeString(recv.Type(), types.RelativeTo(pass.Pkg)))
+					}
+				}
+			}
+		}
+	}
+}
+
+// containsLock reports whether t transitively contains a sync.Mutex or
+// sync.RWMutex by value.
+func containsLock(t types.Type) bool {
+	return containsLockSeen(t, make(map[types.Type]bool))
+}
+
+func containsLockSeen(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && (obj.Name() == "Mutex" || obj.Name() == "RWMutex") {
+			return true
+		}
+		return containsLockSeen(named.Underlying(), seen)
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLockSeen(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLockSeen(u.Elem(), seen)
+	}
+	return false
+}
+
+// lockCall describes one mutex Lock/RLock/Unlock/RUnlock call, keyed by
+// the printed receiver expression so lc.mu.Lock() pairs with a deferred
+// lc.mu.Unlock().
+type lockCall struct {
+	recv string
+	pos  token.Pos
+}
+
+// checkLockPairing flags Lock/RLock calls with no same-function
+// Unlock/RUnlock on the same receiver.
+func checkLockPairing(pass *Pass, fn *ast.FuncDecl) {
+	acquired := map[string][]lockCall{} // method name -> calls
+	released := map[string]map[string]bool{}
+	record := func(call *ast.CallExpr) {
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || len(call.Args) != 0 {
+			return
+		}
+		name := sel.Sel.Name
+		switch name {
+		case "Lock", "RLock", "Unlock", "RUnlock":
+		default:
+			return
+		}
+		if !isSyncMutexMethod(pass, sel) {
+			return
+		}
+		recv := types.ExprString(sel.X)
+		switch name {
+		case "Lock", "RLock":
+			acquired[name] = append(acquired[name], lockCall{recv: recv, pos: call.Pos()})
+		default:
+			if released[name] == nil {
+				released[name] = map[string]bool{}
+			}
+			released[name][recv] = true
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			record(call)
+		}
+		return true
+	})
+	pairs := map[string]string{"Lock": "Unlock", "RLock": "RUnlock"}
+	for acq, rel := range pairs {
+		for _, c := range acquired[acq] {
+			if !released[rel][c.recv] {
+				pass.Reportf(c.pos, "%s.%s() with no %s on %q anywhere in %s: an early return or panic leaves the mutex held forever; add defer %s.%s() or annotate //anykvet:allow lockdiscipline -- <reason>", c.recv, acq, rel, c.recv, fn.Name.Name, c.recv, rel)
+			}
+		}
+	}
+}
+
+// isSyncMutexMethod reports whether sel resolves to a method of
+// sync.Mutex or sync.RWMutex (directly or promoted through embedding).
+func isSyncMutexMethod(pass *Pass, sel *ast.SelectorExpr) bool {
+	s := pass.TypesInfo.Selections[sel]
+	if s == nil {
+		return false
+	}
+	f, ok := s.Obj().(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && (obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}

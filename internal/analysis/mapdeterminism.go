@@ -1,0 +1,287 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// plannerPackages are the packages whose code decides plan shape, cost,
+// or output order. Go randomizes map iteration order, so any
+// order-sensitive accumulation over a raw map range in these packages
+// can silently break Decompose/ChooseOrder tie-breaking and the
+// bit-identical parallel-prepare guarantee.
+var plannerPackages = map[string]bool{
+	"hypergraph": true,
+	"catalog":    true,
+	"decomp":     true,
+	"dp":         true,
+	"wcoj":       true,
+}
+
+// MapDeterminism flags order-sensitive accumulation over map iteration
+// in planning/ordering packages.
+var MapDeterminism = &Analyzer{
+	Name: "mapdeterminism",
+	Doc: "flags `for … range` over a map in planner packages (hypergraph, catalog, decomp, dp, wcoj) " +
+		"whose body appends to an outer slice that is never sorted afterwards, builds a string, or " +
+		"drives a cost comparison with no tie-break on the map key — all of which make plan shape " +
+		"or output order depend on Go's randomized map iteration",
+	Run: runMapDeterminism,
+}
+
+func runMapDeterminism(pass *Pass) {
+	segs := pkgPathSegments(pass.Pkg.Path())
+	if !plannerPackages[segs[len(segs)-1]] {
+		return
+	}
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			checkFuncMapRanges(pass, fn)
+			return true
+		})
+	}
+}
+
+func checkFuncMapRanges(pass *Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRangeBody(pass, fn, rs)
+		return true
+	})
+}
+
+// checkMapRangeBody inspects one `for … range m` body for
+// order-sensitive sinks.
+func checkMapRangeBody(pass *Pass, fn *ast.FuncDecl, rs *ast.RangeStmt) {
+	keyObj := rangeVarObj(pass, rs.Key)
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			// Nested ranges get their own visit from checkFuncMapRanges;
+			// their sinks should not be double-attributed to the outer
+			// loop. Nested sinks are still order-tainted by the outer
+			// map, but the inner report position is the more precise one.
+			if n != rs {
+				t := pass.TypeOf(n.X)
+				if t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						return false
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pass, fn, rs, n)
+		case *ast.CallExpr:
+			checkMapRangeStringCall(pass, rs, n)
+		case *ast.IfStmt:
+			checkMapRangeComparison(pass, rs, keyObj, n)
+		}
+		return true
+	})
+}
+
+func checkMapRangeAssign(pass *Pass, fn *ast.FuncDecl, rs *ast.RangeStmt, as *ast.AssignStmt) {
+	for i, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		obj := pass.ObjectOf(id)
+		if obj == nil || !declaredOutside(obj, rs) {
+			continue
+		}
+		if i < len(as.Rhs) || len(as.Rhs) == 1 {
+			rhs := as.Rhs[min(i, len(as.Rhs)-1)]
+			// s = append(s, …) into an outer slice.
+			if call, ok := rhs.(*ast.CallExpr); ok && isBuiltinAppend(pass, call) {
+				if !sortedAfter(pass, fn, rs, obj) {
+					pass.Reportf(as.Pos(), "append to %q under map iteration makes its element order depend on map randomization; sort %q afterwards, or iterate sorted keys, or annotate //anykvet:allow mapdeterminism -- <reason>", id.Name, id.Name)
+				}
+				continue
+			}
+		}
+		// s += … / s = s + … string building on an outer string.
+		if t := pass.TypeOf(id); t != nil {
+			if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+				if as.Tok == token.ADD_ASSIGN || (as.Tok == token.ASSIGN && usesIdentObj(pass, as.Rhs[min(i, len(as.Rhs)-1)], obj)) {
+					pass.Reportf(as.Pos(), "string built from map iteration is non-deterministic: concatenation into %q under a map range; iterate sorted keys or annotate //anykvet:allow mapdeterminism -- <reason>", id.Name)
+				}
+			}
+		}
+	}
+}
+
+// checkMapRangeStringCall flags WriteString-style building into an
+// outer strings.Builder or bytes.Buffer.
+func checkMapRangeStringCall(pass *Pass, rs *ast.RangeStmt, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	switch sel.Sel.Name {
+	case "WriteString", "WriteByte", "WriteRune", "Write":
+	default:
+		return
+	}
+	recv, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := pass.ObjectOf(recv)
+	if obj == nil || !declaredOutside(obj, rs) {
+		return
+	}
+	t := obj.Type()
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	if named, ok := t.(*types.Named); ok {
+		tn := named.Obj()
+		if tn.Pkg() != nil && ((tn.Pkg().Path() == "strings" && tn.Name() == "Builder") ||
+			(tn.Pkg().Path() == "bytes" && tn.Name() == "Buffer")) {
+			pass.Reportf(call.Pos(), "string built from map iteration is non-deterministic: %s.%s under a map range; iterate sorted keys or annotate //anykvet:allow mapdeterminism -- <reason>", recv.Name, sel.Sel.Name)
+		}
+	}
+}
+
+// checkMapRangeComparison flags argmin/argmax selection driven by map
+// iteration order: an if whose condition compares with < / > / <= / >=
+// and whose branch writes a variable declared outside the loop, with no
+// reference to the map key in the condition (a key-based tie-break is
+// what makes such a selection deterministic).
+func checkMapRangeComparison(pass *Pass, rs *ast.RangeStmt, keyObj types.Object, ifs *ast.IfStmt) {
+	if !hasOrderComparison(ifs.Cond) {
+		return
+	}
+	if keyObj != nil && usesIdentObj(pass, ifs.Cond, keyObj) {
+		return // tie-broken on the key: deterministic
+	}
+	writesOuter := false
+	var outerName string
+	ast.Inspect(ifs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+				if obj := pass.ObjectOf(id); obj != nil && declaredOutside(obj, rs) {
+					writesOuter = true
+					outerName = id.Name
+				}
+			}
+		}
+		return true
+	})
+	if writesOuter {
+		pass.Reportf(ifs.Pos(), "cost comparison under map iteration selects %q without a tie-break on the map key: equal-cost candidates resolve by map randomization; compare the key on ties, iterate sorted keys, or annotate //anykvet:allow mapdeterminism -- <reason>", outerName)
+	}
+}
+
+func hasOrderComparison(cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if be, ok := n.(*ast.BinaryExpr); ok {
+			switch be.Op {
+			case token.LSS, token.GTR, token.LEQ, token.GEQ:
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// sortedAfter reports whether obj is passed to a sort.* or slices.Sort*
+// call after the range statement in the same function — the canonical
+// collect-keys-then-sort pattern.
+func sortedAfter(pass *Pass, fn *ast.FuncDecl, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkgName, ok := pass.ObjectOf(pkgID).(*types.PkgName)
+		if !ok {
+			return true
+		}
+		switch pkgName.Imported().Path() {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			if usesIdentObj(pass, arg, obj) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// rangeVarObj resolves a range key/value expression to its object.
+func rangeVarObj(pass *Pass, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	return pass.ObjectOf(id)
+}
+
+// declaredOutside reports whether obj was declared before the range
+// statement (i.e. outside the loop body and its key/value vars).
+func declaredOutside(obj types.Object, rs *ast.RangeStmt) bool {
+	return obj.Pos() < rs.Pos()
+}
+
+func usesIdentObj(pass *Pass, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.ObjectOf(id).(*types.Builtin)
+	return ok && b.Name() == "append"
+}

@@ -1,0 +1,18 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestMapDeterminism(t *testing.T) {
+	analysistest.Run(t, analysis.MapDeterminism, "fixtures/decomp")
+}
+
+// TestMapDeterminismIgnoresNonPlannerPackages checks the scoping: the
+// same patterns outside planner packages draw no findings.
+func TestMapDeterminismIgnoresNonPlannerPackages(t *testing.T) {
+	analysistest.Run(t, analysis.MapDeterminism, "fixtures/serverish")
+}

@@ -1,0 +1,31 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestRepositoryIsVetClean runs the full suite over the repository
+// itself — the same check CI's anyk-vet step enforces — so a freshly
+// introduced violation fails the unit tests too, with the diagnostic
+// in the failure message.
+func TestRepositoryIsVetClean(t *testing.T) {
+	_, thisFile, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate source file")
+	}
+	root := filepath.Join(filepath.Dir(thisFile), "..", "..")
+	pkgs, err := analysis.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	suite := analysis.Suite()
+	for _, pkg := range pkgs {
+		for _, d := range analysis.RunAnalyzers(pkg, suite) {
+			t.Errorf("%s", d)
+		}
+	}
+}

@@ -1,0 +1,21 @@
+// Package main is the ctxplumb exemption fixture: under a cmd/ path
+// segment the package is a composition root, where minting the root
+// context is the point. Nothing here is flagged.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	Run(ctx)
+}
+
+// Run spawns without a visible context requirement of its own; exempt
+// packages are skipped wholesale.
+func Run(ctx context.Context) {
+	done := make(chan struct{})
+	go func() {
+		<-ctx.Done()
+		close(done)
+	}()
+}

@@ -1,0 +1,52 @@
+// Package ctxlib is a ctxplumb golden fixture: a library package, so
+// raw root contexts and context-free goroutine spawns are flagged.
+package ctxlib
+
+import "context"
+
+// Detached mints its own root context instead of accepting one.
+func Detached() context.Context {
+	return context.Background() // want "context.Background.. in a library package"
+}
+
+// Todo reaches for TODO instead of plumbing.
+func Todo() context.Context {
+	return context.TODO() // want "context.TODO.. in a library package"
+}
+
+// AllowedDetach is a justified detach, mirroring the server's
+// annotated detached-build path.
+func AllowedDetach() context.Context {
+	//anykvet:allow ctxplumb -- fixture-sanctioned root: models the server's detached-build path
+	return context.Background()
+}
+
+// Plumbed accepts its context from the caller; clean.
+func Plumbed(ctx context.Context) context.Context {
+	return ctx
+}
+
+// Spawn starts a goroutine with no context anywhere in reach.
+func Spawn(done chan struct{}) {
+	go func() { // want "spawns a goroutine with no context.Context in reach"
+		close(done)
+	}()
+}
+
+// SpawnCtx accepts a context its goroutine can observe; clean.
+func SpawnCtx(ctx context.Context, done chan struct{}) {
+	go func() {
+		<-ctx.Done()
+		close(done)
+	}()
+}
+
+// spawnUnexported is unexported: internal helpers are their exported
+// callers' responsibility. No finding.
+func spawnUnexported(done chan struct{}) {
+	go func() {
+		close(done)
+	}()
+}
+
+var _ = spawnUnexported

@@ -1,0 +1,101 @@
+// Package decomp is a mapdeterminism golden fixture: its import path
+// ends in a planner-package segment, so order-sensitive accumulation
+// under raw map ranges is flagged here.
+package decomp
+
+import (
+	"sort"
+	"strings"
+)
+
+// UnsortedAppend collects map keys without sorting afterwards — the
+// classic non-deterministic accumulation.
+func UnsortedAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "append to .out. under map iteration"
+	}
+	return out
+}
+
+// SortedAppend mirrors the repo's collect-then-sort idiom; no finding.
+func SortedAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// JoinKeys concatenates under map iteration: the result string differs
+// run to run.
+func JoinKeys(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want "string built from map iteration"
+	}
+	return s
+}
+
+// BuildString does the same through a strings.Builder.
+func BuildString(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want "string built from map iteration"
+	}
+	return b.String()
+}
+
+// PickCheapest selects by cost alone: equal-cost candidates resolve by
+// map randomization.
+func PickCheapest(costs map[string]float64) string {
+	best := ""
+	bestCost := 0.0
+	first := true
+	for k, c := range costs {
+		if first || c < bestCost { // want "without a tie-break on the map key"
+			best = k
+			bestCost = c
+			first = false
+		}
+	}
+	return best
+}
+
+// PickCheapestStable breaks cost ties on the map key; deterministic,
+// no finding.
+func PickCheapestStable(costs map[string]float64) string {
+	best := ""
+	bestCost := 0.0
+	first := true
+	for k, c := range costs {
+		if first || c < bestCost || (c == bestCost && k < best) {
+			best = k
+			bestCost = c
+			first = false
+		}
+	}
+	return best
+}
+
+// Allowed demonstrates a justified per-site suppression.
+func Allowed(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		//anykvet:allow mapdeterminism -- feeds a symmetric count; element order is irrelevant
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// MissingReason carries an annotation without a justification: the
+// annotation itself is reported and does not suppress the finding.
+func MissingReason(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		//anykvet:allow mapdeterminism // want "missing its justification"
+		keys = append(keys, k) // want "append to .keys. under map iteration"
+	}
+	return keys
+}

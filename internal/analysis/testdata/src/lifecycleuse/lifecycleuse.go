@@ -1,0 +1,84 @@
+// Package lifecycleuse is a lifecycle golden fixture. Iter carries the
+// core-lifecycle contract the analyzer keys on: both Close() error and
+// Err() error in its method set.
+package lifecycleuse
+
+// Iter is a minimal iterator with the lifecycle contract.
+type Iter struct{ closed bool }
+
+func (it *Iter) Next() bool   { return false }
+func (it *Iter) Value() int   { return 0 }
+func (it *Iter) Err() error   { return nil }
+func (it *Iter) Close() error { it.closed = true; return nil }
+
+// New produces a lifecycle value the caller must close.
+func New() *Iter { return &Iter{} }
+
+// Dropped discards the produced iterator on the floor.
+func Dropped() {
+	New() // want "dropped without Close"
+}
+
+// Discarded assigns the iterator to the blank identifier.
+func Discarded() {
+	_ = New() // want "assigned to _ without Close"
+}
+
+// Leaked drains the iterator and checks Err but never closes it.
+func Leaked() int {
+	it := New() // want "escapes Leaked without a Close"
+	n := 0
+	for it.Next() {
+		n += it.Value()
+	}
+	if err := it.Err(); err != nil {
+		return -1
+	}
+	return n
+}
+
+// Closed defers the Close and consults Err; clean.
+func Closed() int {
+	it := New()
+	defer it.Close()
+	n := 0
+	for it.Next() {
+		n += it.Value()
+	}
+	if err := it.Err(); err != nil {
+		return -1
+	}
+	return n
+}
+
+// Returned hands the iterator to the caller, who then owns Close.
+func Returned() *Iter {
+	it := New()
+	return it
+}
+
+// Handed passes the iterator on; the consumer owns it.
+func Handed() {
+	it := New()
+	consume(it)
+}
+
+func consume(it *Iter) {
+	defer it.Close()
+	for it.Next() {
+	}
+	if it.Err() != nil {
+		return
+	}
+}
+
+// DrainNoErr closes the iterator but never consults Err, so a canceled
+// enumeration would look like clean exhaustion.
+func DrainNoErr(it *Iter) int {
+	defer it.Close()
+	n := 0
+	for it.Next() { // want "never consults it.Err"
+		n++
+	}
+	return n
+}

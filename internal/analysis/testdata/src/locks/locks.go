@@ -1,0 +1,90 @@
+// Package locks is a lockdiscipline golden fixture.
+package locks
+
+import "sync"
+
+// Counter guards its count with a by-value mutex.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Snapshot has a value receiver: every call locks a throwaway copy.
+func (c Counter) Snapshot() int { return c.n }
+
+// ByValueCopy copies the counter — and with it the lock.
+func ByValueCopy(c *Counter) int {
+	snapshot := *c // want "copies a value of type Counter containing a sync mutex"
+	return snapshot.n
+}
+
+// PassByValue hands the counter to a function by value.
+func PassByValue(c Counter) int {
+	return readCount(c) // want "passes a value of type Counter containing a sync mutex by value"
+}
+
+func readCount(c Counter) int { return c.n }
+
+// CallValueReceiver invokes the value-receiver method.
+func CallValueReceiver(c *Counter) int {
+	return c.Snapshot() // want "value receiver of type Counter containing a sync mutex"
+}
+
+// UsePointer shares the counter through a pointer; clean.
+func UsePointer(c *Counter) int {
+	return usePtr(c)
+}
+
+func usePtr(c *Counter) int { return c.n }
+
+// LockNoUnlock acquires and forgets: an early return or panic would
+// leave the mutex held forever.
+func LockNoUnlock(c *Counter) {
+	c.mu.Lock() // want "with no Unlock"
+	c.n++
+}
+
+// LockDeferUnlock is the canonical pairing; clean.
+func LockDeferUnlock(c *Counter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// Table guards lookups with an RWMutex.
+type Table struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+// Get pairs RLock with a deferred RUnlock; clean.
+func (t *Table) Get(k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.m[k]
+}
+
+// Peek takes a read lock and never releases it.
+func (t *Table) Peek(k string) int {
+	t.mu.RLock() // want "with no RUnlock"
+	return t.m[k]
+}
+
+// RangeCopies iterates a slice of counters by value, copying each lock
+// into the loop variable.
+func RangeCopies(cs []Counter) int {
+	total := 0
+	for _, c := range cs { // want "range copies elements of type Counter"
+		total += c.n
+	}
+	return total
+}
+
+// RangeIndices addresses elements through the index; clean.
+func RangeIndices(cs []Counter) int {
+	total := 0
+	for i := range cs {
+		total += cs[i].n
+	}
+	return total
+}

@@ -1,0 +1,23 @@
+// Package serverish is a mapdeterminism negative fixture: the same
+// accumulation patterns in a non-planner package draw no findings —
+// the analyzer is scoped to the packages that decide plan shape.
+package serverish
+
+// Keys collects map keys without sorting; outside planner packages
+// that is the caller's business.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Join concatenates under map iteration; likewise unflagged here.
+func Join(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k
+	}
+	return s
+}

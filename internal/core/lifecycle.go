@@ -47,6 +47,7 @@ type Lifecycle struct {
 // context.Background()).
 func NewLifecycle(ctx context.Context) *Lifecycle {
 	if ctx == nil {
+		//anykvet:allow ctxplumb -- leaf default for the documented nil-means-uncancelable contract
 		ctx = context.Background()
 	}
 	return &Lifecycle{ctx: ctx}

@@ -111,12 +111,13 @@ func PrepareCycleSingleTree(rels []*relation.Relation, agg ranking.Aggregate, op
 }
 
 // CycleSingleTree is the one-shot form of PrepareCycleSingleTree + Run.
-func CycleSingleTree(rels []*relation.Relation, agg ranking.Aggregate, v core.Variant, opts ...PrepareOption) (core.Iterator, *Stats, error) {
+// The context cancels the returned iterator.
+func CycleSingleTree(ctx context.Context, rels []*relation.Relation, agg ranking.Aggregate, v core.Variant, opts ...PrepareOption) (core.Iterator, *Stats, error) {
 	p, err := PrepareCycleSingleTree(rels, agg, opts...)
 	if err != nil {
 		return nil, nil, err
 	}
-	it, err := p.Run(context.Background(), v)
+	it, err := p.Run(ctx, v)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,6 +1,8 @@
 package decomp
 
 import (
+	"context"
+
 	"fmt"
 	"math"
 	"testing"
@@ -31,7 +33,7 @@ func cycleReference(rels []*relation.Relation) *relation.Relation {
 func checkCycleAgainstReference(t *testing.T, rels []*relation.Relation, v core.Variant) {
 	t.Helper()
 	want := cycleReference(rels)
-	it, _, err := CycleSingleTree(rels, sum, v)
+	it, _, err := CycleSingleTree(context.Background(), rels, sum, v)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,11 +79,11 @@ func TestCycleSingleTreeDistinctRelations(t *testing.T) {
 
 func TestCycleSingleTreeValidation(t *testing.T) {
 	g := workload.RandomGraph(5, 10, workload.UniformWeights(), 1)
-	if _, _, err := CycleSingleTree([]*relation.Relation{g.Edges, g.Edges}, sum, core.Lazy); err == nil {
+	if _, _, err := CycleSingleTree(context.Background(), []*relation.Relation{g.Edges, g.Edges}, sum, core.Lazy); err == nil {
 		t.Error("l=2 should be rejected")
 	}
 	bad := relation.New("bad", "X", "Y", "Z")
-	if _, _, err := CycleSingleTree([]*relation.Relation{g.Edges, g.Edges, bad}, sum, core.Lazy); err == nil {
+	if _, _, err := CycleSingleTree(context.Background(), []*relation.Relation{g.Edges, g.Edges, bad}, sum, core.Lazy); err == nil {
 		t.Error("arity-3 relation should be rejected")
 	}
 }
@@ -91,7 +93,7 @@ func TestCycleSingleTreeEmptyOutput(t *testing.T) {
 	e.Add(1, 2)
 	e.Add(2, 3) // no cycle
 	rels := []*relation.Relation{e, e, e, e, e}
-	it, _, err := CycleSingleTree(rels, sum, core.Lazy)
+	it, _, err := CycleSingleTree(context.Background(), rels, sum, core.Lazy)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +111,7 @@ func TestCycleFanMatchesGJProperty(t *testing.T) {
 			rels[i] = g.Edges
 		}
 		want := cycleReference(rels)
-		it, _, err := CycleSingleTree(rels, sum, core.Take2)
+		it, _, err := CycleSingleTree(context.Background(), rels, sum, core.Take2)
 		if err != nil {
 			return false
 		}
@@ -132,11 +134,11 @@ func TestCycleFanMatchesGJProperty(t *testing.T) {
 func TestFourCycleFanEqualsSpecialised(t *testing.T) {
 	g := workload.RandomGraph(10, 80, workload.UniformWeights(), 9)
 	rels4 := [4]*relation.Relation{g.Edges, g.Edges, g.Edges, g.Edges}
-	itSub, _, err := FourCycleSubmodular(rels4, sum, core.Lazy)
+	itSub, _, err := FourCycleSubmodular(context.Background(), rels4, sum, core.Lazy)
 	if err != nil {
 		t.Fatal(err)
 	}
-	itFan, _, err := CycleSingleTree(rels4[:], sum, core.Lazy)
+	itFan, _, err := CycleSingleTree(context.Background(), rels4[:], sum, core.Lazy)
 	if err != nil {
 		t.Fatal(err)
 	}

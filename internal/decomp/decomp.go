@@ -110,6 +110,7 @@ func (c *prepCfg) chooseOrder(atoms []wcoj.Atom) []string {
 }
 
 func newPrepCfg(opts []PrepareOption) prepCfg {
+	//anykvet:allow ctxplumb -- documented option default; callers attach cancellation via WithContext
 	cfg := prepCfg{ctx: context.Background(), workers: 1}
 	for _, o := range opts {
 		o(&cfg)
@@ -221,13 +222,15 @@ func PrepareTriangle(rels [3]*relation.Relation, agg ranking.Aggregate, opts ...
 	return &Plan{Stats: st, agg: agg, bag: out}, nil
 }
 
-// TriangleAnyK is the one-shot form of PrepareTriangle + Run.
-func TriangleAnyK(rels [3]*relation.Relation, agg ranking.Aggregate, opts ...PrepareOption) (core.Iterator, *Stats, error) {
+// TriangleAnyK is the one-shot form of PrepareTriangle + Run. The
+// context cancels both preparation (pass WithContext for finer control)
+// and the returned iterator.
+func TriangleAnyK(ctx context.Context, rels [3]*relation.Relation, agg ranking.Aggregate, opts ...PrepareOption) (core.Iterator, *Stats, error) {
 	p, err := PrepareTriangle(rels, agg, opts...)
 	if err != nil {
 		return nil, nil, err
 	}
-	it, err := p.Run(context.Background(), core.Lazy)
+	it, err := p.Run(ctx, core.Lazy)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -425,13 +428,13 @@ func PrepareFourCycleSingleTree(rels [4]*relation.Relation, agg ranking.Aggregat
 }
 
 // FourCycleSingleTree is the one-shot form of PrepareFourCycleSingleTree
-// + Run.
-func FourCycleSingleTree(rels [4]*relation.Relation, agg ranking.Aggregate, v core.Variant, opts ...PrepareOption) (core.Iterator, *Stats, error) {
+// + Run. The context cancels the returned iterator.
+func FourCycleSingleTree(ctx context.Context, rels [4]*relation.Relation, agg ranking.Aggregate, v core.Variant, opts ...PrepareOption) (core.Iterator, *Stats, error) {
 	p, err := PrepareFourCycleSingleTree(rels, agg, opts...)
 	if err != nil {
 		return nil, nil, err
 	}
-	it, err := p.Run(context.Background(), v)
+	it, err := p.Run(ctx, v)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -545,13 +548,14 @@ func PrepareFourCycleSubmodular(rels [4]*relation.Relation, agg ranking.Aggregat
 }
 
 // FourCycleSubmodular is the one-shot form of
-// PrepareFourCycleSubmodular + Run.
-func FourCycleSubmodular(rels [4]*relation.Relation, agg ranking.Aggregate, v core.Variant, opts ...PrepareOption) (core.Iterator, *Stats, error) {
+// PrepareFourCycleSubmodular + Run. The context cancels the returned
+// iterator.
+func FourCycleSubmodular(ctx context.Context, rels [4]*relation.Relation, agg ranking.Aggregate, v core.Variant, opts ...PrepareOption) (core.Iterator, *Stats, error) {
 	p, err := PrepareFourCycleSubmodular(rels, agg, opts...)
 	if err != nil {
 		return nil, nil, err
 	}
-	it, err := p.Run(context.Background(), v)
+	it, err := p.Run(ctx, v)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,6 +1,8 @@
 package decomp
 
 import (
+	"context"
+
 	"math"
 	"testing"
 	"testing/quick"
@@ -74,14 +76,14 @@ func checkAgainstReference(t *testing.T, rels [4]*relation.Relation,
 func TestSubmodularMatchesReferenceRandom(t *testing.T) {
 	g := workload.RandomGraph(12, 100, workload.UniformWeights(), 1)
 	checkAgainstReference(t, fourRels(g), func() (core.Iterator, *Stats, error) {
-		return FourCycleSubmodular(fourRels(g), sum, core.Lazy)
+		return FourCycleSubmodular(context.Background(), fourRels(g), sum, core.Lazy)
 	})
 }
 
 func TestSingleTreeMatchesReferenceRandom(t *testing.T) {
 	g := workload.RandomGraph(12, 100, workload.UniformWeights(), 2)
 	checkAgainstReference(t, fourRels(g), func() (core.Iterator, *Stats, error) {
-		return FourCycleSingleTree(fourRels(g), sum, core.Lazy)
+		return FourCycleSingleTree(context.Background(), fourRels(g), sum, core.Lazy)
 	})
 }
 
@@ -89,7 +91,7 @@ func TestSubmodularMatchesReferenceSkewed(t *testing.T) {
 	// Skewed graphs produce heavy values, exercising all three trees.
 	g := workload.SkewedGraph(30, 300, 1.4, workload.UniformWeights(), 3)
 	st := checkAgainstReference(t, fourRels(g), func() (core.Iterator, *Stats, error) {
-		return FourCycleSubmodular(fourRels(g), sum, core.Lazy)
+		return FourCycleSubmodular(context.Background(), fourRels(g), sum, core.Lazy)
 	})
 	if st.HeavyB == 0 {
 		t.Log("warning: no heavy values; skew too mild to exercise T2/T3")
@@ -104,7 +106,7 @@ func TestSubmodularDistinctRelations(t *testing.T) {
 	}
 	rels := [4]*relation.Relation{mk(10), mk(11), mk(12), mk(13)}
 	checkAgainstReference(t, rels, func() (core.Iterator, *Stats, error) {
-		return FourCycleSubmodular(rels, sum, core.Lazy)
+		return FourCycleSubmodular(context.Background(), rels, sum, core.Lazy)
 	})
 }
 
@@ -116,8 +118,8 @@ func TestSubmodularEqualsSingleTreeProperty(t *testing.T) {
 		v := variants[int(vIdx)%len(variants)]
 		g := workload.RandomGraph(8, 50, workload.UniformWeights(), uint64(seed))
 		rels := fourRels(g)
-		it1, _, err1 := FourCycleSubmodular(rels, sum, v)
-		it2, _, err2 := FourCycleSingleTree(rels, sum, v)
+		it1, _, err1 := FourCycleSubmodular(context.Background(), rels, sum, v)
+		it2, _, err2 := FourCycleSingleTree(context.Background(), rels, sum, v)
 		if err1 != nil || err2 != nil {
 			return false
 		}
@@ -147,14 +149,14 @@ func TestHubInstanceSeparation(t *testing.T) {
 	var rels [4]*relation.Relation
 	copy(rels[:], inst.Rels)
 
-	itSub, stSub, err := FourCycleSubmodular(rels, sum, core.Lazy)
+	itSub, stSub, err := FourCycleSubmodular(context.Background(), rels, sum, core.Lazy)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := itSub.Next(); ok {
 		t.Fatal("hub instance should have no 4-cycles")
 	}
-	itSingle, stSingle, err := FourCycleSingleTree(rels, sum, core.Lazy)
+	itSingle, stSingle, err := FourCycleSingleTree(context.Background(), rels, sum, core.Lazy)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +177,7 @@ func TestSubmodularBagBound(t *testing.T) {
 	for _, seed := range []uint64{1, 2, 3} {
 		g := workload.SkewedGraph(80, 2000, 1.5, workload.UniformWeights(), seed)
 		rels := fourRels(g)
-		_, st, err := FourCycleSubmodular(rels, sum, core.Lazy)
+		_, st, err := FourCycleSubmodular(context.Background(), rels, sum, core.Lazy)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -194,7 +196,7 @@ func TestSubmodularBagBound(t *testing.T) {
 func TestTriangleAnyKMatchesReference(t *testing.T) {
 	g := workload.RandomGraph(15, 120, workload.UniformWeights(), 5)
 	rels := [3]*relation.Relation{g.Edges, g.Edges, g.Edges}
-	it, st, err := TriangleAnyK(rels, sum)
+	it, st, err := TriangleAnyK(context.Background(), rels, sum)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +229,7 @@ func TestTriangleAnyKEmpty(t *testing.T) {
 	e := relation.New("E", "src", "dst")
 	e.Add(1, 2)
 	e.Add(2, 3) // no cycle back
-	it, _, err := TriangleAnyK([3]*relation.Relation{e, e, e}, sum)
+	it, _, err := TriangleAnyK(context.Background(), [3]*relation.Relation{e, e, e}, sum)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +248,7 @@ func TestTopKPrefix(t *testing.T) {
 	if want.Len() < 10 {
 		t.Skip("instance too small")
 	}
-	it, _, err := FourCycleSubmodular(rels, sum, core.Lazy)
+	it, _, err := FourCycleSubmodular(context.Background(), rels, sum, core.Lazy)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +265,7 @@ func BenchmarkSubmodularTop10(b *testing.B) {
 	rels := fourRels(g)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		it, _, err := FourCycleSubmodular(rels, sum, core.Lazy)
+		it, _, err := FourCycleSubmodular(context.Background(), rels, sum, core.Lazy)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -19,7 +19,7 @@ import (
 // … the delay can be reduced to O(log k) [90]." NaiveLawler recomputes
 // the DP per partition; Lazy reuses suffix-optimal weights through
 // incremental successor structures. Both produce identical output.
-func E13(ns []int, k int) *stats.Table {
+func E13(ctx context.Context, ns []int, k int) *stats.Table {
 	t := stats.NewTable("E13: Lawler delay ablation — naive (recompute) vs Lazy (incremental)",
 		"n", "k", "naive_TTK", "naive_maxdelay", "lazy_TTK", "lazy_maxdelay", "delay_ratio")
 	for _, n := range ns {
@@ -34,20 +34,21 @@ func E13(ns []int, k int) *stats.Table {
 		if err != nil {
 			panic(err)
 		}
-		itN := core.NewNaiveLawler(context.Background(), tn)
+		itN := core.NewNaiveLawler(ctx, tn)
 		for i := 0; i < k; i++ {
 			if _, ok := itN.Next(); !ok {
 				break
 			}
 			naiveRec.Mark()
 		}
+		itN.Close()
 
 		lazyRec := stats.NewDelayRecorder()
 		tl, err := dp.Build(q, sum)
 		if err != nil {
 			panic(err)
 		}
-		itL, err := core.New(context.Background(), tl, core.Lazy)
+		itL, err := core.New(ctx, tl, core.Lazy)
 		if err != nil {
 			panic(err)
 		}
@@ -57,6 +58,7 @@ func E13(ns []int, k int) *stats.Table {
 			}
 			lazyRec.Mark()
 		}
+		itL.Close()
 
 		ratio := float64(naiveRec.TTK(k)) / float64(maxDuration(lazyRec.TTK(k), 1))
 		t.Add(n, k, naiveRec.TTK(k), naiveRec.MaxDelay(), lazyRec.TTK(k), lazyRec.MaxDelay(), ratio)
@@ -76,7 +78,7 @@ func maxDuration[T ~int64](a T, b T) T {
 // shares ranked suffixes across prefixes (factorised memory growing
 // with the materialised state lists instead). Measured as the heap
 // growth over a full enumeration.
-func E14(n int) *stats.Table {
+func E14(ctx context.Context, n int) *stats.Table {
 	t := stats.NewTable("E14: allocation footprint (path l=4) — full vs top-1000 enumeration",
 		"variant", "mode", "results", "alloc_MB", "time")
 	inst := workload.Path(4, n, n/5+1, workload.UniformWeights(), 19)
@@ -97,7 +99,7 @@ func E14(n int) *stats.Table {
 			if err != nil {
 				panic(err)
 			}
-			it, err := core.New(context.Background(), tdp, v)
+			it, err := core.New(ctx, tdp, v)
 			if err != nil {
 				panic(err)
 			}
@@ -112,6 +114,7 @@ func E14(n int) *stats.Table {
 					break
 				}
 			}
+			it.Close()
 			var after runtime.MemStats
 			runtime.ReadMemStats(&after)
 			allocMB := float64(after.TotalAlloc-before.TotalAlloc) / (1 << 20)

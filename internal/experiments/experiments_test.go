@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -40,7 +41,7 @@ func TestE1Shape(t *testing.T) {
 }
 
 func TestE2Shape(t *testing.T) {
-	tb := E2([]int{200})
+	tb := E2(context.Background(), []int{200})
 	if len(tb.Rows) != 1 {
 		t.Fatalf("rows = %d", len(tb.Rows))
 	}
@@ -104,7 +105,7 @@ func TestE5Shape(t *testing.T) {
 }
 
 func TestE6Runs(t *testing.T) {
-	tb := E6([]int{200}, 10)
+	tb := E6(context.Background(), []int{200}, 10)
 	if len(tb.Rows) != 7 {
 		t.Fatalf("rows = %d, want 7 variants", len(tb.Rows))
 	}
@@ -118,21 +119,21 @@ func TestE6Runs(t *testing.T) {
 }
 
 func TestE7Runs(t *testing.T) {
-	tb := E7(150)
+	tb := E7(context.Background(), 150)
 	if len(tb.Rows) != 7 {
 		t.Fatalf("rows = %d", len(tb.Rows))
 	}
 }
 
 func TestE8Runs(t *testing.T) {
-	tb := E8([]int{150}, 10)
+	tb := E8(context.Background(), []int{150}, 10)
 	if len(tb.Rows) != 7 {
 		t.Fatalf("rows = %d", len(tb.Rows))
 	}
 }
 
 func TestE9Runs(t *testing.T) {
-	tb := E9([]int{300}, 5)
+	tb := E9(context.Background(), []int{300}, 5)
 	if len(tb.Rows) != 1 {
 		t.Fatalf("rows = %d", len(tb.Rows))
 	}
@@ -152,14 +153,14 @@ func TestE10Shape(t *testing.T) {
 }
 
 func TestE11Runs(t *testing.T) {
-	tb := E11(150, []int{1, 10, 100})
+	tb := E11(context.Background(), 150, []int{1, 10, 100})
 	if len(tb.Rows) != 3 {
 		t.Fatalf("rows = %d", len(tb.Rows))
 	}
 }
 
 func TestE12Runs(t *testing.T) {
-	tb := E12(150)
+	tb := E12(context.Background(), 150)
 	if len(tb.Rows) != 5 {
 		t.Fatalf("rows = %d, want 5 ranking functions", len(tb.Rows))
 	}
@@ -172,7 +173,7 @@ func TestE12Runs(t *testing.T) {
 }
 
 func TestE13Shape(t *testing.T) {
-	tb := E13([]int{300}, 50)
+	tb := E13(context.Background(), []int{300}, 50)
 	if len(tb.Rows) != 1 {
 		t.Fatalf("rows = %d", len(tb.Rows))
 	}
@@ -186,7 +187,7 @@ func TestE13Shape(t *testing.T) {
 }
 
 func TestE14Runs(t *testing.T) {
-	tb := E14(150)
+	tb := E14(context.Background(), 150)
 	if len(tb.Rows) != 8 {
 		t.Fatalf("rows = %d, want 8 (4 variants × 2 modes)", len(tb.Rows))
 	}

@@ -6,6 +6,8 @@
 package experiments
 
 import (
+	"context"
+
 	"repro/internal/hypergraph"
 	"repro/internal/join"
 	"repro/internal/ranking"
@@ -60,7 +62,7 @@ func E1(ns []int) *stats.Table {
 // decomposition materialises O(n^1.5) (here: almost nothing) and
 // output-sensitive WCOJ search also stays small. The graph has no
 // directed 4-cycle, making the query Boolean-false.
-func E2(ns []int) *stats.Table {
+func E2(ctx context.Context, ns []int) *stats.Table {
 	t := stats.NewTable("E2: Boolean 4-cycle on hub instance — binary vs single-tree vs submodular",
 		"n", "binary_time", "binary_interm", "single_time", "single_bags", "subw_time", "subw_bags", "gj_bool_time")
 	for _, n := range ns {
@@ -76,8 +78,8 @@ func E2(ns []int) *stats.Table {
 			panic("hub instance must have no 4-cycles")
 		}
 
-		sgT, sgBags := timeDecompSingle(rels4)
-		subT, subBags := timeDecompSub(rels4)
+		sgT, sgBags := timeDecompSingle(ctx, rels4)
+		subT, subBags := timeDecompSub(ctx, rels4)
 
 		atoms := instanceAtoms(inst)
 		gt := stats.StartTimer()

@@ -405,6 +405,7 @@ func (h *Hypergraph) greedyOrder(minFill bool) []string {
 func fillCount(adj map[string]map[string]bool, v string) int {
 	nbrs := make([]string, 0, len(adj[v]))
 	for u := range adj[v] {
+		//anykvet:allow mapdeterminism -- nbrs only feeds the symmetric missing-edge count below; n is identical for every element order
 		nbrs = append(nbrs, u)
 	}
 	n := 0

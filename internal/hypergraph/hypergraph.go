@@ -108,7 +108,11 @@ func (h *Hypergraph) BuildJoinTree() (*JoinTree, bool) {
 			if removed[i] {
 				continue
 			}
-			// Vars of i shared with any other remaining edge.
+			// Vars of i shared with any other remaining edge. Sorted so
+			// the slice is deterministic regardless of map iteration
+			// order (it currently only feeds order-insensitive
+			// containment checks, but the GYO ear order must never
+			// silently become schedule-dependent).
 			shared := make([]string, 0, len(varSets[i]))
 			for v := range varSets[i] {
 				for j := 0; j < n; j++ {
@@ -118,6 +122,7 @@ func (h *Hypergraph) BuildJoinTree() (*JoinTree, bool) {
 					}
 				}
 			}
+			sort.Strings(shared)
 			// Find a witness edge containing all shared vars.
 			for j := 0; j < n; j++ {
 				if j == i || removed[j] {

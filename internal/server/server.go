@@ -170,6 +170,11 @@ type queryDef struct {
 // New returns a ready-to-mount Server.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	// The server's base context outlives any request on purpose: plan
+	// builds run detached on it so a disconnecting winner cannot fail
+	// the waiters sharing the build (bounded by MaxTimeout), and it is
+	// canceled only by Shutdown.
+	//anykvet:allow ctxplumb -- server-lifetime root context; detached-build path, canceled by Shutdown
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,
@@ -259,6 +264,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 // Close is Shutdown with no grace period.
 func (s *Server) Close() error {
+	//anykvet:allow ctxplumb -- constructs an already-canceled context: zero grace, nothing to plumb
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	s.Shutdown(ctx)

@@ -619,6 +619,7 @@ func WithCostModel(m *catalog.CostModel) RunOption {
 // false. Concurrent Runs on one handle are safe and share the cached
 // per-ranking plan.
 func (p *Prepared) Run(opts ...RunOption) (Iterator, error) {
+	//anykvet:allow ctxplumb -- documented option default; callers attach cancellation via WithContext
 	cfg := runConfig{agg: SumCost, variant: Lazy, ctx: context.Background()}
 	for _, o := range opts {
 		o(&cfg)
