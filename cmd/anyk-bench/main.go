@@ -28,6 +28,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -43,8 +44,11 @@ import (
 	"repro"
 	"repro/internal/experiments"
 	"repro/internal/parallel"
+	"repro/internal/ranking"
+	"repro/internal/relation"
 	"repro/internal/server"
 	"repro/internal/stats"
+	"repro/internal/wcoj"
 	"repro/internal/workload"
 )
 
@@ -268,6 +272,42 @@ type benchReport struct {
 	HeurDecomposition string `json:"heur_decomposition"`
 	OptDecomposition  string `json:"opt_decomposition"`
 
+	// Skew-aware partitioning, on/off, on the heavy-hitter fixture (a
+	// triangle over a hub graph where one first-variable value owns a
+	// third of the join). Three wall-times — sequential, legacy
+	// first-variable chunking, skew-aware heavy/light — plus the
+	// machine-independent record: each strategy's largest single-task
+	// share of total join work (wcoj.TaskShares). Wall-clock gaps only
+	// appear at GOMAXPROCS > 1; the share pair is what CI diffs, since
+	// multi-core wall-clock is bounded below by the critical share
+	// (speedup <= 1/share).
+	SkewShape           string  `json:"skew_shape"`
+	SkewWorkers         int     `json:"skew_workers"`
+	SkewSeqNs           int64   `json:"skew_seq_ns"`
+	SkewChunkedNs       int64   `json:"skew_chunked_ns"`
+	SkewAwareNs         int64   `json:"skew_aware_ns"`
+	SkewChunkedMaxShare float64 `json:"skew_chunked_max_share"`
+	SkewAwareMaxShare   float64 `json:"skew_aware_max_share"`
+
+	// Uniform answer sampling (Prepared.Sample) on the same pinned
+	// SkewedChordedCycle query the optimizer pair runs on. The AGM bound
+	// there is ~4 decades above the true cardinality, so the rejection
+	// walk accepts rarely and the seeded run is expected to exhaust its
+	// trial budget (sample_exhausted) — which is exactly the regime
+	// worth recording: trials_per_sec is the machine's walk throughput,
+	// samples_per_sec the accepted-answer yield, and
+	// sample_est_cardinality the unbiased estimate those trials buy.
+	SampleShape        string  `json:"sample_shape"`
+	SampleN            int     `json:"sample_n"`
+	SampleAccepted     int     `json:"sample_accepted"`
+	SampleTrials       int64   `json:"sample_trials"`
+	SampleNs           int64   `json:"sample_ns"`
+	SamplesPerSec      float64 `json:"samples_per_sec"`
+	SampleTrialsPerSec float64 `json:"sample_trials_per_sec"`
+	SampleAGMBound     float64 `json:"sample_agm_bound"`
+	SampleEstCard      float64 `json:"sample_est_cardinality"`
+	SampleExhausted    bool    `json:"sample_exhausted"`
+
 	// Serving layer (-serve): warm top-k throughput through the full
 	// HTTP stack — internal/server with its plan registry, admission
 	// control, and NDJSON streaming — measured with ServeClients
@@ -318,6 +358,51 @@ func chordedBench() *repro.Query {
 		q.Rel(r.Name, inst.H.Edges[i].Vars, r.Tuples, r.Weights)
 	}
 	return q
+}
+
+// hubTriangleAtoms builds triangle atoms over a three-layer rotor graph
+// — hub 0 → every left vertex, complete bipartite left → right, every
+// right vertex → 0 — so each of the 3·m·k triangle answers is one
+// rotation of (0, left, right) and the single value A=0 owns a third of
+// the join. This is the heavy-hitter fixture of the skew guardrail in
+// parallel_bench_test.go, duplicated here because the bench binary
+// cannot import test files.
+func hubTriangleAtoms(m, k int) []wcoj.Atom {
+	mk := func(name string) *relation.Relation {
+		r := relation.New(name, "src", "dst")
+		add := func(a, b int64) { r.AddWeighted(float64(a)+float64(b)/1000, a, b) }
+		for l := int64(1); l <= int64(m); l++ {
+			add(0, l)
+			for rt := int64(m + 1); rt <= int64(m+k); rt++ {
+				add(l, rt)
+			}
+		}
+		for rt := int64(m + 1); rt <= int64(m+k); rt++ {
+			add(rt, 0)
+		}
+		return r
+	}
+	return []wcoj.Atom{
+		{Rel: mk("R"), Vars: []string{"A", "B"}},
+		{Rel: mk("S"), Vars: []string{"B", "C"}},
+		{Rel: mk("T"), Vars: []string{"C", "A"}},
+	}
+}
+
+// measureMaterialize reports the best of three runs of one wcoj
+// materialisation strategy on the fixture.
+func measureMaterialize(run func() error) (time.Duration, error) {
+	var best time.Duration
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		if err := run(); err != nil {
+			return 0, err
+		}
+		if d := time.Since(start); best == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
 }
 
 // measurePrepare times the first-run prepare path (for cyclic queries
@@ -594,6 +679,68 @@ func writeBenchJSON(name, scale string, cfg scaleCfg, workers int, serve bool) (
 	report.OptMaterialized = so.Rankings[0].TotalMaterialized
 	report.HeurDecomposition = sh.Decomposition
 	report.OptDecomposition = so.Decomposition
+
+	// Skew on/off on the heavy-hitter fixture: sequential, legacy
+	// first-variable chunking, and skew-aware heavy/light wall times,
+	// plus each parallel strategy's critical task share.
+	skewAtoms := hubTriangleAtoms(300, 60)
+	skewOrder := []string{"A", "B", "C"}
+	skewSeq, err := measureMaterialize(func() error {
+		_, _, err := wcoj.Materialize(skewAtoms, skewOrder, ranking.SumCost{})
+		return err
+	})
+	if err != nil {
+		return "", err
+	}
+	skewChunked, err := measureMaterialize(func() error {
+		_, _, err := wcoj.MaterializeParallelChunked(context.Background(), skewAtoms, skewOrder, ranking.SumCost{}, workers)
+		return err
+	})
+	if err != nil {
+		return "", err
+	}
+	skewAware, err := measureMaterialize(func() error {
+		_, _, err := wcoj.MaterializeParallel(context.Background(), skewAtoms, skewOrder, ranking.SumCost{}, workers)
+		return err
+	})
+	if err != nil {
+		return "", err
+	}
+	chunkedShare, awareShare, err := wcoj.TaskShares(skewAtoms, skewOrder, workers, nil)
+	if err != nil {
+		return "", err
+	}
+	report.SkewShape = "hub_triangle"
+	report.SkewWorkers = workers
+	report.SkewSeqNs = skewSeq.Nanoseconds()
+	report.SkewChunkedNs = skewChunked.Nanoseconds()
+	report.SkewAwareNs = skewAware.Nanoseconds()
+	report.SkewChunkedMaxShare = chunkedShare
+	report.SkewAwareMaxShare = awareShare
+
+	// Sampling throughput on the already-compiled chorded-cycle plan:
+	// seeded, so consecutive snapshots draw identical answer streams.
+	// ErrTrialBudget is the expected outcome on this loose-bound query
+	// (recorded, not fatal) — the samples collected and the estimate
+	// remain valid.
+	const sampleN = 200
+	sampleStart := time.Now()
+	samples, err := po.Sample(sampleN, repro.WithSeed(7))
+	if err != nil && !errors.Is(err, repro.ErrTrialBudget) {
+		return "", fmt.Errorf("sample: %w", err)
+	}
+	sampleDur := time.Since(sampleStart)
+	sampleStats := po.PlanStats()
+	report.SampleShape = "chorded5"
+	report.SampleN = sampleN
+	report.SampleAccepted = len(samples)
+	report.SampleTrials = sampleStats.SampleTrials
+	report.SampleNs = sampleDur.Nanoseconds()
+	report.SamplesPerSec = float64(len(samples)) / sampleDur.Seconds()
+	report.SampleTrialsPerSec = float64(sampleStats.SampleTrials) / sampleDur.Seconds()
+	report.SampleAGMBound = sampleStats.AGMBound
+	report.SampleEstCard = sampleStats.EstCardinality
+	report.SampleExhausted = errors.Is(err, repro.ErrTrialBudget)
 
 	if serve {
 		clients, requests, serveK := 4, 400, 10

@@ -11,9 +11,13 @@
 //	    -d '{"atoms":[{"dataset":"edges","vars":["A","B"]},{"dataset":"edges","vars":["B","C"]}]}' \
 //	    http://localhost:8080/v1/queries/hops2
 //	curl 'http://localhost:8080/v1/query/hops2/topk?k=5&agg=sum&variant=Lazy'
+//	curl 'http://localhost:8080/v1/query/hops2/sample?n=5&seed=1'
 //
 // Results stream as NDJSON in ranking order with a trailing
-// {"done":true,"count":N} line; /v1/stats surfaces plan-registry
+// {"done":true,"count":N} line. /sample instead streams n uniform
+// random answers (no ranking, no enumeration — an AGM rejection walk
+// over the compiled tries) with a trailer carrying an unbiased
+// est_cardinality; /v1/stats surfaces plan-registry
 // hit/miss counters, admission state, and per-plan statistics. SIGINT
 // or SIGTERM triggers a graceful shutdown: new streams are refused,
 // in-flight enumerations drain within -grace, stragglers are canceled.

@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"strings"
 	"testing"
 
 	"repro/internal/server"
@@ -77,4 +78,34 @@ func TestSmokeGolden(t *testing.T) {
 	if string(got) != string(want) {
 		t.Fatalf("top-k stream diverges from golden.\ngot:\n%s\nwant:\n%s", got, want)
 	}
+
+	// The sampling endpoint over the same registered query: equal seeds
+	// must stream identical answer lines (the trailer's trials/accepts
+	// counters are cumulative across calls and are excluded).
+	sample1 := getSampleAnswers(t, ts.URL)
+	sample2 := getSampleAnswers(t, ts.URL)
+	if sample1 != sample2 {
+		t.Fatalf("seeded /sample streams diverge:\n%s\nvs:\n%s", sample1, sample2)
+	}
+}
+
+func getSampleAnswers(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/query/hops2/sample?n=5&seed=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/sample: status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(body), "\n"), "\n")
+	if len(lines) != 6 || !strings.Contains(lines[5], `"done":true`) {
+		t.Fatalf("/sample: want 5 answers + done trailer, got:\n%s", body)
+	}
+	return strings.Join(lines[:5], "\n")
 }

@@ -210,3 +210,36 @@ func (m *CostModel) BagCost(bag []string) float64 {
 func (m *CostModel) EstimateOutput() float64 {
 	return m.EstimateVars(m.h.Vars())
 }
+
+// HeavyValues returns the heavy-hitter values recorded for variable x
+// across the relations containing x, for use as skew hints by the
+// parallel executor (wcoj.SkewHints): a value frequent in any base
+// relation tends to own a disproportionate join subtree. Only sketch
+// entries whose surviving count still clears the Misra–Gries guarantee
+// threshold (rows/heavyK) qualify — entries below it may be noise from
+// the counter pool. The result is sorted ascending and deduplicated;
+// it is empty when no column of x shows qualifying hitters.
+func (m *CostModel) HeavyValues(x string) []int64 {
+	var vals []int64
+	for ei, e := range m.edges {
+		for ci, v := range e.Vars {
+			if v != x {
+				continue
+			}
+			cs := &m.stats[ei].Cols[ci]
+			for _, hh := range cs.Heavy {
+				if hh.Count*heavyK >= cs.HeavyTotal {
+					vals = append(vals, hh.Value)
+				}
+			}
+		}
+	}
+	sort.Slice(vals, func(a, b int) bool { return vals[a] < vals[b] })
+	out := vals[:0]
+	for i, v := range vals {
+		if i == 0 || v != vals[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -47,6 +47,7 @@ type prepCfg struct {
 	ctx     context.Context
 	workers int
 	order   func([]wcoj.Atom) ([]string, error)
+	hints   wcoj.SkewHints
 }
 
 // PrepareOption configures one Prepare* call. The defaults are fully
@@ -82,6 +83,17 @@ func WithContext(ctx context.Context) PrepareOption {
 // join tree is built.
 func WithOrderChooser(f func([]wcoj.Atom) ([]string, error)) PrepareOption {
 	return func(c *prepCfg) { c.order = f }
+}
+
+// WithSkewHints installs catalog heavy-hitter hints (e.g. built from
+// catalog.CostModel.HeavyValues) consulted by the intra-bag parallel
+// materialisation: hinted values of a bag's first order variable are
+// split heavy/light at a lower threshold, so one skewed value is
+// subdivided across workers instead of pinned to one. Hints never
+// change results or Stats — parallel prepares stay bit-identical to
+// sequential ones — only the partition shapes.
+func WithSkewHints(h wcoj.SkewHints) PrepareOption {
+	return func(c *prepCfg) { c.hints = h }
 }
 
 // chooseOrder resolves one bag's variable order: the configured chooser
@@ -214,7 +226,7 @@ func PrepareTriangle(rels [3]*relation.Relation, agg ranking.Aggregate, opts ...
 		{Rel: rels[2], Vars: []string{"C", "A"}},
 	}
 	// A single bag: all parallelism goes intra-bag, partitioning A.
-	out, _, err := wcoj.MaterializeParallel(cfg.ctx, atoms, TriangleAttrs, agg, cfg.workers)
+	out, _, err := wcoj.MaterializeParallelHinted(cfg.ctx, atoms, TriangleAttrs, agg, cfg.workers, cfg.hints)
 	if err != nil {
 		return nil, err
 	}

@@ -135,7 +135,7 @@ func PrepareGHDWith(d *hypergraph.Decomposition, edges []hypergraph.Edge, rels [
 		if bi < intraRem {
 			intra++
 		}
-		bag, _, err := wcoj.MaterializeParallel(cfg.ctx, atoms, order, agg, intra)
+		bag, _, err := wcoj.MaterializeParallelHinted(cfg.ctx, atoms, order, agg, intra, cfg.hints)
 		if err != nil {
 			return err
 		}

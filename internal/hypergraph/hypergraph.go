@@ -253,26 +253,39 @@ func (h *Hypergraph) FractionalEdgeCover() ([]float64, float64, error) {
 // (aligned with h.Edges). Every size must be ≥ 1; a relation of size 0
 // makes the join empty, reported as bound 0.
 func (h *Hypergraph) AGMBound(sizes []float64) (float64, error) {
+	_, bound, err := h.AGMCover(sizes)
+	return bound, err
+}
+
+// AGMCover returns the fractional edge cover x* minimizing the AGM
+// bound ∏ |R_e|^{x_e} for the given relation sizes (aligned with
+// h.Edges), together with the bound itself. The weights satisfy
+// Σ_{e∋v} x_e ≥ 1 for every variable v, which is what the sampling
+// random walk (internal/sample) needs for its per-prefix upper bounds
+// to telescope via the generalized Hölder inequality. Every size must
+// be ≥ 1; a relation of size 0 makes the join empty, reported as a nil
+// cover with bound 0.
+func (h *Hypergraph) AGMCover(sizes []float64) ([]float64, float64, error) {
 	if len(sizes) != len(h.Edges) {
-		return 0, fmt.Errorf("hypergraph: %d sizes for %d edges", len(sizes), len(h.Edges))
+		return nil, 0, fmt.Errorf("hypergraph: %d sizes for %d edges", len(sizes), len(h.Edges))
 	}
 	for _, s := range sizes {
 		if s == 0 {
-			return 0, nil
+			return nil, 0, nil
 		}
 		if s < 1 {
-			return 0, fmt.Errorf("hypergraph: relation size %g < 1", s)
+			return nil, 0, fmt.Errorf("hypergraph: relation size %g < 1", s)
 		}
 	}
 	x, _, err := h.weightedCover(func(i int) float64 { return math.Log(sizes[i]) })
 	if err != nil {
-		return 0, err
+		return nil, 0, err
 	}
 	logBound := 0.0
 	for i, xi := range x {
 		logBound += xi * math.Log(sizes[i])
 	}
-	return math.Exp(logBound), nil
+	return x, math.Exp(logBound), nil
 }
 
 // AGMBoundOf is AGMBound restricted to a subset of the variables: the

@@ -1,0 +1,325 @@
+// Package sample draws uniform random samples from the answers of a
+// join query without enumerating them, following the top-down rejection
+// walk of "A Simple Algorithm for Worst-Case Optimal Join and Sampling"
+// (Capelli–Irwin–Meel) with the Chen–Yi style acceptance correction.
+//
+// The walk reuses the engine's implicit sorted-array tries
+// (wcoj.Trie): at each variable position it distributes an AGM-style
+// upper bound U(prefix) = ∏_a |I_a(prefix)|^{λ_a} over the candidate
+// values, where I_a(prefix) is atom a's row interval compatible with
+// the prefix and λ is a fractional edge cover of the query
+// (hypergraph.AGMCover). Because Σ_{a∋x} λ_a ≥ 1 at every variable x,
+// the generalized Hölder inequality gives Σ_v U(prefix·v) ≤ U(prefix),
+// so the walk can pick value v with probability U(prefix·v)/U(prefix)
+// and reject with the leftover mass. A completed walk reaches answer t
+// with probability U(t)/U(root); accepting it with probability 1/U(t)
+// makes every distinct answer equally likely — probability exactly
+// 1/U(root) per trial — and the acceptance rate times U(root) is an
+// unbiased estimate of the number of distinct answers.
+//
+// Sampling is over *distinct* variable assignments (set semantics).
+// Under bag semantics a result's multiplicity is the product of its
+// per-atom duplicate counts; the sampler reports each drawn assignment
+// with the aggregated weight of one uniformly chosen witness row per
+// atom, so duplicate-free inputs (the common case) see exactly the
+// weights ranked enumeration would produce.
+package sample
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"repro/internal/ranking"
+	"repro/internal/relation"
+	"repro/internal/wcoj"
+)
+
+// ErrTrialBudget reports that the rejection walk exhausted its trial
+// budget before collecting the requested number of samples — expected
+// when the join is empty or its answer count is far below the AGM
+// bound. The samples gathered so far are still returned (and still
+// uniform); the cardinality estimate remains valid.
+var ErrTrialBudget = errors.New("sample: trial budget exhausted before n samples")
+
+// coverTolerance is how far below 1 a variable's Σ λ_a coverage may
+// fall before New rejects the cover instead of rescaling away LP
+// round-off.
+const coverTolerance = 1e-3
+
+// Answer is one sampled join answer: the assignment aligned with the
+// sampler's variable order and the aggregated weight of a uniformly
+// chosen witness (one matching row per atom).
+type Answer struct {
+	Tuple  relation.Tuple
+	Weight float64
+}
+
+// trieDepth locates one atom's cursor level for a variable position.
+type trieDepth struct {
+	trie  int
+	depth int
+}
+
+// Sampler draws uniform samples from one query's answer set. Build it
+// once (New sorts every atom); Sample may then be called concurrently —
+// each call walks private cursor clones and the shared trial counters
+// are atomic.
+type Sampler struct {
+	vars   []string
+	tries  []*wcoj.Trie
+	lambda []float64
+	// byPos[p] lists the cursors participating at variable position p;
+	// boundDepth[p][i] is cursor i's bound depth before position p.
+	byPos      [][]trieDepth
+	boundDepth [][]int
+	bound      float64 // U(root)
+
+	// MaxTrials caps the rejection walks per Sample call; 0 selects
+	// 512·n + 4096, generous for any acceptance rate above ~1/512.
+	MaxTrials int
+
+	trials  atomic.Int64
+	accepts atomic.Int64
+}
+
+// New builds a sampler over the query atoms with the given variable
+// order and fractional edge cover λ (aligned with atoms, e.g. from
+// hypergraph.AGMCover). Every variable must be covered with Σ λ_a ≥ 1;
+// small LP round-off below 1 is repaired by scaling λ up, which only
+// loosens the bound, never the uniformity guarantee.
+func New(atoms []wcoj.Atom, varOrder []string, lambda []float64) (*Sampler, error) {
+	if len(lambda) != len(atoms) {
+		return nil, fmt.Errorf("sample: %d lambda weights for %d atoms", len(lambda), len(atoms))
+	}
+	s := &Sampler{
+		vars:   varOrder,
+		lambda: append([]float64(nil), lambda...),
+		byPos:  make([][]trieDepth, len(varOrder)),
+	}
+	cover := make([]float64, len(varOrder))
+	for ai, a := range atoms {
+		if lambda[ai] < 0 {
+			return nil, fmt.Errorf("sample: negative lambda %g for atom %s", lambda[ai], a.Rel.Name)
+		}
+		t, err := wcoj.NewTrie(a, varOrder)
+		if err != nil {
+			return nil, err
+		}
+		s.tries = append(s.tries, t)
+		for d := 0; d < t.Depth(); d++ {
+			p := t.GlobalPos(d)
+			s.byPos[p] = append(s.byPos[p], trieDepth{trie: ai, depth: d})
+			cover[p] += lambda[ai]
+		}
+	}
+	minCover := math.Inf(1)
+	for p, c := range cover {
+		if len(s.byPos[p]) == 0 {
+			return nil, fmt.Errorf("sample: variable %s not covered by any atom", varOrder[p])
+		}
+		if c < minCover {
+			minCover = c
+		}
+	}
+	if minCover < 1 {
+		if minCover < 1-coverTolerance {
+			return nil, fmt.Errorf("sample: lambda covers some variable only %.6f < 1", minCover)
+		}
+		for i := range s.lambda {
+			s.lambda[i] /= minCover
+		}
+	}
+	// boundDepth[p][i]: how many of cursor i's variables sit before
+	// position p — the interval level that constrains it at p.
+	s.boundDepth = make([][]int, len(varOrder)+1)
+	for p := range s.boundDepth {
+		s.boundDepth[p] = make([]int, len(s.tries))
+		for i, t := range s.tries {
+			d := 0
+			for d < t.Depth() && t.GlobalPos(d) < p {
+				d++
+			}
+			s.boundDepth[p][i] = d
+		}
+	}
+	s.bound = 1
+	for i, t := range s.tries {
+		if t.Len(0) == 0 {
+			s.bound = 0
+			break
+		}
+		s.bound *= math.Pow(float64(t.Len(0)), s.lambda[i])
+	}
+	return s, nil
+}
+
+// Bound returns U(root), the AGM-style upper bound the rejection walk
+// samples against. A bound of 0 means some input relation is empty.
+func (s *Sampler) Bound() float64 { return s.bound }
+
+// Vars returns the sampler's variable order; sampled tuples align with
+// it.
+func (s *Sampler) Vars() []string { return s.vars }
+
+// Estimate returns the running unbiased estimate of the number of
+// distinct answers — acceptance rate × U(root) — with the cumulative
+// trial and accept counters behind it (across all Sample calls).
+func (s *Sampler) Estimate() (est float64, trials, accepts int64) {
+	trials = s.trials.Load()
+	accepts = s.accepts.Load()
+	if trials > 0 {
+		est = float64(accepts) / float64(trials) * s.bound
+	}
+	return est, trials, accepts
+}
+
+// u computes U(prefix) before position p on the given cursors.
+func (s *Sampler) u(tries []*wcoj.Trie, p int) float64 {
+	u := 1.0
+	for i, t := range tries {
+		u *= math.Pow(float64(t.Len(s.boundDepth[p][i])), s.lambda[i])
+	}
+	return u
+}
+
+// trial runs one rejection walk on the given cursor clones.
+func (s *Sampler) trial(tries []*wcoj.Trie, rng *rand, agg ranking.Aggregate, tuple relation.Tuple) (Answer, bool) {
+	for p := range s.vars {
+		parts := s.byPos[p]
+		drv := parts[0]
+		size := tries[drv.trie].Len(drv.depth)
+		for _, td := range parts[1:] {
+			if sz := tries[td.trie].Len(td.depth); sz < size {
+				drv, size = td, sz
+			}
+		}
+		uPrefix := s.u(tries, p)
+		if uPrefix <= 0 {
+			return Answer{}, false
+		}
+		r := rng.Float64() * uPrefix
+		dt := tries[drv.trie]
+		lo, hi := dt.Interval(drv.depth)
+		chosen := false
+		for row := lo; row < hi; {
+			v := dt.ValueAt(row, drv.depth)
+			ok := true
+			for _, td := range parts {
+				if !tries[td.trie].Narrow(td.depth, v) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				// U(prefix·v): the participating cursors shrink to their
+				// narrowed intervals, everyone else is unchanged.
+				uv := uPrefix
+				for _, td := range parts {
+					t := tries[td.trie]
+					uv *= math.Pow(float64(t.Len(td.depth+1))/float64(t.Len(td.depth)), s.lambda[td.trie])
+				}
+				r -= uv
+				if r < 0 {
+					// The narrows for v are the last performed on every
+					// participant, so the cursors already sit on v.
+					tuple[p] = v
+					chosen = true
+					break
+				}
+			}
+			row = dt.NextBlock(drv.depth, row)
+		}
+		if !chosen {
+			return Answer{}, false // leftover mass U(prefix) − Σ U(prefix·v)
+		}
+	}
+	// Accept with probability 1/U(full); U(full) ≥ 1 since every match
+	// block is non-empty.
+	uFull := s.u(tries, len(s.vars))
+	if rng.Float64()*uFull >= 1 {
+		return Answer{}, false
+	}
+	w := agg.Identity()
+	for _, t := range tries {
+		lo, hi := t.Interval(t.Depth())
+		w = agg.Combine(w, t.RowWeight(lo+int32(rng.Intn(int(hi-lo)))))
+	}
+	out := make(relation.Tuple, len(tuple))
+	copy(out, tuple)
+	return Answer{Tuple: out, Weight: w}, true
+}
+
+// Sample draws up to n independent uniform samples of the query's
+// answers, seeding the walk's RNG with seed (equal seeds reproduce
+// equal draws). Weights aggregate witness rows under agg. When the
+// trial budget runs out first, the samples collected so far are
+// returned along with ErrTrialBudget; a canceled ctx returns the
+// partial samples with ctx.Err(). Safe for concurrent use.
+func (s *Sampler) Sample(ctx context.Context, n int, seed uint64, agg ranking.Aggregate) ([]Answer, error) {
+	if n <= 0 || s.bound == 0 {
+		return nil, nil
+	}
+	budget := s.MaxTrials
+	if budget <= 0 {
+		budget = 512*n + 4096
+	}
+	rng := newRand(seed)
+	tries := make([]*wcoj.Trie, len(s.tries))
+	for i, t := range s.tries {
+		tries[i] = t.Clone()
+	}
+	tuple := make(relation.Tuple, len(s.vars))
+	// Accepts cannot exceed the trial budget, and huge n (estimate-only
+	// callers) must not preallocate proportionally.
+	capHint := n
+	if capHint > budget {
+		capHint = budget
+	}
+	if capHint > 1<<16 {
+		capHint = 1 << 16
+	}
+	out := make([]Answer, 0, capHint)
+	for t := 0; t < budget && len(out) < n; t++ {
+		if t%512 == 0 {
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
+		}
+		s.trials.Add(1)
+		if ans, ok := s.trial(tries, rng, agg, tuple); ok {
+			s.accepts.Add(1)
+			out = append(out, ans)
+		}
+	}
+	if len(out) < n {
+		return out, ErrTrialBudget
+	}
+	return out, nil
+}
+
+// rand is a splitmix64 generator — tiny, seedable, and independent of
+// math/rand so sampling streams are reproducible across Go versions.
+type rand struct{ state uint64 }
+
+func newRand(seed uint64) *rand { return &rand{state: seed} }
+
+func (r *rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform draw from [0, 1).
+func (r *rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform draw from [0, n); n must be > 0.
+func (r *rand) Intn(n int) int {
+	return int(r.Uint64() % uint64(n))
+}

@@ -195,6 +195,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("PUT /v1/queries/{name}", s.handleQueryPut)
 	s.mux.HandleFunc("GET /v1/queries", s.handleQueryList)
 	s.mux.HandleFunc("GET /v1/query/{name}/topk", s.handleTopK)
+	s.mux.HandleFunc("GET /v1/query/{name}/sample", s.handleSample)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return s
 }
@@ -701,41 +702,9 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		timeout = s.cfg.MaxTimeout
 	}
 
-	// Snapshot the query and its datasets under one read lock so the
-	// plan key and the build closure agree on the exact versions.
-	s.mu.RLock()
-	qd, ok := s.queries[name]
-	var (
-		snap     []*dataset
-		versions []int
-	)
-	if ok {
-		snap = make([]*dataset, len(qd.atoms))
-		versions = make([]int, len(qd.atoms))
-		for i, a := range qd.atoms {
-			ds := s.datasets[a.Dataset]
-			if ds == nil {
-				ok = false
-				break
-			}
-			snap[i], versions[i] = ds, ds.version
-		}
-	}
-	s.mu.RUnlock()
+	qd, snap, versions, ok := s.resolveQuery(w, name)
 	if !ok {
-		httpError(w, http.StatusNotFound, "unknown query %q (or a dataset it references was removed)", name)
 		return
-	}
-	// Re-registering a dataset may have changed its arity since this
-	// query was validated; surface that as a client-addressable conflict
-	// instead of letting every request fail the compile with a 500.
-	for i, a := range qd.atoms {
-		if len(a.Vars) != snap[i].arity {
-			httpError(w, http.StatusConflict,
-				"query %s atom %d binds %d vars but dataset %s is now version %d with arity %d; re-register the query",
-				name, i, len(a.Vars), a.Dataset, snap[i].version, snap[i].arity)
-			return
-		}
 	}
 
 	// Admission control: reject instead of queueing, so saturation is
@@ -876,6 +845,48 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// resolveQuery snapshots a registered query and the exact dataset
+// versions it binds under one read lock, so the plan key and the build
+// closure agree on the versions, and re-checks arities (re-registering
+// a dataset may have changed one since the query was validated —
+// surfaced as a client-addressable conflict instead of letting every
+// request fail the compile with a 500). A false return means the
+// response has already been written.
+func (s *Server) resolveQuery(w http.ResponseWriter, name string) (*queryDef, []*dataset, []int, bool) {
+	s.mu.RLock()
+	qd, ok := s.queries[name]
+	var (
+		snap     []*dataset
+		versions []int
+	)
+	if ok {
+		snap = make([]*dataset, len(qd.atoms))
+		versions = make([]int, len(qd.atoms))
+		for i, a := range qd.atoms {
+			ds := s.datasets[a.Dataset]
+			if ds == nil {
+				ok = false
+				break
+			}
+			snap[i], versions[i] = ds, ds.version
+		}
+	}
+	s.mu.RUnlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown query %q (or a dataset it references was removed)", name)
+		return nil, nil, nil, false
+	}
+	for i, a := range qd.atoms {
+		if len(a.Vars) != snap[i].arity {
+			httpError(w, http.StatusConflict,
+				"query %s atom %d binds %d vars but dataset %s is now version %d with arity %d; re-register the query",
+				name, i, len(a.Vars), a.Dataset, snap[i].version, snap[i].arity)
+			return nil, nil, nil, false
+		}
+	}
+	return qd, snap, versions, true
+}
+
 // buildPlan builds one registry entry: the aggregate-independent
 // Compile runs (or is joined) once per dataKey through the registry's
 // compileCache, then one Run with the requested ranking forces that
@@ -886,7 +897,25 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 // and reduces its shape exactly once. A canceled or failed build is
 // never cached (both caches drop it) and the next request retries.
 func (s *Server) buildPlan(ctx context.Context, dk string, qd *queryDef, snap []*dataset, agg ranking.Aggregate) (*repro.Prepared, error) {
-	p, _, err := s.reg.compiles.get(ctx, dk, func() (*repro.Prepared, error) {
+	p, _, err := s.compileSnapshot(ctx, dk, qd, snap)
+	if err != nil {
+		return nil, err
+	}
+	it, err := p.Run(repro.WithRanking(agg), repro.WithContext(ctx), repro.WithK(1))
+	if err != nil {
+		return nil, err
+	}
+	it.Close()
+	return p, nil
+}
+
+// compileSnapshot runs (or joins) the aggregate-independent
+// repro.Compile of one dataKey through the registry's compileCache.
+// /topk warms the result with one ranked Run per aggregate on top of
+// this (buildPlan); /sample uses the compiled handle directly, since
+// sampling must not trigger any enumeration or bag materialisation.
+func (s *Server) compileSnapshot(ctx context.Context, dk string, qd *queryDef, snap []*dataset) (*repro.Prepared, bool, error) {
+	p, hit, err := s.reg.compiles.get(ctx, dk, func() (*repro.Prepared, error) {
 		q := repro.NewQuery()
 		// Hand Compile the registration-time statistics of the exact
 		// dataset snapshot this plan binds to, keyed by atom name. A
@@ -903,15 +932,188 @@ func (s *Server) buildPlan(ctx context.Context, dk string, qd *queryDef, snap []
 		}
 		return repro.Compile(q, repro.WithContext(ctx), repro.WithStatistics(cat))
 	})
-	if err != nil {
-		return nil, err
+	return p, hit, err
+}
+
+// sampleLine is one streamed NDJSON line of /sample: an answer line,
+// then a trailer carrying the handle's cumulative unbiased cardinality
+// estimate (acceptance rate × AGM bound, across all sampling on this
+// plan).
+type sampleLine struct {
+	Tuple   []any    `json:"tuple,omitempty"`
+	Weight  *float64 `json:"weight,omitempty"`
+	Done    bool     `json:"done,omitempty"`
+	Count   *int     `json:"count,omitempty"`
+	AGM     float64  `json:"agm_bound,omitempty"`
+	EstCard float64  `json:"est_cardinality,omitempty"`
+	Trials  int64    `json:"trials,omitempty"`
+	Accepts int64    `json:"accepts,omitempty"`
+	// Exhausted marks a short read: the rejection walk spent its trial
+	// budget before drawing n answers (the join is empty or far smaller
+	// than its AGM bound). The lines streamed before the trailer are
+	// still uniform draws.
+	Exhausted bool   `json:"budget_exhausted,omitempty"`
+	Error     string `json:"error,omitempty"`
+}
+
+// handleSample serves GET /v1/query/{name}/sample?n=&seed=&agg=: up to
+// n uniform random answers of the query as NDJSON, drawn by the AGM
+// rejection walk over the compiled handle's tries — no enumeration, no
+// per-ranking preparation, no bag materialisation. Weights aggregate
+// one uniformly chosen witness row per atom under ?agg= (default sum);
+// equal ?seed= values reproduce equal draws.
+func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if s.isDraining() {
+		httpError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
 	}
-	it, err := p.Run(repro.WithRanking(agg), repro.WithContext(ctx), repro.WithK(1))
-	if err != nil {
-		return nil, err
+	name := r.PathValue("name")
+	qry := r.URL.Query()
+
+	n := 10
+	if v := qry.Get("n"); v != "" {
+		x, err := strconv.Atoi(v)
+		if err != nil || x < 1 {
+			httpError(w, http.StatusBadRequest, "bad n %q", v)
+			return
+		}
+		n = x
 	}
-	it.Close()
-	return p, nil
+	if s.cfg.MaxK > 0 && n > s.cfg.MaxK {
+		httpError(w, http.StatusBadRequest, "n %d exceeds maximum %d", n, s.cfg.MaxK)
+		return
+	}
+	aggName := qry.Get("agg")
+	if aggName == "" {
+		aggName = repro.SumCost.Name()
+	}
+	agg, ok := aggByName[aggName]
+	if !ok {
+		httpError(w, http.StatusBadRequest, "unknown agg %q (sum, sum-desc, max, min-desc, product)", aggName)
+		return
+	}
+	var (
+		seed    uint64
+		seedSet bool
+	)
+	if v := qry.Get("seed"); v != "" {
+		x, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad seed %q", v)
+			return
+		}
+		seed, seedSet = x, true
+	}
+	timeout := s.cfg.DefaultTimeout
+	if v := qry.Get("timeout"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			httpError(w, http.StatusBadRequest, "bad timeout %q", v)
+			return
+		}
+		timeout = d
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+
+	qd, snap, versions, ok := s.resolveQuery(w, name)
+	if !ok {
+		return
+	}
+
+	// Sampling shares the enumeration admission semaphore: a rejection
+	// walk is cheaper than a ranked stream but not free, and one shared
+	// bound keeps saturation behaviour predictable.
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "too many in-flight enumerations (max %d)", s.cfg.MaxInflight)
+		return
+	}
+	defer func() { <-s.sem }()
+	if !s.acquireStream() {
+		httpError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
+	defer s.releaseStream()
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	stop := context.AfterFunc(s.baseCtx, cancel)
+	defer stop()
+
+	dk := dataKey(qd.fingerprint, qd.atoms, versions, qd.outAttrs)
+	p, hit, err := func() (*repro.Prepared, bool, error) {
+		// Compile detached from this request (bounded by MaxTimeout) so
+		// the winner disconnecting cannot fail waiters joining the build.
+		bctx, bcancel := context.WithTimeout(s.baseCtx, s.cfg.MaxTimeout)
+		defer bcancel()
+		return s.compileSnapshot(bctx, dk, qd, snap)
+	}()
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			code = http.StatusGatewayTimeout
+		}
+		httpError(w, code, "prepare %s: %v", name, err)
+		return
+	}
+
+	opts := []repro.RunOption{repro.WithRanking(agg), repro.WithContext(ctx)}
+	if seedSet {
+		opts = append(opts, repro.WithSeed(seed))
+	}
+	samples, serr := p.Sample(n, opts...)
+
+	rc := http.NewResponseController(w)
+	defer rc.SetWriteDeadline(time.Time{})
+	if dl, ok := ctx.Deadline(); ok {
+		rc.SetWriteDeadline(dl.Add(writeGrace))
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/x-ndjson")
+	h.Set("X-Plan-Cache", map[bool]string{true: "hit", false: "miss"}[hit])
+	h.Set("X-Query-Fingerprint", qd.fingerprint)
+	h.Set("X-Out-Attrs", strings.Join(qd.outAttrs, ","))
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	count := 0
+	for i := range samples {
+		if err := enc.Encode(sampleLine{Tuple: s.decodeTuple(samples[i].Tuple), Weight: &samples[i].Weight}); err != nil {
+			return
+		}
+		count++
+	}
+	st := p.PlanStats()
+	trailer := sampleLine{
+		Count:   &count,
+		AGM:     st.AGMBound,
+		EstCard: st.EstCardinality,
+		Trials:  st.SampleTrials,
+		Accepts: st.SampleAccepts,
+	}
+	switch {
+	case serr == nil:
+		trailer.Done = true
+	case errors.Is(serr, repro.ErrTrialBudget):
+		// A legitimate completion: the join has fewer answers than asked
+		// for (relative to its bound). The estimate in the trailer says
+		// how small.
+		trailer.Done = true
+		trailer.Exhausted = true
+	default:
+		trailer.Error = serr.Error()
+	}
+	enc.Encode(trailer)
+	if flusher != nil {
+		flusher.Flush()
+	}
 }
 
 // decodeTuple renders an output tuple for NDJSON, mapping dictionary

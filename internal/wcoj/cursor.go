@@ -1,0 +1,65 @@
+package wcoj
+
+import "repro/internal/relation"
+
+// Trie exposes the package's implicit sorted-array trie cursor to
+// external consumers — internal/sample's random walks need the same
+// per-atom intervals, narrows, and block iteration the join driver
+// uses, without re-implementing (and re-sorting) the structure. A Trie
+// wraps one atom; the immutable sorted order is shared across Clones,
+// so building once and cloning per goroutine is cheap.
+type Trie struct {
+	st *atomState
+}
+
+// NewTrie sorts the atom's tuples by its variables in the global
+// variable order and returns a cursor positioned at the root.
+func NewTrie(a Atom, varOrder []string) (*Trie, error) {
+	orderIndex := make(map[string]int, len(varOrder))
+	for i, v := range varOrder {
+		orderIndex[v] = i
+	}
+	st, err := newAtomState(a, orderIndex)
+	if err != nil {
+		return nil, err
+	}
+	return &Trie{st: st}, nil
+}
+
+// Clone returns an independent cursor over the same sorted data.
+func (t *Trie) Clone() *Trie { return &Trie{st: t.st.clone()} }
+
+// Depth returns the number of trie levels (the atom's arity).
+func (t *Trie) Depth() int { return len(t.st.cols) }
+
+// GlobalPos returns the global variable position of the atom's depth-d
+// variable; positions are strictly increasing in d.
+func (t *Trie) GlobalPos(d int) int { return t.st.globalPos[d] }
+
+// Len returns the size of the current interval at depth d: the number
+// of rows compatible with the first d bound variables (d == 0 is the
+// whole relation, d == Depth() the fully-bound match block).
+func (t *Trie) Len(d int) int {
+	return int(t.st.iv[d][1] - t.st.iv[d][0])
+}
+
+// Narrow binds the depth-d variable to v within the current interval,
+// returning false (and leaving deeper levels stale) when no rows match.
+func (t *Trie) Narrow(d int, v relation.Value) bool { return t.st.narrow(d, v) }
+
+// Interval returns the current row interval [lo, hi) at depth d.
+func (t *Trie) Interval(d int) (lo, hi int32) {
+	return t.st.iv[d][0], t.st.iv[d][1]
+}
+
+// ValueAt returns the depth-d value of sorted row r.
+func (t *Trie) ValueAt(r int32, d int) relation.Value { return t.st.valueAt(r, d) }
+
+// NextBlock returns the first row after the block sharing row r's
+// depth-d value, for iterating the distinct values of an interval.
+func (t *Trie) NextBlock(d int, r int32) int32 { return t.st.nextBlock(d, r) }
+
+// RowWeight returns the weight of sorted row r.
+func (t *Trie) RowWeight(r int32) float64 {
+	return t.st.rel.Weights[t.st.rows[r]]
+}

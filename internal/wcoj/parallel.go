@@ -2,6 +2,7 @@ package wcoj
 
 import (
 	"context"
+	"sort"
 
 	"repro/internal/parallel"
 	"repro/internal/ranking"
@@ -9,9 +10,20 @@ import (
 )
 
 // chunkFactor oversubscribes the partition count relative to the worker
-// count so that skew in per-value subtree sizes (one hub value owning
-// most of the output) still load-balances across workers.
+// count so that moderate skew in per-value subtree sizes still
+// load-balances across workers even before the heavy/light split kicks
+// in.
 const chunkFactor = 4
+
+// SkewHints reports externally known heavy-hitter values for a query
+// variable — typically the catalog's Misra–Gries sketch entries for the
+// columns bound to that variable. The planner treats hinted values as
+// heavy at a lower local-weight threshold than unhinted ones, since a
+// value that is frequent in the base data tends to own a deep join
+// subtree even when its top-level interval product looks moderate. A
+// nil function (or nil result) disables hinting; hints never change
+// results, only the partition shapes.
+type SkewHints func(variable string) []relation.Value
 
 // clone returns an independent trie cursor over the same sorted atom
 // data: the sorted row order, column mapping, and global positions are
@@ -51,14 +63,26 @@ func (j *driver) clone(emit Emit) *driver {
 	return c
 }
 
-// firstVarValues runs exactly the position-0 loop of the sequential
+// lvlVal is one surviving value of a coordinator intersection pass,
+// together with a work proxy: the product of the narrowed interval
+// sizes across the atoms containing the variable. The proxy is free
+// (narrow already computed the intervals) and upper-bounds the number
+// of row combinations the value's subtree can touch at this level.
+type lvlVal struct {
+	v relation.Value
+	w float64
+}
+
+// levelValues runs exactly the position-pos loop of the sequential
 // Generic-Join solve — same driver-atom selection, same narrow and
 // nextBlock sequence, same Seeks accounting — but records the surviving
-// values of the first variable instead of recursing. The recorded
-// values, handed to solveFirst on driver clones, therefore reproduce
-// the sequential emission order and the sequential Seeks total.
-func (j *driver) firstVarValues() []relation.Value {
-	parts := j.byVar[0]
+// values (with their interval-product work proxies) instead of
+// recursing. Any variables before pos must already be bound on this
+// driver's cursors. The recorded values, replayed on driver clones,
+// reproduce the sequential emission order; the Seeks charged here plus
+// the clones' subtree Seeks reproduce the sequential totals.
+func (j *driver) levelValues(pos int) []lvlVal {
+	parts := j.byVar[pos]
 	drv := parts[0]
 	size := drv.atom.iv[drv.depth][1] - drv.atom.iv[drv.depth][0]
 	for _, p := range parts[1:] {
@@ -66,20 +90,22 @@ func (j *driver) firstVarValues() []relation.Value {
 			drv, size = p, s
 		}
 	}
-	var vals []relation.Value
+	var vals []lvlVal
 	lo, hi := drv.atom.iv[drv.depth][0], drv.atom.iv[drv.depth][1]
 	for r := lo; r < hi; {
 		v := drv.atom.valueAt(r, drv.depth)
 		ok := true
+		w := 1.0
 		for _, p := range parts {
 			j.instr.Seeks++
 			if !p.atom.narrow(p.depth, v) {
 				ok = false
 				break
 			}
+			w *= float64(p.atom.iv[p.depth+1][1] - p.atom.iv[p.depth+1][0])
 		}
 		if ok {
-			vals = append(vals, v)
+			vals = append(vals, lvlVal{v: v, w: w})
 		}
 		r = drv.atom.nextBlock(drv.depth, r)
 		j.instr.Seeks++
@@ -87,39 +113,162 @@ func (j *driver) firstVarValues() []relation.Value {
 	return vals
 }
 
-// solveFirst binds the first variable to an already-intersected value
-// and solves the remaining variables sequentially. The narrows replay
-// work the coordinator's firstVarValues pass already counted, so they
-// deliberately do not touch Instr — summing the coordinator's and the
-// workers' counters then reproduces the sequential totals exactly.
-func (j *driver) solveFirst(v relation.Value) {
-	for _, p := range j.byVar[0] {
+// bindUncounted binds the pos-th variable to an already-intersected
+// value without touching Instr: the narrows replay work a coordinator
+// pass already charged, so summing the coordinator's and the workers'
+// counters reproduces the sequential totals exactly.
+func (j *driver) bindUncounted(pos int, v relation.Value) {
+	for _, p := range j.byVar[pos] {
 		if !p.atom.narrow(p.depth, v) {
 			panic("wcoj: parallel narrow must succeed on intersected value")
 		}
 	}
-	j.assigned[0] = v
-	j.solve(1)
+	j.assigned[pos] = v
 }
 
-// MaterializeParallel is Materialize with the first variable of the
-// order partitioned across workers, exploiting that Generic-Join
-// decomposes over the first variable's domain ("Skew Strikes Back",
-// Ngo–Ré–Rudra): a coordinator pass intersects the top level once, the
-// surviving values are split into contiguous chunks, and each chunk
-// runs the existing sequential driver on an independent cursor clone.
+// task is one unit of parallel work, in sequential output order: either
+// a contiguous run of light first-variable values, or one sub-range of
+// a heavy value's second-variable domain.
+type task struct {
+	light []relation.Value // light run (sub == nil)
+	heavy relation.Value   // bound first variable when sub != nil
+	sub   []relation.Value // second-variable values owned by this task
+}
+
+// run materializes the task's subtrees on a worker-local driver clone.
+func (t *task) run(w *driver) {
+	if t.sub == nil {
+		for _, v := range t.light {
+			w.bindUncounted(0, v)
+			w.solve(1)
+		}
+		return
+	}
+	w.bindUncounted(0, t.heavy)
+	for _, u := range t.sub {
+		w.bindUncounted(1, u)
+		w.solve(2)
+	}
+}
+
+// planTasks splits the surviving first-variable values into balanced
+// tasks following the heavy/light recipe of "Skew Strikes Back"
+// (Ngo–Ré–Rudra): a value whose work proxy exceeds the per-task budget
+// (total/chunks) is heavy, and instead of pinning its whole subtree to
+// one worker the coordinator descends one more level — replaying the
+// first-variable narrows uncounted, then running the sequential
+// position-1 loop with its Seeks charged to the coordinator, exactly as
+// solve(1) would — and spreads the surviving second-variable values
+// over several tasks. Light values are packed greedily into contiguous
+// runs of roughly one budget each. Hinted values (catalog heavy
+// hitters) qualify as heavy at half the local threshold. Tasks are
+// emitted in sequential traversal order, so concatenating their outputs
+// by task index reproduces the sequential output bit-for-bit, and the
+// Seeks charged here are precisely the ones the workers skip.
+func (j *driver) planTasks(vals []lvlVal, chunks int, hints SkewHints) []task {
+	total := 0.0
+	for _, lv := range vals {
+		total += lv.w
+	}
+	budget := total / float64(chunks)
+	var hinted []relation.Value
+	if hints != nil && len(j.varOrder) >= 2 {
+		hinted = append(hinted, hints(j.varOrder[0])...)
+		sort.Slice(hinted, func(a, b int) bool { return hinted[a] < hinted[b] })
+	}
+	isHinted := func(v relation.Value) bool {
+		i := sort.Search(len(hinted), func(k int) bool { return hinted[k] >= v })
+		return i < len(hinted) && hinted[i] == v
+	}
+	var tasks []task
+	var run []relation.Value
+	runW := 0.0
+	flush := func() {
+		if len(run) > 0 {
+			tasks = append(tasks, task{light: run})
+			run, runW = nil, 0
+		}
+	}
+	for _, lv := range vals {
+		heavy := len(j.varOrder) >= 2 && chunks > 1 &&
+			(lv.w > budget || (lv.w*2 > budget && isHinted(lv.v)))
+		if !heavy {
+			if runW+lv.w > budget {
+				flush()
+			}
+			run = append(run, lv.v)
+			runW += lv.w
+			continue
+		}
+		flush()
+		// The first-variable narrows were already charged by the
+		// top-level pass; the position-1 pass charges what sequential
+		// solve(1) would for this value.
+		j.bindUncounted(0, lv.v)
+		subs := j.levelValues(1)
+		if len(subs) == 0 {
+			continue
+		}
+		subW := 0.0
+		for _, s := range subs {
+			subW += s.w
+		}
+		parts := int(subW / budget)
+		if parts < 2 {
+			parts = 2
+		}
+		if parts > chunks {
+			parts = chunks
+		}
+		if parts > len(subs) {
+			parts = len(subs)
+		}
+		target := subW / float64(parts)
+		var sub []relation.Value
+		acc := 0.0
+		for _, s := range subs {
+			if len(sub) > 0 && acc+s.w > target {
+				tasks = append(tasks, task{heavy: lv.v, sub: sub})
+				sub, acc = nil, 0
+			}
+			sub = append(sub, s.v)
+			acc += s.w
+		}
+		if len(sub) > 0 {
+			tasks = append(tasks, task{heavy: lv.v, sub: sub})
+		}
+	}
+	flush()
+	return tasks
+}
+
+// MaterializeParallel is Materialize with the top of the join
+// partitioned across workers, exploiting that Generic-Join decomposes
+// over the first variable's domain. A coordinator pass intersects the
+// top level once; planTasks then splits the surviving values into
+// heavy/light tasks — heavy values are subdivided at the second
+// variable across workers instead of pinned to one — and each task runs
+// the existing sequential driver on an independent cursor clone.
 //
 // The result is bit-identical to Materialize — same tuples in the same
-// order (chunks are concatenated by partition index) and the same Instr
-// totals (the coordinator counts the top-level seeks once; workers
+// order (task outputs are concatenated by index) and the same Instr
+// totals (the coordinator charges the intersection passes once; workers
 // replay those narrows uncounted and sum their subtree counters after
-// the barrier) — whatever the worker count or scheduling.
+// the barrier) — whatever the worker count, hinting, or scheduling.
 //
 // workers <= 0 selects GOMAXPROCS; workers == 1 falls back to the
-// sequential Materialize. Cancellation is checked between partitions:
-// when ctx is done mid-materialisation no further partitions start and
-// ctx.Err() is returned with a nil relation.
+// sequential Materialize. Cancellation is checked between tasks: when
+// ctx is done mid-materialisation no further tasks start and ctx.Err()
+// is returned with a nil relation.
 func MaterializeParallel(ctx context.Context, atoms []Atom, varOrder []string, agg ranking.Aggregate, workers int) (*relation.Relation, *Instr, error) {
+	return MaterializeParallelHinted(ctx, atoms, varOrder, agg, workers, nil)
+}
+
+// MaterializeParallelHinted is MaterializeParallel with catalog skew
+// hints: hinted first-variable values are treated as heavy at a lower
+// threshold (see planTasks). Hints affect only load balance, never
+// results or Instr totals.
+func MaterializeParallelHinted(ctx context.Context, atoms []Atom, varOrder []string, agg ranking.Aggregate, workers int, hints SkewHints) (*relation.Relation, *Instr, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
@@ -131,7 +280,132 @@ func MaterializeParallel(ctx context.Context, atoms []Atom, varOrder []string, a
 	if err != nil {
 		return nil, nil, err
 	}
-	vals := base.firstVarValues()
+	vals := base.levelValues(0)
+	tasks := base.planTasks(vals, workers*chunkFactor, hints)
+	outs := make([]*relation.Relation, len(tasks))
+	instrs := make([]*Instr, len(tasks))
+	err = parallel.ForEach(ctx, workers, len(tasks), func(ti int) error {
+		out := relation.New("GJ", varOrder...)
+		w := base.clone(func(t relation.Tuple, wt float64) bool {
+			out.AddTuple(t, wt)
+			return true
+		})
+		tasks[ti].run(w)
+		outs[ti] = out
+		instrs[ti] = w.instr
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	out := relation.New("GJ", varOrder...)
+	instr := base.instr
+	for ti := range outs {
+		out.Tuples = append(out.Tuples, outs[ti].Tuples...)
+		out.Weights = append(out.Weights, outs[ti].Weights...)
+		instr.Seeks += instrs[ti].Seeks
+		instr.Emits += instrs[ti].Emits
+	}
+	return out, instr, nil
+}
+
+// TaskShares reports the parallel load balance of the two partitioning
+// strategies on one query: for each, the fraction of the total measured
+// join work (Seeks + Emits, counted by executing every task) that the
+// single largest task owns. With idle workers, wall-clock is bounded
+// below by the critical share, so on a skewed input legacy
+// first-variable chunking sits near the heavy hitter's share of the
+// join while the skew-aware planner approaches 1/(workers·chunkFactor)
+// — a machine-independent record of the speedup the heavy/light split
+// buys, meaningful even when measured on a single-core box.
+func TaskShares(atoms []Atom, varOrder []string, workers int, hints SkewHints) (chunked, skewAware float64, err error) {
+	workers = parallel.Degree(workers)
+	if workers < 2 {
+		workers = 2
+	}
+	// Clones share only the immutable sorted tries, so one driver per
+	// strategy measures every task from a pristine cursor stack.
+	taskWork := func(base *driver, run func(*driver)) float64 {
+		w := base.clone(func(relation.Tuple, float64) bool { return true })
+		run(w)
+		return float64(w.instr.Seeks + w.instr.Emits)
+	}
+	maxShare := func(works []float64) float64 {
+		total, max := 0.0, 0.0
+		for _, w := range works {
+			total += w
+			if w > max {
+				max = w
+			}
+		}
+		if total == 0 {
+			return 0
+		}
+		return max / total
+	}
+
+	base, jerr := newJoin(atoms, varOrder, ranking.SumCost{}, func(relation.Tuple, float64) bool { return true }, false)
+	if jerr != nil {
+		return 0, 0, jerr
+	}
+	vals := base.levelValues(0)
+	if len(vals) == 0 || len(varOrder) == 0 {
+		return 0, 0, nil
+	}
+
+	chunks := workers * chunkFactor
+	nChunks := chunks
+	if nChunks > len(vals) {
+		nChunks = len(vals)
+	}
+	chunkWorks := make([]float64, nChunks)
+	for ci := range chunkWorks {
+		lo, hi := ci*len(vals)/nChunks, (ci+1)*len(vals)/nChunks
+		chunkWorks[ci] = taskWork(base, func(w *driver) {
+			for _, lv := range vals[lo:hi] {
+				w.bindUncounted(0, lv.v)
+				w.solve(1)
+			}
+		})
+	}
+
+	planBase, jerr := newJoin(atoms, varOrder, ranking.SumCost{}, func(relation.Tuple, float64) bool { return true }, false)
+	if jerr != nil {
+		return 0, 0, jerr
+	}
+	tasks := planBase.planTasks(planBase.levelValues(0), chunks, hints)
+	taskWorks := make([]float64, len(tasks))
+	for ti := range tasks {
+		taskWorks[ti] = taskWork(planBase, func(w *driver) { tasks[ti].run(w) })
+	}
+	return maxShare(chunkWorks), maxShare(taskWorks), nil
+}
+
+// MaterializeParallelChunked is the pre-skew-aware parallel strategy:
+// the surviving first-variable values are split into contiguous
+// equal-count chunks, each pinned to one task regardless of subtree
+// size, so one heavy hitter pins most of the work to a single worker —
+// the pathology "Skew Strikes Back" names. It is kept only as the
+// baseline for the worker-imbalance regression benchmark. Results and
+// Instr totals are bit-identical to Materialize, exactly as for
+// MaterializeParallel.
+func MaterializeParallelChunked(ctx context.Context, atoms []Atom, varOrder []string, agg ranking.Aggregate, workers int) (*relation.Relation, *Instr, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	workers = parallel.Degree(workers)
+	if workers <= 1 || len(varOrder) == 0 {
+		return Materialize(atoms, varOrder, agg)
+	}
+	base, err := newJoin(atoms, varOrder, agg, nil, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	lvl := base.levelValues(0)
+	vals := make([]relation.Value, len(lvl))
+	for i, lv := range lvl {
+		vals[i] = lv.v
+	}
 	chunks := workers * chunkFactor
 	if chunks > len(vals) {
 		chunks = len(vals)
@@ -145,7 +419,8 @@ func MaterializeParallel(ctx context.Context, atoms []Atom, varOrder []string, a
 			return true
 		})
 		for _, v := range vals[ci*len(vals)/chunks : (ci+1)*len(vals)/chunks] {
-			w.solveFirst(v)
+			w.bindUncounted(0, v)
+			w.solve(1)
 		}
 		outs[ci] = out
 		instrs[ci] = w.instr

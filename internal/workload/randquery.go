@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/hypergraph"
+	"repro/internal/relation"
+)
+
+// RandomCQ generates a random conjunctive query with data — the input
+// of the randomized parity harness that checks skew-aware parallel,
+// sequential, and brute-force evaluation against each other. The seed
+// fully determines both shape and data.
+//
+// Shapes rotate through the planner's compile paths: random join trees
+// (acyclic), pure cycles of length 3..6 (the dedicated triangle/
+// 4-cycle/fan plans), and chorded cycles (the generic GHD planner).
+// nRels is an upper bound; small shapes use fewer relations.
+//
+// zipfS > 0 skews every join column's value distribution with a
+// Zipf(s) draw over the domain, concentrating tuples on few heavy
+// values — the regime the heavy/light partitioning must load-balance.
+// zipfS = 0 draws uniformly.
+func RandomCQ(nRels, tuplesPerRel, domain int, zipfS float64, w WeightFn, seed uint64) *Instance {
+	if nRels < 1 {
+		panic("workload: RandomCQ needs at least one relation")
+	}
+	rng := NewRand(seed)
+	var edges []hypergraph.Edge
+	fresh := 0
+	newVar := func() string {
+		v := fmt.Sprintf("V%d", fresh)
+		fresh++
+		return v
+	}
+	relName := func(i int) string { return fmt.Sprintf("R%d", i+1) }
+	// addEdge appends a binary edge, randomising the column order so
+	// flipped declarations (R(x,y) vs R(y,x)) stay covered.
+	addEdge := func(a, b string) {
+		vars := []string{a, b}
+		if rng.Intn(2) == 0 {
+			vars = []string{b, a}
+		}
+		edges = append(edges, hypergraph.Edge{Name: relName(len(edges)), Vars: vars})
+	}
+
+	switch shape := rng.Intn(3); {
+	case shape == 0 || nRels < 3:
+		// Random join tree: each new relation shares one variable with
+		// an earlier one (RandomTree's topology).
+		v0, v1 := newVar(), newVar()
+		addEdge(v0, v1)
+		for len(edges) < nRels {
+			parent := edges[rng.Intn(len(edges))]
+			addEdge(parent.Vars[rng.Intn(2)], newVar())
+		}
+	case shape == 1:
+		// Pure cycle of length 3..min(6, nRels).
+		l := 3 + rng.Intn(4)
+		if l > nRels {
+			l = nRels
+		}
+		vars := make([]string, l)
+		for i := range vars {
+			vars[i] = newVar()
+		}
+		for i := 0; i < l; i++ {
+			addEdge(vars[i], vars[(i+1)%l])
+		}
+	default:
+		// Cycle plus chords/pendants: the generic GHD path.
+		l := 3 + rng.Intn(3)
+		if l > nRels {
+			l = nRels
+		}
+		vars := make([]string, l)
+		for i := range vars {
+			vars[i] = newVar()
+		}
+		for i := 0; i < l; i++ {
+			addEdge(vars[i], vars[(i+1)%l])
+		}
+		for len(edges) < nRels {
+			a := vars[rng.Intn(l)]
+			if rng.Intn(2) == 0 { // chord
+				b := vars[rng.Intn(l)]
+				if b == a {
+					b = vars[(rng.Intn(l-1)+1+indexOf(vars, a))%l]
+				}
+				addEdge(a, b)
+			} else { // pendant
+				addEdge(a, newVar())
+			}
+		}
+	}
+
+	var zipf *Zipf
+	if zipfS > 0 {
+		zipf = NewZipf(rng, zipfS, domain)
+	}
+	draw := func() relation.Value {
+		if zipf != nil {
+			return relation.Value(zipf.Next())
+		}
+		return relation.Value(rng.Intn(domain))
+	}
+	rels := make([]*relation.Relation, len(edges))
+	for i, e := range edges {
+		r := relation.New(e.Name, "X", "Y")
+		for t := 0; t < tuplesPerRel; t++ {
+			r.AddWeighted(w(rng), draw(), draw())
+		}
+		rels[i] = r
+	}
+	return &Instance{H: hypergraph.New(edges...), Rels: rels}
+}
+
+func indexOf(vars []string, v string) int {
+	for i, x := range vars {
+		if x == v {
+			return i
+		}
+	}
+	return 0
+}

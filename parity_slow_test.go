@@ -1,0 +1,32 @@
+//go:build slow
+
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// The wide parity corpus: run with `go test -tags slow -run Slow`.
+// Larger queries, more seeds, and several worker counts per instance.
+func TestRandomizedParitySlow(t *testing.T) {
+	parityCorpus(t, 30, 5, 32, 9, 8)
+}
+
+func TestRandomizedParityWorkerSweepSlow(t *testing.T) {
+	for seed := 200; seed < 210; seed++ {
+		zipfS := 0.0
+		if seed%2 == 1 {
+			zipfS = 1.3
+		}
+		inst := workload.RandomCQ(5, 28, 8, zipfS,
+			workload.UniformWeights(), uint64(seed))
+		for _, workers := range []int{2, 3, 5, 16} {
+			t.Run(fmt.Sprintf("seed=%d/workers=%d", seed, workers), func(t *testing.T) {
+				parityCase(t, inst, workers)
+			})
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"reflect"
 	"sort"
 	"sync"
@@ -17,6 +18,8 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/ranking"
 	"repro/internal/relation"
+	"repro/internal/sample"
+	"repro/internal/wcoj"
 	"repro/internal/yannakakis"
 )
 
@@ -101,8 +104,29 @@ type Prepared struct {
 	estOutput float64
 	estBags   []float64
 
+	// srcEdges/srcRels retain the validated query atoms for every kind
+	// (aligned slices) — the uniform answer sampler walks the original
+	// atoms directly, whatever plan shape the handle compiled to.
+	srcEdges []hypergraph.Edge
+	srcRels  []*relation.Relation
+
+	// hints carries the cost model's Misra–Gries heavy hitters into the
+	// parallel bag materialisation (wcoj heavy/light partitioning); nil
+	// without a cost model.
+	hints wcoj.SkewHints
+
 	tdps    onceCache[*dp.TDP]      // acyclic: T-DP per ranking function
 	decomps onceCache[*decomp.Plan] // cyclic: decomposition per ranking function
+
+	// The sampler builds lazily on the first Sample call (it re-sorts
+	// every atom into its own tries) and is cached for the handle's
+	// lifetime; samplePerm maps outAttrs positions to sampler variable
+	// positions.
+	samplerMu  sync.Mutex
+	sampler    *sample.Sampler
+	samplerErr error
+	samplerSet bool
+	samplePerm []int
 }
 
 // onceCache memoizes one value per ranking function. The mutex guards
@@ -268,8 +292,10 @@ func Compile(q *Query, opts ...RunOption) (*Prepared, error) {
 		cm = catalog.NewCostModel(q.edges, q.rels, cfg.cat)
 	}
 	estOutput := 0.0
+	var hints wcoj.SkewHints
 	if cm != nil {
 		estOutput = cm.EstimateOutput()
+		hints = cm.HeavyValues
 	}
 	if h.IsAcyclic() {
 		yq, err := yannakakis.NewQuery(h, q.rels)
@@ -295,6 +321,9 @@ func Compile(q *Query, opts ...RunOption) (*Prepared, error) {
 			solutions:  plan.NumSolutions(),
 			yq:         yq,
 			plan:       plan,
+			srcEdges:   q.edges,
+			srcRels:    q.rels,
+			hints:      hints,
 			workers:    cfg.workers,
 			workersSet: cfg.workersSet,
 			// Instantiate passes run over the reduced plan, so the
@@ -314,6 +343,9 @@ func Compile(q *Query, opts ...RunOption) (*Prepared, error) {
 			solutions:  -1,
 			outAttrs:   cycleWalkVars(q.edges, order, flip),
 			cycleRels:  rels,
+			srcEdges:   q.edges,
+			srcRels:    q.rels,
+			hints:      hints,
 			workers:    cfg.workers,
 			workersSet: cfg.workersSet,
 			estTuples:  inputTuples,
@@ -360,6 +392,9 @@ func Compile(q *Query, opts ...RunOption) (*Prepared, error) {
 		ghdEdges:   q.edges,
 		ghdRels:    q.rels,
 		ghdDec:     dec,
+		srcEdges:   q.edges,
+		srcRels:    q.rels,
+		hints:      hints,
 		workers:    cfg.workers,
 		workersSet: cfg.workersSet,
 		estTuples:  inputTuples,
@@ -428,6 +463,17 @@ type PlanStats struct {
 	// data badly enough that recompiling against fresh statistics is
 	// warranted. The serving registry surfaces it per cached plan.
 	NeedsRecost bool `json:"needs_recost,omitempty"`
+	// AGMBound is the worst-case output bound the uniform answer
+	// sampler draws against (sample.Sampler.Bound); set once a Sample
+	// call has built the sampler.
+	AGMBound float64 `json:"agm_bound,omitempty"`
+	// SampleTrials/SampleAccepts are the sampler's cumulative rejection
+	// walk counters across every Sample call on the handle.
+	SampleTrials  int64 `json:"sample_trials,omitempty"`
+	SampleAccepts int64 `json:"sample_accepts,omitempty"`
+	// EstCardinality is the unbiased estimate of the number of distinct
+	// answers implied by those counters: acceptance rate × AGMBound.
+	EstCardinality float64 `json:"est_cardinality,omitempty"`
 }
 
 // RecostThreshold is the EstimatorError factor above which PlanStats
@@ -520,6 +566,12 @@ func (p *Prepared) PlanStats() PlanStats {
 		}
 		st.NeedsRecost = st.EstimatorError > RecostThreshold
 	}
+	p.samplerMu.Lock()
+	if p.samplerSet && p.sampler != nil {
+		st.AGMBound = p.sampler.Bound()
+		st.EstCardinality, st.SampleTrials, st.SampleAccepts = p.sampler.Estimate()
+	}
+	p.samplerMu.Unlock()
 	return st
 }
 
@@ -534,6 +586,8 @@ type runConfig struct {
 	cat        *catalog.Catalog
 	catSet     bool
 	cm         *catalog.CostModel
+	seed       uint64
+	seedSet    bool
 }
 
 // RunOption configures one execution of a Prepared query. The defaults
@@ -612,6 +666,18 @@ func WithStatistics(c *catalog.Catalog) RunOption {
 // by Compile; ignored on Run.
 func WithCostModel(m *catalog.CostModel) RunOption {
 	return func(cfg *runConfig) { cfg.cm = m }
+}
+
+// WithSeed fixes the RNG seed of a Sample call, making its draws
+// reproducible (equal seeds on equal handles draw equal answers). When
+// omitted, each Sample call takes the next seed from a process-wide
+// sequence, so repeated calls explore different draws. Ignored by
+// Run/TopK/Count — ranked enumeration is deterministic already.
+func WithSeed(seed uint64) RunOption {
+	return func(cfg *runConfig) {
+		cfg.seed = seed
+		cfg.seedSet = true
+	}
 }
 
 // Run executes the compiled plan and returns a ranked iterator. Always
@@ -736,6 +802,11 @@ func (p *Prepared) decompFor(agg ranking.Aggregate, ctx context.Context, workers
 
 func (p *Prepared) buildDecomp(agg ranking.Aggregate, ctx context.Context, workers int) (*decomp.Plan, error) {
 	opts := []decomp.PrepareOption{decomp.WithWorkers(workers), decomp.WithContext(ctx)}
+	if p.hints != nil {
+		// Catalog heavy hitters guide the intra-bag heavy/light split;
+		// every shape benefits, and results stay bit-identical.
+		opts = append(opts, decomp.WithSkewHints(p.hints))
+	}
 	if p.costBased && p.kind == kindGeneric {
 		// Cost-based compilations also pick each GHD bag's Generic-Join
 		// variable order from statistics over the bag's actual atoms.
@@ -758,4 +829,99 @@ func (p *Prepared) buildDecomp(agg ranking.Aggregate, ctx context.Context, worke
 	default:
 		return decomp.PrepareCycleSingleTree(p.cycleRels, agg, opts...)
 	}
+}
+
+// ErrTrialBudget reports that Sample's rejection walk ran out of trials
+// before drawing the requested number of samples — expected when the
+// join is empty or its answer count sits far below its AGM bound. The
+// samples drawn so far are still returned, and they are still uniform.
+var ErrTrialBudget = sample.ErrTrialBudget
+
+// sampleSeq feeds default seeds to Sample calls that pass no WithSeed.
+var sampleSeq atomic.Uint64
+
+// samplerFor returns the handle's uniform answer sampler, building and
+// caching it on first use: the query atoms are sorted into fresh tries
+// and the AGM-optimal fractional edge cover (hypergraph.AGMCover)
+// supplies the walk's per-prefix bounds. The build is independent of
+// ranking functions and plan shape — it walks the original atoms — and
+// costs one sort per atom, never a bag materialisation.
+func (p *Prepared) samplerFor() (*sample.Sampler, []int, error) {
+	p.samplerMu.Lock()
+	defer p.samplerMu.Unlock()
+	if p.samplerSet {
+		return p.sampler, p.samplePerm, p.samplerErr
+	}
+	build := func() (*sample.Sampler, []int, error) {
+		h := hypergraph.New(p.srcEdges...)
+		atoms := make([]wcoj.Atom, len(p.srcEdges))
+		sizes := make([]float64, len(p.srcEdges))
+		for i, e := range p.srcEdges {
+			atoms[i] = wcoj.Atom{Rel: p.srcRels[i], Vars: e.Vars}
+			// Clamp empties to 1: the cover LP needs positive sizes, and
+			// the sampler itself reports an empty relation as bound 0.
+			sizes[i] = math.Max(1, float64(p.srcRels[i].Len()))
+		}
+		lambda, _, err := h.AGMCover(sizes)
+		if err != nil {
+			return nil, nil, err
+		}
+		s, err := sample.New(atoms, wcoj.SuggestOrder(atoms), lambda)
+		if err != nil {
+			return nil, nil, err
+		}
+		pos := make(map[string]int, len(s.Vars()))
+		for i, v := range s.Vars() {
+			pos[v] = i
+		}
+		perm := make([]int, len(p.outAttrs))
+		for i, a := range p.outAttrs {
+			j, ok := pos[a]
+			if !ok {
+				return nil, nil, fmt.Errorf("repro: output attribute %s missing from sampler order", a)
+			}
+			perm[i] = j
+		}
+		return s, perm, nil
+	}
+	p.sampler, p.samplePerm, p.samplerErr = build()
+	p.samplerSet = true
+	return p.sampler, p.samplePerm, p.samplerErr
+}
+
+// Sample draws up to n uniform random samples from the query's answer
+// set without enumerating it (internal/sample's AGM rejection walk over
+// the original atoms). Sampling is uniform over distinct variable
+// assignments; each comes back as a Result in OutAttrs order whose
+// weight aggregates one uniformly chosen witness row per atom under the
+// run's ranking function — samples are not ranked. Honors WithContext,
+// WithRanking and WithSeed; every call also advances the handle's
+// cumulative cardinality estimate (PlanStats.EstCardinality). A join
+// whose answer count is far below its AGM bound can exhaust the trial
+// budget first: the samples drawn so far return with
+// sample.ErrTrialBudget, and an empty join yields zero samples.
+func (p *Prepared) Sample(n int, opts ...RunOption) ([]Result, error) {
+	//anykvet:allow ctxplumb -- documented option default; callers attach cancellation via WithContext
+	cfg := runConfig{agg: SumCost, ctx: context.Background()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	s, perm, err := p.samplerFor()
+	if err != nil {
+		return nil, err
+	}
+	seed := cfg.seed
+	if !cfg.seedSet {
+		seed = sampleSeq.Add(1)
+	}
+	ans, err := s.Sample(cfg.ctx, n, seed, cfg.agg)
+	out := make([]Result, len(ans))
+	for i, a := range ans {
+		t := make(relation.Tuple, len(perm))
+		for j, sp := range perm {
+			t[j] = a.Tuple[sp]
+		}
+		out[i] = Result{Tuple: t, Weight: a.Weight}
+	}
+	return out, err
 }

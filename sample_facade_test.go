@@ -1,0 +1,186 @@
+package repro
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+)
+
+// sampleEdges builds a duplicate-free edge list with one hub vertex, so
+// triangle joins over it have a few hundred answers and a clear heavy
+// hitter.
+func sampleEdges(n int) ([]Tuple, []float64) {
+	var tuples []Tuple
+	var weights []float64
+	add := func(a, b int64) {
+		tuples = append(tuples, Tuple{a, b})
+		weights = append(weights, float64(a)+float64(b)/1000)
+	}
+	for j := int64(1); j < int64(n); j++ {
+		add(0, j)
+		add(j, 0)
+		add(j, j%int64(n-1)+1)
+	}
+	return tuples, weights
+}
+
+// answerKey renders a result tuple as a map key.
+func answerKey(t Tuple) string {
+	key := ""
+	for _, v := range t {
+		key += fmt.Sprintf("%d,", v)
+	}
+	return key
+}
+
+// assertSamplesInAnswers checks that every drawn sample is a real join
+// answer with the answer's weight (1e-9: sampler and plan may combine
+// weights in different orders).
+func assertSamplesInAnswers(t *testing.T, samples, answers []Result) {
+	t.Helper()
+	want := map[string]float64{}
+	for _, r := range answers {
+		key := answerKey(r.Tuple)
+		if _, dup := want[key]; dup {
+			t.Fatalf("fixture produced duplicate answer %s; the check needs set semantics", key)
+		}
+		want[key] = r.Weight
+	}
+	for _, s := range samples {
+		key := answerKey(s.Tuple)
+		w, ok := want[key]
+		if !ok {
+			t.Fatalf("sampled tuple %v is not a join answer", s.Tuple)
+		}
+		if math.Abs(s.Weight-w) > 1e-9 {
+			t.Fatalf("sampled tuple %v weight %v, enumeration says %v", s.Tuple, s.Weight, w)
+		}
+	}
+}
+
+func TestSampleTriangle(t *testing.T) {
+	tuples, weights := sampleEdges(24)
+	q := NewQuery().
+		Rel("R", []string{"A", "B"}, tuples, weights).
+		Rel("S", []string{"B", "C"}, tuples, weights).
+		Rel("T", []string{"C", "A"}, tuples, weights)
+	p, err := Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers, err := p.TopK(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) == 0 {
+		t.Fatal("fixture has no triangle answers")
+	}
+	samples, err := p.Sample(64, WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 64 {
+		t.Fatalf("drew %d samples, want 64", len(samples))
+	}
+	assertSamplesInAnswers(t, samples, answers)
+
+	st := p.PlanStats()
+	if st.AGMBound <= 0 {
+		t.Fatalf("PlanStats.AGMBound = %v, want > 0", st.AGMBound)
+	}
+	if st.SampleTrials <= 0 || st.SampleAccepts < 64 {
+		t.Fatalf("PlanStats counters trials=%d accepts=%d", st.SampleTrials, st.SampleAccepts)
+	}
+	// The estimate is unbiased with binomial noise; with ≥ 64 accepts it
+	// lands within a small factor of the truth.
+	truth := float64(len(answers))
+	if st.EstCardinality < truth/3 || st.EstCardinality > truth*3 {
+		t.Fatalf("EstCardinality = %v, enumeration found %v", st.EstCardinality, truth)
+	}
+}
+
+func TestSampleAcyclic(t *testing.T) {
+	tuples, weights := sampleEdges(16)
+	q := NewQuery().
+		Rel("R1", []string{"A", "B"}, tuples, weights).
+		Rel("R2", []string{"B", "C"}, tuples, weights)
+	p, err := Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers, err := p.TopK(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := p.Sample(50, WithSeed(11), WithRanking(MaxCost))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 50 {
+		t.Fatalf("drew %d samples, want 50", len(samples))
+	}
+	// Weights rank under MaxCost here, so only membership is compared.
+	keys := map[string]bool{}
+	for _, r := range answers {
+		keys[answerKey(r.Tuple)] = true
+	}
+	for _, s := range samples {
+		if !keys[answerKey(s.Tuple)] {
+			t.Fatalf("sampled tuple %v is not a join answer", s.Tuple)
+		}
+	}
+}
+
+func TestSampleSeedDeterminism(t *testing.T) {
+	tuples, weights := sampleEdges(20)
+	q := NewQuery().
+		Rel("R", []string{"A", "B"}, tuples, weights).
+		Rel("S", []string{"B", "C"}, tuples, weights).
+		Rel("T", []string{"C", "A"}, tuples, weights)
+	p, err := Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.Sample(32, WithSeed(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Sample(32, WithSeed(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed drew %d vs %d samples", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Weight != b[i].Weight || answerKey(a[i].Tuple) != answerKey(b[i].Tuple) {
+			t.Fatalf("same seed diverged at draw %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestSampleDisjoint: a join with no answers exhausts the trial budget
+// and says so, returning zero samples and a zero estimate.
+func TestSampleDisjoint(t *testing.T) {
+	left := []Tuple{{1, 2}, {3, 4}}
+	right := []Tuple{{5, 6}, {7, 8}}
+	w := []float64{1, 2}
+	q := NewQuery().
+		Rel("L", []string{"A", "B"}, left, w).
+		Rel("R", []string{"B", "C"}, right, w)
+	p, err := Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := p.Sample(5, WithSeed(1))
+	if !errors.Is(err, ErrTrialBudget) {
+		t.Fatalf("err = %v, want ErrTrialBudget", err)
+	}
+	if len(samples) != 0 {
+		t.Fatalf("drew %d samples from an empty join", len(samples))
+	}
+	if st := p.PlanStats(); st.EstCardinality != 0 || st.SampleTrials == 0 {
+		t.Fatalf("stats after empty join: %+v", st)
+	}
+}
