@@ -110,7 +110,7 @@ func TestDefaultParallelismThreshold(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got := p.prepareWorkers(runConfig{}); got != parallel.Degree(0) {
+		if got := p.prepareWorkers(runConfig{}, p.state.Load().estTuples); got != parallel.Degree(0) {
 			t.Fatalf("above threshold: workers = %d, want GOMAXPROCS = %d", got, parallel.Degree(0))
 		}
 		if want, err = p.TopK(300); err != nil {
@@ -122,7 +122,7 @@ func TestDefaultParallelismThreshold(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got := p.prepareWorkers(runConfig{}); got != 1 {
+		if got := p.prepareWorkers(runConfig{}, p.state.Load().estTuples); got != 1 {
 			t.Fatalf("below threshold: workers = %d, want 1", got)
 		}
 		got, err := p.TopK(300)
@@ -132,14 +132,14 @@ func TestDefaultParallelismThreshold(t *testing.T) {
 		assertSameResults(t, "threshold-default", got, want)
 
 		// Explicit parallelism overrides the threshold in both directions.
-		if got := p.prepareWorkers(runConfig{workers: 3, workersSet: true}); got != 3 {
+		if got := p.prepareWorkers(runConfig{workers: 3, workersSet: true}, p.state.Load().estTuples); got != 3 {
 			t.Fatalf("explicit run override: workers = %d, want 3", got)
 		}
 		pc, err := Compile(starQuery(), WithParallelism(2))
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got := pc.prepareWorkers(runConfig{}); got != 2 {
+		if got := pc.prepareWorkers(runConfig{}, pc.state.Load().estTuples); got != 2 {
 			t.Fatalf("explicit compile default: workers = %d, want 2", got)
 		}
 	})

@@ -32,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -308,6 +309,28 @@ type benchReport struct {
 	SampleEstCard      float64 `json:"sample_est_cardinality"`
 	SampleExhausted    bool    `json:"sample_exhausted"`
 
+	// Incremental deltas vs cold re-preparation, on a path join with the
+	// delta landing on one end relation: a small append+delete batch
+	// lands on a warm handle through Prepared.ApplyDelta
+	// (delta_apply_ns — semi-joins, regrouping, and π recomputation
+	// re-run only along the changed paths), against the full cold path
+	// on the updated data — Compile plus the first ranked run
+	// (cold_prepare_ns), which is what a serving layer without deltas
+	// pays on every data change. The bench verifies the patched handle
+	// and the cold handle agree on the full top-k answer before
+	// recording anything. delta_nodes_reused / delta_nodes_recomputed
+	// (and the bag counters on GHD shapes) record *why* the delta is
+	// cheap.
+	DeltaShape           string `json:"delta_shape"`
+	DeltaAppendRows      int    `json:"delta_append_rows"`
+	DeltaDeleteRows      int    `json:"delta_delete_rows"`
+	DeltaApplyNs         int64  `json:"delta_apply_ns"`
+	ColdPrepareNs        int64  `json:"cold_prepare_ns"`
+	DeltaBagsReused      int64  `json:"delta_bags_reused"`
+	DeltaBagsRebuilt     int64  `json:"delta_bags_rebuilt"`
+	DeltaNodesReused     int64  `json:"delta_nodes_reused"`
+	DeltaNodesRecomputed int64  `json:"delta_nodes_recomputed"`
+
 	// Serving layer (-serve): warm top-k throughput through the full
 	// HTTP stack — internal/server with its plan registry, admission
 	// control, and NDJSON streaming — measured with ServeClients
@@ -318,6 +341,13 @@ type benchReport struct {
 	ServeClients   int     `json:"serve_clients,omitempty"`
 	ServeK         int     `json:"serve_k,omitempty"`
 	ServeCacheHits int64   `json:"serve_cache_hits,omitempty"`
+	// After the QPS run, one PATCH delta lands on a dataset and one more
+	// warm request follows: serve_patch_warm records whether the plan
+	// registry kept the entry warm across the delta (X-Plan-Cache: hit —
+	// the tentpole claim, end to end), serve_patch_ns the PATCH
+	// round-trip including plan propagation.
+	ServePatchWarm bool  `json:"serve_patch_warm,omitempty"`
+	ServePatchNs   int64 `json:"serve_patch_ns,omitempty"`
 }
 
 // bowtieBench builds the bowtie query (two triangles sharing A — a
@@ -413,7 +443,7 @@ func measureMaterialize(run func() error) (time.Duration, error) {
 // stays outside the timer, and the best of three fresh-handle samples
 // is reported so the recorded ratios reflect the per-ranking prepare
 // work rather than one-off cache or GC noise.
-func measurePrepare(q *repro.Query, opts ...repro.RunOption) (time.Duration, error) {
+func measurePrepare(q *repro.Query, opts ...repro.CompileOption) (time.Duration, error) {
 	var best time.Duration
 	for i := 0; i < 3; i++ {
 		p, err := repro.Compile(q, opts...)
@@ -437,8 +467,11 @@ func measurePrepare(q *repro.Query, opts ...repro.RunOption) (time.Duration, err
 // request, then hammers /topk with `clients` concurrent clients for
 // `requests` total requests. It returns the end-to-end QPS and the
 // plan-registry hit count (which must account for every warm request —
-// zero re-preparation is the serving layer's core claim).
-func measureServe(inst *workload.Instance, k, clients, requests int) (qps float64, cacheHits int64, err error) {
+// zero re-preparation is the serving layer's core claim). Afterwards
+// one PATCH delta lands on the first dataset and one more request
+// follows: patchWarm reports whether the registry entry survived the
+// delta (X-Plan-Cache: hit), patchNs the PATCH round-trip.
+func measureServe(inst *workload.Instance, k, clients, requests int) (qps float64, cacheHits int64, patchWarm bool, patchNs int64, err error) {
 	s := server.New(server.Config{MaxInflight: clients * 2})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -466,12 +499,12 @@ func measureServe(inst *workload.Instance, k, clients, requests int) (qps float6
 		if err := post(ts.URL+"/v1/datasets/"+dsName, map[string]any{
 			"tuples": r.Tuples, "weights": r.Weights,
 		}); err != nil {
-			return 0, 0, err
+			return 0, 0, false, 0, err
 		}
 		atoms[i] = map[string]any{"dataset": dsName, "vars": inst.H.Edges[i].Vars}
 	}
 	if err := post(ts.URL+"/v1/queries/serve_path", map[string]any{"atoms": atoms}); err != nil {
-		return 0, 0, err
+		return 0, 0, false, 0, err
 	}
 
 	topkURL := fmt.Sprintf("%s/v1/query/serve_path/topk?k=%d", ts.URL, k)
@@ -488,7 +521,7 @@ func measureServe(inst *workload.Instance, k, clients, requests int) (qps float6
 		return nil
 	}
 	if err := get(); err != nil { // cold request builds + warms the plan
-		return 0, 0, err
+		return 0, 0, false, 0, err
 	}
 
 	start := time.Now()
@@ -511,13 +544,13 @@ func measureServe(inst *workload.Instance, k, clients, requests int) (qps float6
 	elapsed := time.Since(start)
 	close(errCh)
 	if err := <-errCh; err != nil {
-		return 0, 0, err
+		return 0, 0, false, 0, err
 	}
 
 	// Read the registry hit count back through the public stats surface.
 	resp, err := http.Get(ts.URL + "/v1/stats")
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, false, 0, err
 	}
 	defer resp.Body.Close()
 	var st struct {
@@ -526,9 +559,47 @@ func measureServe(inst *workload.Instance, k, clients, requests int) (qps float6
 		} `json:"registry"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		return 0, 0, err
+		return 0, 0, false, 0, err
 	}
-	return float64(per*clients) / elapsed.Seconds(), st.Registry.Hits, nil
+	qps = float64(per*clients) / elapsed.Seconds()
+	cacheHits = st.Registry.Hits
+
+	// One PATCH delta on the first dataset — then the next warm request
+	// must still be a registry hit: the plan was advanced in place, not
+	// dropped and recompiled.
+	patchPayload, err := json.Marshal(map[string]any{
+		"append": []any{[]any{1, 2}}, "append_weights": []float64{0.5},
+	})
+	if err != nil {
+		return 0, 0, false, 0, err
+	}
+	patchStart := time.Now()
+	req, err := http.NewRequest(http.MethodPatch, ts.URL+"/v1/datasets/serve_r0", bytes.NewReader(patchPayload))
+	if err != nil {
+		return 0, 0, false, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	presp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, 0, false, 0, err
+	}
+	io.Copy(io.Discard, presp.Body)
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusOK {
+		return 0, 0, false, 0, fmt.Errorf("PATCH serve_r0: status %d", presp.StatusCode)
+	}
+	patchNs = time.Since(patchStart).Nanoseconds()
+	wresp, err := http.Get(topkURL)
+	if err != nil {
+		return 0, 0, false, 0, err
+	}
+	io.Copy(io.Discard, wresp.Body)
+	wresp.Body.Close()
+	if wresp.StatusCode != http.StatusOK {
+		return 0, 0, false, 0, fmt.Errorf("post-patch topk: status %d", wresp.StatusCode)
+	}
+	patchWarm = wresp.Header.Get("X-Plan-Cache") == "hit"
+	return qps, cacheHits, patchWarm, patchNs, nil
 }
 
 // writeBenchJSON compiles a 4-relation path query once and measures
@@ -742,9 +813,123 @@ func writeBenchJSON(name, scale string, cfg scaleCfg, workers int, serve bool) (
 	report.SampleEstCard = sampleStats.EstCardinality
 	report.SampleExhausted = errors.Is(err, repro.ErrTrialBudget)
 
+	// Incremental delta vs cold re-prepare. Three fresh warm handles each
+	// take the same batch (best-of-three), against best-of-three full
+	// cold paths (Compile + first ranked run) on the post-delta data.
+	// The fixture is an 8-relation path join with the delta landing on
+	// one end: the changed-path reducer re-runs semi-joins, regrouping,
+	// and π recomputation only around that end, while the cold side pays
+	// the full pipeline on every relation.
+	cinst := workload.Path(8, cfg.e4n, cfg.e4n/5+1, workload.UniformWeights(), 42)
+	const deltaAppend, deltaDelete = 16, 8
+	drng := rand.New(rand.NewSource(99))
+	deltaRel := len(cinst.Rels) - 1
+	target := cinst.Rels[deltaRel]
+	deltaBatch := []repro.Delta{{Rel: target.Name}}
+	for i := 0; i < deltaAppend; i++ {
+		t := make(repro.Tuple, len(cinst.H.Edges[deltaRel].Vars))
+		for c := range t {
+			t[c] = repro.Value(drng.Intn(200))
+		}
+		deltaBatch[0].Append = append(deltaBatch[0].Append, t)
+		deltaBatch[0].AppendWeights = append(deltaBatch[0].AppendWeights, drng.Float64())
+	}
+	for i := 0; i < deltaDelete; i++ {
+		deltaBatch[0].Delete = append(deltaBatch[0].Delete, target.Tuples[drng.Intn(len(target.Tuples))])
+	}
+	mkDeltaQuery := func(relT []repro.Tuple, relW []float64) *repro.Query {
+		q := repro.NewQuery()
+		for i, r := range cinst.Rels {
+			ts, ws := r.Tuples, r.Weights
+			if i == deltaRel {
+				ts, ws = relT, relW
+			}
+			q.Rel(r.Name, cinst.H.Edges[i].Vars, ts, ws)
+		}
+		return q
+	}
+	// Mirror relation 0 after the batch, for the cold side.
+	kill := make(map[string]bool, deltaDelete)
+	for _, t := range deltaBatch[0].Delete {
+		kill[fmt.Sprint(t)] = true
+	}
+	var newT []repro.Tuple
+	var newW []float64
+	for i, t := range target.Tuples {
+		if !kill[fmt.Sprint(t)] {
+			newT = append(newT, t)
+			newW = append(newW, target.Weights[i])
+		}
+	}
+	newT = append(newT, deltaBatch[0].Append...)
+	newW = append(newW, deltaBatch[0].AppendWeights...)
+
+	var deltaBest, coldBest time.Duration
+	var patchedP, coldP *repro.Prepared
+	for i := 0; i < 3; i++ {
+		pd, err := repro.Compile(mkDeltaQuery(target.Tuples, target.Weights))
+		if err != nil {
+			return "", err
+		}
+		if _, err := pd.TopK(1); err != nil { // warm before the delta
+			return "", err
+		}
+		start := time.Now()
+		if err := pd.ApplyDelta(deltaBatch); err != nil {
+			return "", fmt.Errorf("delta: %w", err)
+		}
+		if d := time.Since(start); deltaBest == 0 || d < deltaBest {
+			deltaBest = d
+		}
+		patchedP = pd
+	}
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		pc, err := repro.Compile(mkDeltaQuery(newT, newW))
+		if err != nil {
+			return "", err
+		}
+		if _, err := pc.TopK(1); err != nil {
+			return "", err
+		}
+		if d := time.Since(start); coldBest == 0 || d < coldBest {
+			coldBest = d
+		}
+		coldP = pc
+	}
+	// The patched and cold handles must agree on the full top-k answer
+	// (tolerance compare: cost-based planning may legally choose a
+	// different bag structure on each side).
+	rdlt, err := patchedP.TopK(k)
+	if err != nil {
+		return "", err
+	}
+	rcold, err := coldP.TopK(k)
+	if err != nil {
+		return "", err
+	}
+	if len(rdlt) != len(rcold) {
+		return "", fmt.Errorf("delta check: patched handle returned %d results, cold %d", len(rdlt), len(rcold))
+	}
+	for i := range rdlt {
+		if d := rdlt[i].Weight - rcold[i].Weight; d > 1e-9 || d < -1e-9 {
+			return "", fmt.Errorf("delta check: result %d weight differs: patched %g vs cold %g", i, rdlt[i].Weight, rcold[i].Weight)
+		}
+	}
+	dps := patchedP.PlanStats()
+	report.DeltaShape = "path8"
+	report.DeltaAppendRows = deltaAppend
+	report.DeltaDeleteRows = deltaDelete
+	report.DeltaApplyNs = deltaBest.Nanoseconds()
+	report.ColdPrepareNs = coldBest.Nanoseconds()
+	report.DeltaBagsReused = dps.DeltaBagsReused
+	report.DeltaBagsRebuilt = dps.DeltaBagsRebuilt
+	report.DeltaNodesReused = dps.DeltaNodesReused
+	report.DeltaNodesRecomputed = dps.DeltaNodesRecomputed
+
 	if serve {
 		clients, requests, serveK := 4, 400, 10
-		qps, cacheHits, err := measureServe(inst, serveK, clients, requests)
+		qps, cacheHits, patchWarm, patchNs, err := measureServe(inst, serveK, clients, requests)
 		if err != nil {
 			return "", fmt.Errorf("serve: %w", err)
 		}
@@ -753,6 +938,8 @@ func writeBenchJSON(name, scale string, cfg scaleCfg, workers int, serve bool) (
 		report.ServeClients = clients
 		report.ServeK = serveK
 		report.ServeCacheHits = cacheHits
+		report.ServePatchWarm = patchWarm
+		report.ServePatchNs = patchNs
 	}
 
 	path := fmt.Sprintf("BENCH_%s.json", name)

@@ -1,0 +1,290 @@
+// Command apidiff guards the exported API surface of package repro.
+//
+// It renders the package's exported declarations — funcs, methods on
+// exported types, types (with exported struct fields and interface
+// methods only), consts, and vars — into a sorted, one-line-per-item
+// textual dump, and compares it against the committed golden file
+// api/repro.api:
+//
+//	go run ./cmd/apidiff -check   # fail when the surface drifted (CI)
+//	go run ./cmd/apidiff -write   # regenerate the golden after a
+//	                              # deliberate, reviewed API change
+//
+// The golden file is the declaration mechanism: any change to the
+// exported surface — a removed function, a changed signature, an option
+// moving to a new type — fails CI until the same commit regenerates
+// api/repro.api, which makes the change (and its full extent) visible
+// in review. The dump is purely syntactic (go/parser, no type
+// checking), so it runs in milliseconds and needs no build cache.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+func main() {
+	var (
+		dir    = flag.String("dir", ".", "directory of the package to dump")
+		golden = flag.String("golden", "api/repro.api", "golden API file, relative to -dir")
+		write  = flag.Bool("write", false, "regenerate the golden file")
+		check  = flag.Bool("check", true, "fail when the surface differs from the golden")
+	)
+	flag.Parse()
+
+	dump, err := DumpDir(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apidiff:", err)
+		os.Exit(2)
+	}
+	path := filepath.Join(*dir, *golden)
+	if *write {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "apidiff:", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(path, []byte(dump), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "apidiff:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("apidiff: wrote %s (%d declarations)\n", path, strings.Count(dump, "\n"))
+		return
+	}
+	if !*check {
+		fmt.Print(dump)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "apidiff: no golden file %s (run with -write to create it): %v\n", path, err)
+		os.Exit(1)
+	}
+	if diff := Diff(string(want), dump); diff != "" {
+		fmt.Fprintf(os.Stderr, "apidiff: exported API of %s differs from %s:\n%s", *dir, path, diff)
+		fmt.Fprintf(os.Stderr, "\nIf this change is intentional, declare it by regenerating the golden:\n\tgo run ./cmd/apidiff -write\nand commit the updated %s alongside the code change.\n", *golden)
+		os.Exit(1)
+	}
+	fmt.Printf("apidiff: %s matches %s\n", *dir, path)
+}
+
+// DumpDir renders the exported API of the (non-test) Go files in dir as
+// a sorted newline-terminated list, one declaration per line.
+func DumpDir(dir string) (string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.SkipObjectResolution)
+	if err != nil {
+		return "", err
+	}
+	var lines []string
+	for _, pkg := range pkgs {
+		if strings.HasSuffix(pkg.Name, "_test") || pkg.Name == "main" {
+			continue
+		}
+		for _, f := range pkg.Files {
+			lines = append(lines, dumpFile(fset, f)...)
+		}
+	}
+	sort.Strings(lines)
+	// A declaration split across files (e.g. paired const blocks) can
+	// repeat; the surface is a set.
+	lines = dedupe(lines)
+	return strings.Join(lines, "\n") + "\n", nil
+}
+
+func dedupe(lines []string) []string {
+	out := lines[:0]
+	for i, l := range lines {
+		if i == 0 || l != lines[i-1] {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+var spaceRe = regexp.MustCompile(`\s+`)
+
+// render prints an AST node on one normalized line.
+func render(fset *token.FileSet, n any) string {
+	var b strings.Builder
+	printer.Fprint(&b, fset, n)
+	return spaceRe.ReplaceAllString(b.String(), " ")
+}
+
+func dumpFile(fset *token.FileSet, f *ast.File) []string {
+	var lines []string
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() {
+				continue
+			}
+			if d.Recv != nil && !exportedReceiver(d.Recv) {
+				continue
+			}
+			fd := *d
+			fd.Body = nil
+			fd.Doc = nil
+			lines = append(lines, render(fset, &fd))
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch sp := spec.(type) {
+				case *ast.TypeSpec:
+					if !sp.Name.IsExported() {
+						continue
+					}
+					lines = append(lines, renderType(fset, sp))
+				case *ast.ValueSpec:
+					kw := "var"
+					if d.Tok == token.CONST {
+						kw = "const"
+					}
+					for _, name := range sp.Names {
+						if !name.IsExported() {
+							continue
+						}
+						line := kw + " " + name.Name
+						if sp.Type != nil {
+							line += " " + render(fset, sp.Type)
+						}
+						lines = append(lines, line)
+					}
+				}
+			}
+		}
+	}
+	return lines
+}
+
+// exportedReceiver reports whether a method's receiver base type is
+// exported — methods on unexported types are not API (promoted methods
+// through exported embeddings are a type-checker-level nicety this
+// syntactic guard deliberately skips).
+func exportedReceiver(recv *ast.FieldList) bool {
+	if len(recv.List) != 1 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+// renderType prints a type declaration, trimming struct and interface
+// bodies to their exported members — unexported fields and methods can
+// change freely without being an API break.
+func renderType(fset *token.FileSet, sp *ast.TypeSpec) string {
+	assign := " "
+	if sp.Assign.IsValid() {
+		assign = " = "
+	}
+	switch t := sp.Type.(type) {
+	case *ast.StructType:
+		var fields []string
+		for _, f := range t.Fields.List {
+			if len(f.Names) == 0 { // embedded
+				if exportedEmbedded(f.Type) {
+					fields = append(fields, render(fset, f.Type))
+				}
+				continue
+			}
+			var names []string
+			for _, n := range f.Names {
+				if n.IsExported() {
+					names = append(names, n.Name)
+				}
+			}
+			if len(names) > 0 {
+				fields = append(fields, strings.Join(names, ", ")+" "+render(fset, f.Type))
+			}
+		}
+		return "type " + sp.Name.Name + assign + "struct { " + strings.Join(fields, "; ") + " }"
+	case *ast.InterfaceType:
+		var methods []string
+		for _, m := range t.Methods.List {
+			if len(m.Names) == 0 { // embedded interface
+				methods = append(methods, render(fset, m.Type))
+				continue
+			}
+			for _, n := range m.Names {
+				if n.IsExported() {
+					methods = append(methods, n.Name+strings.TrimPrefix(render(fset, m.Type), "func"))
+				}
+			}
+		}
+		return "type " + sp.Name.Name + assign + "interface { " + strings.Join(methods, "; ") + " }"
+	default:
+		return "type " + sp.Name.Name + assign + render(fset, sp.Type)
+	}
+}
+
+func exportedEmbedded(t ast.Expr) bool {
+	switch tt := t.(type) {
+	case *ast.StarExpr:
+		return exportedEmbedded(tt.X)
+	case *ast.Ident:
+		return tt.IsExported()
+	case *ast.SelectorExpr:
+		return tt.Sel.IsExported()
+	default:
+		return false
+	}
+}
+
+// Diff reports line-level additions and removals between two sorted
+// dumps (a set diff — order carries no meaning in the surface).
+func Diff(want, got string) string {
+	w := splitSet(want)
+	g := splitSet(got)
+	var b strings.Builder
+	var keys []string
+	for k := range w {
+		keys = append(keys, k)
+	}
+	for k := range g {
+		if !w[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		switch {
+		case w[k] && !g[k]:
+			fmt.Fprintf(&b, "  - %s\n", k)
+		case !w[k] && g[k]:
+			fmt.Fprintf(&b, "  + %s\n", k)
+		}
+	}
+	return b.String()
+}
+
+func splitSet(s string) map[string]bool {
+	m := make(map[string]bool)
+	for _, l := range strings.Split(s, "\n") {
+		if l = strings.TrimSpace(l); l != "" {
+			m[l] = true
+		}
+	}
+	return m
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestExportedAPIMatchesGolden makes plain `go test ./...` enforce the
+// API guard, not just the dedicated CI job: the exported surface of
+// package repro must match the committed api/repro.api. A deliberate
+// API change regenerates the golden in the same commit:
+//
+//	go run ./cmd/apidiff -write
+func TestExportedAPIMatchesGolden(t *testing.T) {
+	root := filepath.Join("..", "..")
+	dump, err := DumpDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenPath := filepath.Join(root, "api", "repro.api")
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden (go run ./cmd/apidiff -write): %v", err)
+	}
+	if diff := Diff(string(want), dump); diff != "" {
+		t.Fatalf("exported API of package repro differs from api/repro.api:\n%s\ndeclare the change by regenerating the golden: go run ./cmd/apidiff -write", diff)
+	}
+}
+
+// TestDumpIsDeterministic pins that two dumps of the same tree are
+// byte-identical (sorted, deduplicated) — the property the golden diff
+// relies on.
+func TestDumpIsDeterministic(t *testing.T) {
+	root := filepath.Join("..", "..")
+	a, err := DumpDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DumpDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("DumpDir is not deterministic")
+	}
+}

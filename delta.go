@@ -1,0 +1,283 @@
+package repro
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"repro/internal/decomp"
+	"repro/internal/dp"
+	"repro/internal/hypergraph"
+	"repro/internal/ranking"
+	"repro/internal/relation"
+	"repro/internal/yannakakis"
+)
+
+// Delta is one batch of changes to a single query atom (relation).
+// Within a Delta, Delete applies before Append: every existing row
+// whose values equal some Delete tuple is removed (all duplicates, on
+// values only — weights are not consulted), then the Append rows are
+// added in order with their AppendWeights (nil means all-zero weights).
+// Multiple Deltas addressing the same atom in one ApplyDelta call apply
+// in slice order, each seeing its predecessors' effect.
+type Delta struct {
+	// Rel names the query atom the batch targets (the relation name
+	// passed to Query.Rel).
+	Rel string
+	// Append rows must match the atom's arity.
+	Append []Tuple
+	// AppendWeights, when non-nil, must have one weight per Append row.
+	AppendWeights []float64
+	// Delete rows must match the atom's arity.
+	Delete []Tuple
+}
+
+// ApplyDelta advances the handle to a new data epoch reflecting the
+// given per-relation append/delete batches, patching the prepared
+// artefacts incrementally instead of recompiling: the acyclic join
+// tree re-runs semi-joins, regrouping, and π recomputation only along
+// the paths the delta actually reached (clean subtrees alias the old
+// epoch's reduced relations outright);
+// GHD plans re-materialise only bags with a changed input; the cycle
+// shapes re-derive their canonical relations and re-prepare. Every
+// ranking function that was already built stays built — its patched
+// artefact is seeded into the new epoch — so warm callers never see a
+// cold prepare after a delta. Results after ApplyDelta are
+// bit-identical to a cold Compile on the updated data.
+//
+// Honors WithContext and WithParallelism for the patch work; other run
+// options are ignored. On error nothing changes: the handle keeps
+// serving its current epoch. A call whose batches change no rows (all
+// deletes miss, no appends) is a no-op and does not advance the epoch.
+//
+// Concurrent Runs are safe: they enumerate either entirely the old or
+// entirely the new epoch. ApplyDelta calls serialise with each other.
+func (p *Prepared) ApplyDelta(deltas []Delta, opts ...RunOption) error {
+	//anykvet:allow ctxplumb -- documented option default; callers attach cancellation via WithContext
+	cfg := runConfig{ctx: context.Background()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	p.deltaMu.Lock()
+	defer p.deltaMu.Unlock()
+	old := p.state.Load()
+
+	idxOf := make(map[string]int, len(p.srcEdges))
+	for i, e := range p.srcEdges {
+		idxOf[e.Name] = i
+	}
+	for _, d := range deltas {
+		i, ok := idxOf[d.Rel]
+		if !ok {
+			return fmt.Errorf("repro: delta targets unknown relation %q", d.Rel)
+		}
+		arity := len(p.srcEdges[i].Vars)
+		for _, t := range d.Append {
+			if len(t) != arity {
+				return fmt.Errorf("repro: delta append to %s has arity %d, want %d", d.Rel, len(t), arity)
+			}
+		}
+		for _, t := range d.Delete {
+			if len(t) != arity {
+				return fmt.Errorf("repro: delta delete from %s has arity %d, want %d", d.Rel, len(t), arity)
+			}
+		}
+		if d.AppendWeights != nil && len(d.AppendWeights) != len(d.Append) {
+			return fmt.Errorf("repro: delta to %s has %d append rows but %d weights", d.Rel, len(d.Append), len(d.AppendWeights))
+		}
+	}
+
+	start := time.Now()
+	newRels := append([]*relation.Relation(nil), old.srcRels...)
+	changed := make([]bool, len(newRels))
+	var appended, deleted int64
+	for _, d := range deltas {
+		i := idxOf[d.Rel]
+		r, del := applyRelDelta(newRels[i], d)
+		if del == 0 && len(d.Append) == 0 {
+			continue
+		}
+		newRels[i] = r
+		changed[i] = true
+		deleted += int64(del)
+		appended += int64(len(d.Append))
+	}
+	anyChanged := false
+	for _, c := range changed {
+		anyChanged = anyChanged || c
+	}
+	if !anyChanged {
+		return nil
+	}
+
+	inputTuples := 0
+	for _, r := range newRels {
+		inputTuples += r.Len()
+	}
+	st := &planState{
+		epoch:   old.epoch + 1,
+		srcRels: newRels,
+	}
+	var bagsReused, bagsRebuilt, nodesReused, nodesRecomputed int64
+
+	switch p.kind {
+	case kindAcyclic:
+		h := hypergraph.New(p.srcEdges...)
+		yq, err := yannakakis.NewQuery(h, newRels)
+		if err != nil {
+			return err
+		}
+		workers := p.prepareWorkers(cfg, inputTuples)
+		plan, dst, err := dp.NewPlanDelta(yq, old.plan, changed, dp.WithContext(cfg.ctx), dp.WithWorkers(workers))
+		if err != nil {
+			return err
+		}
+		st.yq = yq
+		st.plan = plan
+		st.solutions = plan.NumSolutions()
+		st.estTuples = plan.TotalTuples()
+		nodesReused += int64(dst.Nodes - dst.Regrouped)
+		for agg, oldT := range old.tdps.built() {
+			t, rec, err := plan.InstantiateDelta(agg, oldT, dst.Changed, dp.WithContext(cfg.ctx), dp.WithWorkers(workers))
+			if err != nil {
+				return err
+			}
+			st.tdps.seed(agg, t)
+			nodesRecomputed += int64(rec)
+			nodesReused += int64(dst.Nodes - rec)
+		}
+	case kindTriangle, kindFourCycle, kindLongCycle:
+		// The canonical cycle plans are single- (or few-)bag shapes whose
+		// bags all contain every input relation, so any delta invalidates
+		// every bag: re-derive the walk-ordered relations and re-prepare
+		// each built ranking outright.
+		st.cycleRels = cycleRelsFor(newRels, p.cycleOrder, p.cycleFlip)
+		st.solutions = -1
+		st.estTuples = inputTuples
+		workers := p.prepareWorkers(cfg, inputTuples)
+		for agg := range old.decomps.built() {
+			d, err := p.buildDecomp(st, agg, cfg.ctx, workers)
+			if err != nil {
+				return err
+			}
+			st.decomps.seed(agg, d)
+			for _, tree := range d.Stats.BagSizes {
+				bagsRebuilt += int64(len(tree))
+			}
+		}
+	case kindGeneric:
+		st.solutions = -1
+		st.estTuples = inputTuples
+		workers := p.prepareWorkers(cfg, inputTuples)
+		opts := p.decompOpts(cfg.ctx, workers)
+		for agg, oldD := range old.decomps.built() {
+			d, dst, err := decomp.PrepareGHDDelta(oldD, p.srcEdges, newRels, agg, changed, opts...)
+			if err != nil {
+				// The incremental path refuses shapes it cannot diff (e.g. a
+				// plan built before any delta memo existed); fall back to a
+				// cold bag materialisation rather than failing the delta.
+				d, err = p.buildDecomp(st, agg, cfg.ctx, workers)
+				if err != nil {
+					return err
+				}
+				st.decomps.seed(agg, d)
+				for _, tree := range d.Stats.BagSizes {
+					bagsRebuilt += int64(len(tree))
+				}
+				continue
+			}
+			st.decomps.seed(agg, d)
+			bagsRebuilt += int64(dst.BagsRebuilt)
+			bagsReused += int64(dst.Bags - dst.BagsRebuilt)
+			nodesRecomputed += int64(dst.TreeRecomputed)
+			nodesReused += int64(dst.TreeNodes - dst.TreeRecomputed)
+		}
+	}
+
+	p.state.Store(st)
+	p.deltasApplied.Add(1)
+	p.deltaAppendedRows.Add(appended)
+	p.deltaDeletedRows.Add(deleted)
+	p.deltaBagsReused.Add(bagsReused)
+	p.deltaBagsRebuilt.Add(bagsRebuilt)
+	p.deltaNodesReused.Add(nodesReused)
+	p.deltaNodesRecomputed.Add(nodesRecomputed)
+	p.lastDeltaNs.Store(time.Since(start).Nanoseconds())
+	return nil
+}
+
+// applyRelDelta returns r with d applied (deletes, then appends) plus
+// the number of rows the deletes removed. r itself is never mutated —
+// epochs share relations, so updates must copy.
+func applyRelDelta(r *relation.Relation, d Delta) (*relation.Relation, int) {
+	out := relation.New(r.Name, r.Attrs...)
+	removed := 0
+	if len(d.Delete) > 0 {
+		kill := make(map[string]bool, len(d.Delete))
+		for _, t := range d.Delete {
+			kill[tupleKey(t)] = true
+		}
+		for i, t := range r.Tuples {
+			if kill[tupleKey(t)] {
+				removed++
+				continue
+			}
+			out.AddTuple(t, r.Weights[i])
+		}
+	} else {
+		for i, t := range r.Tuples {
+			out.AddTuple(t, r.Weights[i])
+		}
+	}
+	for i, t := range d.Append {
+		w := 0.0
+		if d.AppendWeights != nil {
+			w = d.AppendWeights[i]
+		}
+		out.AddTuple(append(Tuple(nil), t...), w)
+	}
+	return out, removed
+}
+
+// tupleKey encodes a tuple's values as a fixed-width byte string for
+// exact-match delete lookups.
+func tupleKey(t relation.Tuple) string {
+	b := make([]byte, 8*len(t))
+	for i, v := range t {
+		binary.LittleEndian.PutUint64(b[i*8:], uint64(v))
+	}
+	return string(b)
+}
+
+// cycleRelsFor re-derives the canonical walk-ordered (and, where the
+// declaration runs against the walk, column-flipped) cycle relations
+// from fresh data, mirroring what matchCycle produced at Compile time.
+func cycleRelsFor(rels []*relation.Relation, order []int, flip []bool) []*relation.Relation {
+	out := make([]*relation.Relation, len(order))
+	for i, ei := range order {
+		if flip[i] {
+			out[i] = flipBinary(rels[ei])
+		} else {
+			out[i] = rels[ei]
+		}
+	}
+	return out
+}
+
+// builtRankings lists the ranking functions whose artefacts are built
+// on the current epoch — the set a delta keeps warm.
+func (p *Prepared) builtRankings() []ranking.Aggregate {
+	s := p.state.Load()
+	var out []ranking.Aggregate
+	if p.kind == kindAcyclic {
+		for agg := range s.tdps.built() {
+			out = append(out, agg)
+		}
+	} else {
+		for agg := range s.decomps.built() {
+			out = append(out, agg)
+		}
+	}
+	return out
+}

@@ -39,6 +39,14 @@ type ColumnStats struct {
 	// HeavyTotal/heavyK. HeavyTotal is the scanned row count.
 	Heavy      []HeavyHit
 	HeavyTotal int
+
+	// dc/mg are the live sketches the derived fields above were read
+	// from. Collect retains them so statistics for append deltas merge
+	// (HLL register max, Misra–Gries counter union) instead of forcing a
+	// rescan; they are nil for hand-constructed ColumnStats, in which
+	// case MergeAppend reports that a recollection is required.
+	dc *DistinctCounter
+	mg *MisraGries
 }
 
 // RelationStats summarises one relation: its cardinality plus per-column
@@ -67,9 +75,68 @@ func Collect(r *relation.Relation) *RelationStats {
 			DistinctExact: dc.Exact(),
 			Heavy:         mg.Entries(),
 			HeavyTotal:    mg.Total(),
+			dc:            dc,
+			mg:            mg,
 		}
 	}
 	return st
+}
+
+// Mergeable reports whether s retains live sketches in every column, so
+// MergeAppend with it can succeed. Statistics from Collect are
+// mergeable; hand-constructed ones are not.
+func (s *RelationStats) Mergeable() bool {
+	for i := range s.Cols {
+		if s.Cols[i].dc == nil || s.Cols[i].mg == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// MergeAppend returns new statistics describing s's relation after
+// appending the rows summarised by delta: row counts add, min/max
+// ranges widen, distinct counters and heavy-hitter summaries merge
+// sketch-wise (HLL register max / Misra–Gries counter union). Neither
+// input is mutated. It reports false — and the caller must Collect from
+// scratch — when the arities differ or either side lacks live sketches
+// (hand-constructed stats). Deletions cannot be merged at all: sketches
+// are insert-only, so delta statistics apply to appends only.
+func (s *RelationStats) MergeAppend(delta *RelationStats) (*RelationStats, bool) {
+	if len(s.Cols) != len(delta.Cols) || !s.Mergeable() || !delta.Mergeable() {
+		return nil, false
+	}
+	out := &RelationStats{Rows: s.Rows + delta.Rows, Cols: make([]ColumnStats, len(s.Cols))}
+	for c := range s.Cols {
+		a, b := &s.Cols[c], &delta.Cols[c]
+		dc := a.dc.Clone()
+		dc.Merge(b.dc)
+		mg := a.mg.Clone()
+		mg.Merge(b.mg)
+		col := ColumnStats{
+			Min:           a.Min,
+			Max:           a.Max,
+			NonEmpty:      a.NonEmpty || b.NonEmpty,
+			Distinct:      dc.Estimate(),
+			DistinctExact: dc.Exact(),
+			Heavy:         mg.Entries(),
+			HeavyTotal:    mg.Total(),
+			dc:            dc,
+			mg:            mg,
+		}
+		if !a.NonEmpty {
+			col.Min, col.Max = b.Min, b.Max
+		} else if b.NonEmpty {
+			if b.Min < col.Min {
+				col.Min = b.Min
+			}
+			if b.Max > col.Max {
+				col.Max = b.Max
+			}
+		}
+		out.Cols[c] = col
+	}
+	return out, true
 }
 
 // Catalog maps relation (dataset) names to versioned statistics. Putting

@@ -162,6 +162,10 @@ type Plan struct {
 	// shape unions one or more acyclic trees.
 	bag   *relation.Relation
 	trees []*treePlan
+	// ghd memoises what PrepareGHDWith built so PrepareGHDDelta can
+	// rebuild only the bags whose input relations changed; nil for the
+	// canonical (triangle / 4-cycle / l-cycle) constructors.
+	ghd *ghdMemo
 }
 
 // Run starts one ranked enumeration over the compiled decomposition.
@@ -306,30 +310,49 @@ func (p *projectIter) Next() (core.Result, bool) {
 func (p *projectIter) Err() error   { return p.inner.Err() }
 func (p *projectIter) Close() error { return p.inner.Close() }
 
-// treePlan is one compiled acyclic tree of a decomposition: its T-DP
-// plus the permutation normalising output tuples to the canonical
-// attribute order.
+// treePlan is one compiled acyclic tree of a decomposition: its T-DP,
+// the aggregate-independent plan it was instantiated from (kept so a
+// delta prepare can patch instead of rebuild), plus the permutation
+// normalising output tuples to the canonical attribute order.
 type treePlan struct {
 	t    *dp.TDP
+	plan *dp.Plan
 	perm []int
 }
 
 // prepareTree builds the acyclic query over the given bags (GYO finds
 // the join tree) and compiles its T-DP.
 func prepareTree(bags []*relation.Relation, agg ranking.Aggregate, canonAttrs []string) (*treePlan, error) {
+	q, err := bagQuery(bags)
+	if err != nil {
+		return nil, err
+	}
+	p, err := dp.NewPlan(q)
+	if err != nil {
+		return nil, err
+	}
+	t, err := p.Instantiate(agg)
+	if err != nil {
+		return nil, err
+	}
+	perm, err := canonPerm(t, canonAttrs)
+	if err != nil {
+		return nil, err
+	}
+	return &treePlan{t: t, plan: p, perm: perm}, nil
+}
+
+// bagQuery builds the acyclic query over materialised bags.
+func bagQuery(bags []*relation.Relation) (*yannakakis.Query, error) {
 	edges := make([]hypergraph.Edge, len(bags))
 	for i, b := range bags {
 		edges[i] = hypergraph.Edge{Name: b.Name, Vars: b.Attrs}
 	}
-	h := hypergraph.New(edges...)
-	q, err := yannakakis.NewQuery(h, bags)
-	if err != nil {
-		return nil, err
-	}
-	t, err := dp.Build(q, agg)
-	if err != nil {
-		return nil, err
-	}
+	return yannakakis.NewQuery(hypergraph.New(edges...), bags)
+}
+
+// canonPerm maps the tree's output schema onto the canonical one.
+func canonPerm(t *dp.TDP, canonAttrs []string) ([]int, error) {
 	perm := make([]int, len(canonAttrs))
 	for i, a := range canonAttrs {
 		found := -1
@@ -344,7 +367,7 @@ func prepareTree(bags []*relation.Relation, agg ranking.Aggregate, canonAttrs []
 		}
 		perm[i] = found
 	}
-	return &treePlan{t: t, perm: perm}, nil
+	return perm, nil
 }
 
 // run starts one any-k enumeration over the tree's compiled T-DP.

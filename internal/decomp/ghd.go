@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/dp"
 	"repro/internal/hypergraph"
 	"repro/internal/parallel"
 	"repro/internal/ranking"
@@ -120,10 +121,16 @@ func PrepareGHDWith(d *hypergraph.Decomposition, edges []hypergraph.Edge, rels [
 		intraBase = cfg.workers / bagWorkers
 		intraRem = cfg.workers % bagWorkers
 	}
+	deps := make([][]int, len(d.Bags))
 	bags := make([]*relation.Relation, len(d.Bags))
 	err := parallel.ForEach(cfg.ctx, bagWorkers, len(d.Bags), func(bi int) error {
 		bagVars := d.Bags[bi]
-		atoms, err := bagAtoms(d, bi, bagVars, edges, qrels, charged, agg)
+		srcs, err := projectionSources(d, bi, bagVars, edges, qrels)
+		if err != nil {
+			return err
+		}
+		deps[bi] = append(append([]int(nil), d.Contains[bi]...), srcs...)
+		atoms, err := bagAtoms(d, bi, bagVars, edges, qrels, charged, srcs, agg)
 		if err != nil {
 			return err
 		}
@@ -149,11 +156,7 @@ func PrepareGHDWith(d *hypergraph.Decomposition, edges []hypergraph.Edge, rels [
 
 	// The GHD plan is one tree with len(bags) bags: one inner BagSizes
 	// slice, one entry per bag in decomposition order.
-	st := &Stats{BagSizes: [][]int{make([]int, len(bags))}}
-	for i, b := range bags {
-		st.BagSizes[0][i] = b.Len()
-		st.TotalMaterialized += b.Len()
-	}
+	st := ghdStats(bags)
 
 	// GYO arranges the bags into a join tree. The bag set must be
 	// connected (the T-DP layer rejects cartesian tree edges);
@@ -164,30 +167,213 @@ func PrepareGHDWith(d *hypergraph.Decomposition, edges []hypergraph.Edge, rels [
 	if err != nil {
 		return nil, err
 	}
-	return &Plan{Stats: st, agg: agg, trees: []*treePlan{tp}}, nil
+	memo := &ghdMemo{dec: d, deps: deps, bags: bags}
+	return &Plan{Stats: st, agg: agg, trees: []*treePlan{tp}, ghd: memo}, nil
 }
 
-// bagAtoms assembles the Generic-Join atoms for one bag: charged
-// relations, contained filters, and projections for otherwise-uncovered
-// bag variables.
-func bagAtoms(d *hypergraph.Decomposition, bi int, bagVars []string, edges []hypergraph.Edge, qrels []*relation.Relation, charged []int, agg ranking.Aggregate) ([]wcoj.Atom, error) {
-	covered := make(map[string]bool, len(bagVars))
-	var atoms []wcoj.Atom
-	for _, ei := range d.Contains[bi] {
-		if charged[ei] == bi {
-			atoms = append(atoms, wcoj.Atom{Rel: qrels[ei], Vars: edges[ei].Vars})
-		} else {
-			atoms = append(atoms, wcoj.Atom{Rel: filterCopy(qrels[ei], agg), Vars: edges[ei].Vars})
+// ghdMemo records what PrepareGHDWith built: the decomposition, each
+// bag's relation, and the edge indices each bag's materialisation read
+// (charged relations, filters, and projection sources). PrepareGHDDelta
+// compares the recorded dependencies against the post-delta ones to
+// decide which bags must be re-materialised.
+type ghdMemo struct {
+	dec  *hypergraph.Decomposition
+	deps [][]int
+	bags []*relation.Relation
+}
+
+// DeltaStats reports the reuse a PrepareGHDDelta achieved.
+type DeltaStats struct {
+	// Bags is the decomposition size; BagsRebuilt counts the bags
+	// re-materialised because an input relation changed (or the
+	// size-dependent projection-source choice shifted).
+	Bags, BagsRebuilt int
+	// TreeNodes is the bag-tree size; TreeRegrouped / TreeRecomputed
+	// count the nodes whose candidate grouping / π pass had to rerun.
+	TreeNodes, TreeRegrouped, TreeRecomputed int
+}
+
+func ghdStats(bags []*relation.Relation) *Stats {
+	st := &Stats{BagSizes: [][]int{make([]int, len(bags))}}
+	for i, b := range bags {
+		st.BagSizes[0][i] = b.Len()
+		st.TotalMaterialized += b.Len()
+	}
+	return st
+}
+
+// PrepareGHDDelta recompiles a GHD plan after some relations received
+// delta batches, reusing the old plan wherever possible: a bag is
+// re-materialised only when one of the edges feeding it (charged,
+// filter, or projection source) changed — flagged per edge index in
+// changed — or when the post-delta relation sizes shift its
+// projection-source choice; all other bags share the old epoch's
+// relation. The bag tree is then patched with dp.NewPlanDelta /
+// InstantiateDelta rather than rebuilt. old must come from
+// PrepareGHDWith (or a previous PrepareGHDDelta) over the same
+// decomposition, edges, and aggregate; rels are the post-delta
+// relations in edge order. The result is bit-identical to a cold
+// PrepareGHDWith over the same decomposition and the new relations.
+func PrepareGHDDelta(old *Plan, edges []hypergraph.Edge, rels []*relation.Relation, agg ranking.Aggregate, changed []bool, opts ...PrepareOption) (*Plan, *DeltaStats, error) {
+	if old == nil || old.ghd == nil || len(old.trees) != 1 {
+		return nil, nil, fmt.Errorf("decomp: PrepareGHDDelta needs a plan built by PrepareGHDWith")
+	}
+	if len(changed) != len(edges) || len(edges) != len(rels) {
+		return nil, nil, fmt.Errorf("decomp: %d relations / %d changed flags for %d hyperedges", len(rels), len(changed), len(edges))
+	}
+	cfg := newPrepCfg(opts)
+	d := old.ghd.dec
+	for i, e := range edges {
+		if len(e.Vars) != rels[i].Arity() {
+			return nil, nil, fmt.Errorf("decomp: edge %s has %d vars but relation %s arity %d",
+				e.Name, len(e.Vars), rels[i].Name, rels[i].Arity())
 		}
+	}
+	qrels := make([]*relation.Relation, len(rels))
+	for i, r := range rels {
+		qrels[i] = rename(r, edges[i].Name, edges[i].Vars...)
+	}
+	charged := make([]int, len(edges))
+	for i := range charged {
+		charged[i] = -1
+	}
+	for bi, contained := range d.Contains {
+		for _, ei := range contained {
+			if charged[ei] < 0 {
+				charged[ei] = bi
+			}
+		}
+	}
+
+	// Decide per bag: the dependency set is recomputed under the new
+	// sizes (a delta to one relation can steal another bag's
+	// projection-source pick), then a bag is clean iff its dependencies
+	// are the same edges as before and none of them changed.
+	deps := make([][]int, len(d.Bags))
+	var rebuild []int
+	for bi, bagVars := range d.Bags {
+		srcs, err := projectionSources(d, bi, bagVars, edges, qrels)
+		if err != nil {
+			return nil, nil, err
+		}
+		deps[bi] = append(append([]int(nil), d.Contains[bi]...), srcs...)
+		clean := equalInts(deps[bi], old.ghd.deps[bi])
+		if clean {
+			for _, ei := range deps[bi] {
+				if changed[ei] {
+					clean = false
+					break
+				}
+			}
+		}
+		if !clean {
+			rebuild = append(rebuild, bi)
+		}
+	}
+
+	bags := make([]*relation.Relation, len(d.Bags))
+	for bi := range bags {
+		bags[bi] = old.ghd.bags[bi]
+	}
+	bagWorkers := cfg.workers
+	if bagWorkers > len(rebuild) {
+		bagWorkers = len(rebuild)
+	}
+	intraBase, intraRem := 1, 0
+	if bagWorkers > 0 {
+		intraBase = cfg.workers / bagWorkers
+		intraRem = cfg.workers % bagWorkers
+	}
+	err := parallel.ForEach(cfg.ctx, bagWorkers, len(rebuild), func(i int) error {
+		bi := rebuild[i]
+		bagVars := d.Bags[bi]
+		srcs := deps[bi][len(d.Contains[bi]):]
+		atoms, err := bagAtoms(d, bi, bagVars, edges, qrels, charged, srcs, agg)
+		if err != nil {
+			return err
+		}
+		order := cfg.chooseOrder(atoms)
+		if len(order) != len(bagVars) {
+			return fmt.Errorf("decomp: bag %v atoms cover %d of %d variables", bagVars, len(order), len(bagVars))
+		}
+		intra := intraBase
+		if i < intraRem {
+			intra++
+		}
+		bag, _, err := wcoj.MaterializeParallelHinted(cfg.ctx, atoms, order, agg, intra, cfg.hints)
+		if err != nil {
+			return err
+		}
+		bag.Name = fmt.Sprintf("G%d", bi)
+		bags[bi] = bag
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	st := ghdStats(bags)
+	q, err := bagQuery(bags)
+	if err != nil {
+		return nil, nil, err
+	}
+	dpOpts := []dp.Option{dp.WithContext(cfg.ctx), dp.WithWorkers(cfg.workers)}
+	// A bag is "changed" iff it was re-materialised; the incremental
+	// reducer still proves content-identical rebuilds clean.
+	changedBags := make([]bool, len(bags))
+	for _, bi := range rebuild {
+		changedBags[bi] = true
+	}
+	plan, dst, err := dp.NewPlanDelta(q, old.trees[0].plan, changedBags, dpOpts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	t, recomputed, err := plan.InstantiateDelta(agg, old.trees[0].t, dst.Changed, dpOpts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	perm, err := canonPerm(t, GHDAttrs(edges))
+	if err != nil {
+		return nil, nil, err
+	}
+	ds := &DeltaStats{
+		Bags: len(bags), BagsRebuilt: len(rebuild),
+		TreeNodes: dst.Nodes, TreeRegrouped: dst.Regrouped, TreeRecomputed: recomputed,
+	}
+	memo := &ghdMemo{dec: d, deps: deps, bags: bags}
+	return &Plan{Stats: st, agg: agg, trees: []*treePlan{{t: t, plan: plan, perm: perm}}, ghd: memo}, ds, nil
+}
+
+// equalInts reports element-wise equality.
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// projectionSources picks, for every bag variable not covered by a
+// contained relation, the smallest relation holding it (ties broken by
+// edge index). The choice depends only on the post-rename relation
+// sizes, so the delta path can recompute it cheaply and compare against
+// the recorded dependency set.
+func projectionSources(d *hypergraph.Decomposition, bi int, bagVars []string, edges []hypergraph.Edge, qrels []*relation.Relation) ([]int, error) {
+	covered := make(map[string]bool, len(bagVars))
+	for _, ei := range d.Contains[bi] {
 		for _, v := range edges[ei].Vars {
 			covered[v] = true
 		}
 	}
+	var srcs []int
 	for _, v := range bagVars {
 		if covered[v] {
 			continue
 		}
-		// Pick the smallest relation holding v and project it onto the bag.
 		best := -1
 		for ei, e := range edges {
 			holds := false
@@ -204,15 +390,34 @@ func bagAtoms(d *hypergraph.Decomposition, bi int, bagVars []string, edges []hyp
 		if best < 0 {
 			return nil, fmt.Errorf("decomp: bag variable %s not held by any relation", v)
 		}
-		shared := intersectSorted(edges[best].Vars, bagVars)
-		proj, err := qrels[best].Project(shared...)
+		srcs = append(srcs, best)
+		for _, sv := range intersectSorted(edges[best].Vars, bagVars) {
+			covered[sv] = true
+		}
+	}
+	return srcs, nil
+}
+
+// bagAtoms assembles the Generic-Join atoms for one bag: charged
+// relations, contained filters, and — for the precomputed projection
+// sources (projectionSources, in order) — deduplicated identity-weight
+// projections covering the otherwise-uncovered bag variables.
+func bagAtoms(d *hypergraph.Decomposition, bi int, bagVars []string, edges []hypergraph.Edge, qrels []*relation.Relation, charged []int, srcs []int, agg ranking.Aggregate) ([]wcoj.Atom, error) {
+	var atoms []wcoj.Atom
+	for _, ei := range d.Contains[bi] {
+		if charged[ei] == bi {
+			atoms = append(atoms, wcoj.Atom{Rel: qrels[ei], Vars: edges[ei].Vars})
+		} else {
+			atoms = append(atoms, wcoj.Atom{Rel: filterCopy(qrels[ei], agg), Vars: edges[ei].Vars})
+		}
+	}
+	for _, ei := range srcs {
+		shared := intersectSorted(edges[ei].Vars, bagVars)
+		proj, err := qrels[ei].Project(shared...)
 		if err != nil {
 			return nil, err
 		}
 		atoms = append(atoms, wcoj.Atom{Rel: filterCopy(proj, agg), Vars: shared})
-		for _, sv := range shared {
-			covered[sv] = true
-		}
 	}
 	return atoms, nil
 }

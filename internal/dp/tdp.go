@@ -49,6 +49,10 @@ type Plan struct {
 	// level-synchronized sweep only reads π state finalised by deeper
 	// levels — the invariant the parallel Instantiate relies on.
 	levels [][]int
+	// red keeps the reducer's bottom-up intermediates (aligned with
+	// tree node ids, not preorder positions) so NewPlanDelta can re-run
+	// semi-joins only along the paths a delta reached.
+	red *yannakakis.Reduction
 }
 
 // config collects the per-call options of NewPlan and Instantiate.
@@ -175,7 +179,7 @@ func Build(q *yannakakis.Query, agg ranking.Aggregate) (*TDP, error) {
 // ChildGroup slot on the parent — fans out across all nodes at once.
 func NewPlan(q *yannakakis.Query, opts ...Option) (*Plan, error) {
 	cfg := newConfig(opts)
-	red, err := q.FullReduceWith(cfg.ctx, cfg.workers)
+	red, err := q.ReduceKeep(cfg.ctx, cfg.workers)
 	if err != nil {
 		return nil, err
 	}
@@ -188,9 +192,9 @@ func NewPlan(q *yannakakis.Query, opts ...Option) (*Plan, error) {
 		posOf[edge] = pos
 	}
 
-	t := &Plan{nodes: make([]*Node, m)}
+	t := &Plan{nodes: make([]*Node, m), red: red}
 	for pos, edge := range tree.Order {
-		n := &Node{Rel: red[edge], Parent: -1}
+		n := &Node{Rel: red.Final[edge], Parent: -1}
 		if p := tree.Parent[edge]; p >= 0 {
 			n.Parent = posOf[p]
 		}

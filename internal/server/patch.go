@@ -1,0 +1,320 @@
+package server
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro"
+	"repro/internal/catalog"
+	"repro/internal/relation"
+)
+
+// datasetPatch is the JSON body of PATCH /v1/datasets/{name}: rows to
+// delete (matched by value, all duplicates removed) and rows to append,
+// in that order. Cells follow the dataset upload rules (integral
+// numbers or strings).
+type datasetPatch struct {
+	Append        []json.RawMessage `json:"append"`
+	AppendWeights []float64         `json:"append_weights"`
+	Delete        []json.RawMessage `json:"delete"`
+}
+
+// handleDatasetPatch is the incremental-update endpoint: it installs a
+// new immutable snapshot of the dataset (bumped version) built from the
+// current one by removing the deleted rows and adding the appended
+// ones, derives the new snapshot's statistics by sketch merge when the
+// batch is append-only (HLL register max / Misra–Gries counter union —
+// no rescan of the existing rows) and by recollection otherwise, and
+// then patches every compiled plan in the registry that referenced the
+// previous version in place via Prepared.ApplyDelta, re-keying the warm
+// registry entries to the new version so they keep serving with zero
+// preparation.
+//
+// Bodies are JSON (datasetPatch) or CSV (Content-Type text/csv) with
+// ?mode=append (default; columns follow the upload rules, including
+// the trailing weight column unless ?weights=false) or ?mode=delete
+// (value columns only by default — deletes match values, not weights).
+func (s *Server) handleDatasetPatch(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	name := r.PathValue("name")
+	if !nameRe.MatchString(name) {
+		httpError(w, http.StatusBadRequest, errInvalidArgument, "invalid dataset name %q", name)
+		return
+	}
+	s.mu.RLock()
+	old := s.datasets[name]
+	s.mu.RUnlock()
+	if old == nil {
+		httpError(w, http.StatusNotFound, errNotFound, "unknown dataset %q", name)
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	appendT, appendW, deleteT, err := s.readPatch(old, r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, errInvalidArgument, "dataset %s: %v", name, err)
+		return
+	}
+	if len(appendT) == 0 && len(deleteT) == 0 {
+		httpError(w, http.StatusBadRequest, errInvalidArgument, "dataset %s: empty delta (nothing to append or delete)", name)
+		return
+	}
+
+	tuples, weights, removed := applyDatasetDelta(old, deleteT, appendT, appendW)
+	if removed == 0 && len(appendT) == 0 {
+		// Every delete missed: the data is unchanged, so the snapshot,
+		// its version, and every compiled plan stay exactly as they are.
+		writeJSON(w, map[string]any{
+			"name": name, "rows": len(old.tuples), "arity": old.arity, "version": old.version,
+			"appended": 0, "deleted": 0,
+			"stats_version": old.statsVersion, "epoch": old.epoch, "plans_patched": 0,
+		})
+		return
+	}
+
+	// Statistics: append-only batches merge into the previous snapshot's
+	// sketches without rescanning existing rows; anything with an
+	// effective delete recollects (sketches are insert-only).
+	statsHow := "recollected"
+	var st *catalog.RelationStats
+	if removed == 0 && old.stats != nil {
+		deltaStats := catalog.Collect(&relation.Relation{Name: name, Attrs: old.attrs, Tuples: appendT, Weights: appendW})
+		if merged, ok := old.stats.MergeAppend(deltaStats); ok {
+			st, statsHow = merged, "merged"
+		}
+	}
+	if st == nil {
+		st = catalog.Collect(&relation.Relation{Name: name, Attrs: old.attrs, Tuples: tuples, Weights: weights})
+	}
+
+	ds := &dataset{
+		name: name, version: old.version + 1, arity: old.arity, attrs: old.attrs,
+		tuples: tuples, weights: weights, stats: st,
+		statsVersion: old.statsVersion + 1, epoch: old.epoch + 1,
+	}
+	s.mu.Lock()
+	if s.datasets[name] != old {
+		s.mu.Unlock()
+		httpError(w, http.StatusConflict, errConflict, "dataset %s was updated concurrently; retry the delta against the new version", name)
+		return
+	}
+	s.datasets[name] = ds
+	s.mu.Unlock()
+	s.patches.Add(1)
+
+	patched := s.propagateDelta(name, old.version, ds.version, deleteT, appendT, appendW)
+	s.plansPatched.Add(int64(patched))
+	writeJSON(w, map[string]any{
+		"name": name, "rows": len(ds.tuples), "arity": ds.arity, "version": ds.version,
+		"appended": len(appendT), "deleted": removed,
+		"stats": statsHow, "stats_version": ds.statsVersion, "epoch": ds.epoch,
+		"plans_patched": patched,
+	})
+}
+
+// readPatch parses a PATCH body (JSON or CSV) against the dataset's
+// arity, returning appends (with weights — zero-filled when omitted)
+// and deletes.
+func (s *Server) readPatch(ds *dataset, r *http.Request) (appendT []relation.Tuple, appendW []float64, deleteT []relation.Tuple, err error) {
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "text/csv") {
+		mode := r.URL.Query().Get("mode")
+		if mode == "" {
+			mode = "append"
+		}
+		// Append rows carry a trailing weight column by default (like
+		// uploads); delete rows are value-only by default — deletes match
+		// values, never weights.
+		weightCol := mode == "append"
+		if v := r.URL.Query().Get("weights"); v != "" {
+			b, perr := strconv.ParseBool(v)
+			if perr != nil {
+				return nil, nil, nil, fmt.Errorf("bad weights param %q", v)
+			}
+			weightCol = b
+		}
+		local := relation.NewDictionary()
+		rel, rerr := relation.ReadCSV(r.Body, ds.name, weightCol, local)
+		if rerr != nil {
+			return nil, nil, nil, rerr
+		}
+		if len(rel.Attrs) != ds.arity {
+			return nil, nil, nil, fmt.Errorf("delta arity %d, want %d", len(rel.Attrs), ds.arity)
+		}
+		s.mergeDict(local, rel.Tuples)
+		switch mode {
+		case "append":
+			return rel.Tuples, rel.Weights, nil, nil
+		case "delete":
+			return nil, nil, rel.Tuples, nil
+		default:
+			return nil, nil, nil, fmt.Errorf("bad mode %q (append or delete)", mode)
+		}
+	}
+	var body datasetPatch
+	dec := json.NewDecoder(r.Body)
+	dec.UseNumber()
+	if err := dec.Decode(&body); err != nil {
+		return nil, nil, nil, err
+	}
+	if body.AppendWeights != nil && len(body.AppendWeights) != len(body.Append) {
+		return nil, nil, nil, fmt.Errorf("%d append rows but %d weights", len(body.Append), len(body.AppendWeights))
+	}
+	local := relation.NewDictionary()
+	appendT, _, err = parseJSONTuples(body.Append, ds.arity, local)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("append: %v", err)
+	}
+	deleteT, _, err = parseJSONTuples(body.Delete, ds.arity, local)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("delete: %v", err)
+	}
+	s.mergeDict(local, appendT)
+	s.mergeDict(local, deleteT)
+	appendW = body.AppendWeights
+	if appendW == nil {
+		appendW = make([]float64, len(appendT))
+	}
+	return appendT, appendW, deleteT, nil
+}
+
+// applyDatasetDelta builds the new snapshot's rows: current rows minus
+// every row matching a delete tuple (by value), plus the appends. The
+// old slices are never mutated — snapshots are immutable.
+func applyDatasetDelta(old *dataset, deleteT, appendT []relation.Tuple, appendW []float64) ([]relation.Tuple, []float64, int) {
+	tuples := make([]relation.Tuple, 0, len(old.tuples)+len(appendT))
+	weights := make([]float64, 0, len(old.weights)+len(appendT))
+	removed := 0
+	if len(deleteT) > 0 {
+		kill := make(map[string]bool, len(deleteT))
+		for _, t := range deleteT {
+			kill[patchTupleKey(t)] = true
+		}
+		for i, t := range old.tuples {
+			if kill[patchTupleKey(t)] {
+				removed++
+				continue
+			}
+			tuples = append(tuples, t)
+			weights = append(weights, old.weights[i])
+		}
+	} else {
+		tuples = append(tuples, old.tuples...)
+		weights = append(weights, old.weights...)
+	}
+	tuples = append(tuples, appendT...)
+	weights = append(weights, appendW...)
+	return tuples, weights, removed
+}
+
+func patchTupleKey(t relation.Tuple) string {
+	b := make([]byte, 8*len(t))
+	for i, v := range t {
+		binary.LittleEndian.PutUint64(b[i*8:], uint64(v))
+	}
+	return string(b)
+}
+
+// propagateDelta patches every compiled handle in the registry whose
+// dataKey binds (dsName, oldVer): the handle's prepared state advances
+// one epoch via ApplyDelta (incremental plan patching), and its
+// registry entries — the compile-level entry plus each warm per-ranking
+// plan entry — move to the new-version key, so requests arriving after
+// the PATCH hit them warm. Handles that fail to patch are dropped and
+// rebuild cold on next use. Returns the number of handles patched in
+// place.
+//
+// Key reachability: requests always derive their dataKey from the
+// *current* dataset versions, so an entry this sweep misses (a racing
+// PATCH, an in-flight build publishing under the old key) is merely
+// unreachable and ages out of the LRU — it can never serve stale data
+// under a live key.
+func (s *Server) propagateDelta(dsName string, oldVer, newVer int, deleteT, appendT []relation.Tuple, appendW []float64) int {
+	oldBind := fmt.Sprintf("%s@%d(", dsName, oldVer)
+	patched := 0
+	s.reg.compiles.eachMeta(func(key string, p *repro.Prepared, meta any) {
+		qd, _ := meta.(*queryDef)
+		if qd == nil || !keyHasBind(key, oldBind) {
+			return
+		}
+		var deltas []repro.Delta
+		for i, a := range qd.atoms {
+			if a.Dataset != dsName {
+				continue
+			}
+			deltas = append(deltas, repro.Delta{
+				Rel:           fmt.Sprintf("%s#%d", a.Dataset, i),
+				Append:        appendT,
+				AppendWeights: appendW,
+				Delete:        deleteT,
+			})
+		}
+		if len(deltas) == 0 {
+			return
+		}
+		newKey := rewriteDataKey(key, dsName, oldVer, newVer)
+		bctx, bcancel := context.WithTimeout(s.baseCtx, s.cfg.MaxTimeout)
+		err := p.ApplyDelta(deltas, repro.WithContext(bctx))
+		bcancel()
+		if err != nil {
+			// Drop the stale entries outright: the next request under the
+			// new key compiles cold against the new snapshot.
+			s.reg.compiles.take(key)
+			for aggName := range aggByName {
+				s.reg.shard(planKey(key, aggName)).take(planKey(key, aggName))
+			}
+			return
+		}
+		s.reg.rekeyCompile(key, newKey, qd)
+		for aggName := range aggByName {
+			s.reg.rekeyPlan(planKey(key, aggName), planKey(newKey, aggName))
+		}
+		patched++
+	})
+	return patched
+}
+
+// keyHasBind reports whether a dataKey's binds section contains the
+// given "name@version(" prefix at a bind boundary. Dataset names are
+// nameRe-restricted (no '|', ',', '@', or '('), so boundary-anchored
+// prefix matching is unambiguous.
+func keyHasBind(key, bind string) bool {
+	for i := 0; i+len(bind) <= len(key); i++ {
+		if (i == 0 || key[i-1] == '|' || key[i-1] == ',') && strings.HasPrefix(key[i:], bind) {
+			return true
+		}
+	}
+	return false
+}
+
+// rewriteDataKey rewrites every (dsName, oldVer) bind in a dataKey to
+// newVer and re-sorts the binds section, reproducing exactly the key
+// dataKey() would compute for the new versions — the bind multiset is
+// sorted, and a version bump can change a bind's sort position.
+func rewriteDataKey(key, dsName string, oldVer, newVer int) string {
+	// key = fingerprint | bind,bind,... | outAttrs. Binds and outAttrs
+	// contain no '|' (nameRe), the fingerprint may contain anything, so
+	// split from the right.
+	last := strings.LastIndexByte(key, '|')
+	if last < 0 {
+		return key
+	}
+	mid := strings.LastIndexByte(key[:last], '|')
+	if mid < 0 {
+		return key
+	}
+	binds := strings.Split(key[mid+1:last], ",")
+	oldBind := fmt.Sprintf("%s@%d(", dsName, oldVer)
+	newBind := fmt.Sprintf("%s@%d(", dsName, newVer)
+	for i, b := range binds {
+		if strings.HasPrefix(b, oldBind) {
+			binds[i] = newBind + b[len(oldBind):]
+		}
+	}
+	sort.Strings(binds)
+	return key[:mid+1] + strings.Join(binds, ",") + key[last:]
+}

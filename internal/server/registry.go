@@ -35,6 +35,7 @@ type sfEntry struct {
 	ready chan struct{} // closed when the build finished (either way)
 	built atomic.Bool   // true once ready is closed with err == nil
 	p     *repro.Prepared
+	meta  any // opaque build payload (the compile cache stores the queryDef)
 	err   error
 }
 
@@ -57,6 +58,16 @@ func newSFCache(capacity int) *sfCache {
 // context still returns the plan (the run's own Next then reports the
 // cancellation deterministically).
 func (c *sfCache) get(ctx context.Context, key string, build func() (*repro.Prepared, error)) (p *repro.Prepared, found bool, err error) {
+	p, _, found, err = c.getMeta(ctx, key, func() (*repro.Prepared, any, error) {
+		p, err := build()
+		return p, nil, err
+	})
+	return p, found, err
+}
+
+// getMeta is get for callers that attach an opaque payload to the
+// entry alongside the handle (retrievable via eachMeta/take).
+func (c *sfCache) getMeta(ctx context.Context, key string, build func() (*repro.Prepared, any, error)) (p *repro.Prepared, meta any, found bool, err error) {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		c.lru.MoveToFront(e.elem)
@@ -67,17 +78,17 @@ func (c *sfCache) get(ctx context.Context, key string, build func() (*repro.Prep
 			select {
 			case <-e.ready:
 			case <-ctx.Done():
-				return nil, true, ctx.Err()
+				return nil, nil, true, ctx.Err()
 			}
 		}
-		return e.p, true, e.err
+		return e.p, e.meta, true, e.err
 	}
 	e := &sfEntry{key: key, ready: make(chan struct{})}
 	e.elem = c.lru.PushFront(e)
 	c.entries[key] = e
 	c.mu.Unlock()
 
-	e.p, e.err = build()
+	e.p, e.meta, e.err = build()
 	if e.err == nil {
 		e.built.Store(true)
 	}
@@ -101,7 +112,51 @@ func (c *sfCache) get(ctx context.Context, key string, build func() (*repro.Prep
 		}
 	}
 	c.mu.Unlock()
-	return e.p, false, e.err
+	return e.p, e.meta, false, e.err
+}
+
+// take removes the built entry for key and returns its payload; false
+// when the key is absent or its build is still in flight (an in-flight
+// build cannot be moved — its builder publishes under the old key).
+func (c *sfCache) take(key string) (*repro.Prepared, any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok || !e.built.Load() {
+		return nil, nil, false
+	}
+	delete(c.entries, key)
+	c.lru.Remove(e.elem)
+	return e.p, e.meta, true
+}
+
+// putBuilt inserts an already-built entry under key, evicting over
+// capacity. When the key is already resident (a concurrent request
+// built it fresh against the same data) the existing entry wins and
+// putBuilt reports false — clobbering an in-flight build would orphan
+// its waiters.
+func (c *sfCache) putBuilt(key string, p *repro.Prepared, meta any) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return false
+	}
+	e := &sfEntry{key: key, ready: make(chan struct{}), p: p, meta: meta}
+	e.built.Store(true)
+	close(e.ready)
+	e.elem = c.lru.PushFront(e)
+	c.entries[key] = e
+	for el := c.lru.Back(); el != nil && c.lru.Len() > c.cap; {
+		prev := el.Prev()
+		ev := el.Value.(*sfEntry)
+		if ev.built.Load() {
+			c.lru.Remove(el)
+			delete(c.entries, ev.key)
+			c.evicted.Add(1)
+		}
+		el = prev
+	}
+	return true
 }
 
 // len reports the resident entry count.
@@ -116,20 +171,26 @@ func (c *sfCache) len() int {
 // callback (PlanStats walks plan structures) never blocks concurrent
 // gets on this cache.
 func (c *sfCache) each(f func(key string, p *repro.Prepared)) {
+	c.eachMeta(func(key string, p *repro.Prepared, _ any) { f(key, p) })
+}
+
+// eachMeta is each with the entry's opaque payload.
+func (c *sfCache) eachMeta(f func(key string, p *repro.Prepared, meta any)) {
 	type kv struct {
-		key string
-		p   *repro.Prepared
+		key  string
+		p    *repro.Prepared
+		meta any
 	}
 	c.mu.Lock()
 	snap := make([]kv, 0, len(c.entries))
 	for key, e := range c.entries {
 		if e.built.Load() {
-			snap = append(snap, kv{key, e.p})
+			snap = append(snap, kv{key, e.p, e.meta})
 		}
 	}
 	c.mu.Unlock()
 	for _, e := range snap {
-		f(e.key, e.p)
+		f(e.key, e.p, e.meta)
 	}
 }
 
@@ -193,6 +254,30 @@ func (r *registry) get(ctx context.Context, key string, build func() (*repro.Pre
 		r.hits.Add(1)
 	}
 	return p, hit, err
+}
+
+// rekeyPlan moves a built plan entry from oldKey to newKey (which may
+// hash to a different shard) — how warm per-ranking entries survive a
+// dataset delta: the underlying handle was patched in place by
+// ApplyDelta, so only its registry address changes. Reports whether an
+// entry actually moved. When newKey is already resident (a concurrent
+// request compiled fresh against the patched data), the old entry is
+// simply dropped — both handles serve identical results.
+func (r *registry) rekeyPlan(oldKey, newKey string) bool {
+	p, meta, ok := r.shard(oldKey).take(oldKey)
+	if !ok {
+		return false
+	}
+	return r.shard(newKey).putBuilt(newKey, p, meta)
+}
+
+// rekeyCompile is rekeyPlan for the compile-level cache.
+func (r *registry) rekeyCompile(oldKey, newKey string, meta any) bool {
+	p, _, ok := r.compiles.take(oldKey)
+	if !ok {
+		return false
+	}
+	return r.compiles.putBuilt(newKey, p, meta)
 }
 
 // evictions sums the plans dropped by the per-shard LRU bounds.

@@ -129,9 +129,11 @@ type Server struct {
 	dictMu sync.RWMutex
 	dict   *relation.Dictionary // shared across datasets so string joins line up
 
-	requests atomic.Int64
-	rejected atomic.Int64
-	inflight atomic.Int64
+	requests     atomic.Int64
+	rejected     atomic.Int64
+	inflight     atomic.Int64
+	patches      atomic.Int64 // PATCH deltas applied to datasets
+	plansPatched atomic.Int64 // warm registry handles advanced in place by deltas
 }
 
 // dataset is an immutable registered relation instance. Re-registering
@@ -144,13 +146,21 @@ type dataset struct {
 	attrs   []string // informational (CSV header or c0..cN-1)
 	tuples  []relation.Tuple
 	weights []float64
-	// stats are the per-column statistics collected once at
-	// registration and handed to every Compile over this snapshot via
-	// the catalog. Like the rest of the struct they are immutable:
-	// re-registering the dataset builds a fresh dataset (bumped
-	// version) with fresh statistics, so stale stats can never plan a
-	// new snapshot.
+	// stats are the per-column statistics collected at registration (or
+	// derived from the previous snapshot on a delta) and handed to every
+	// Compile over this snapshot via the catalog. Like the rest of the
+	// struct they are immutable: every update builds a fresh dataset
+	// (bumped version) with its own statistics, so stale stats can never
+	// plan a new snapshot.
 	stats *catalog.RelationStats
+	// statsVersion is the statistics generation for this name: bumped on
+	// every registration and every delta, whether the stats were merged
+	// sketch-wise (append-only delta) or recollected from scratch
+	// (deletes, or unmergeable inputs).
+	statsVersion int
+	// epoch counts updates to this name since its last full upload: 1
+	// at registration, +1 per applied PATCH delta.
+	epoch int
 }
 
 // atomDef binds one dataset to query variables, one per atom.
@@ -190,6 +200,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("POST /v1/datasets/{name}", s.handleDatasetPut)
 	s.mux.HandleFunc("PUT /v1/datasets/{name}", s.handleDatasetPut)
+	s.mux.HandleFunc("PATCH /v1/datasets/{name}", s.handleDatasetPatch)
 	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasetList)
 	s.mux.HandleFunc("POST /v1/queries/{name}", s.handleQueryPut)
 	s.mux.HandleFunc("PUT /v1/queries/{name}", s.handleQueryPut)
@@ -285,10 +296,36 @@ const writeGrace = 5 * time.Second
 // receive the trailer.
 const cancelWriteGrace = 2 * time.Second
 
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+// Machine-readable error codes: every non-2xx JSON response carries
+// {"error": {"code": <one of these>, "message": <human text>}} so
+// clients can branch without parsing prose. The NDJSON stream trailer's
+// error field is unaffected — by then the HTTP status is long gone and
+// the trailer is part of the result protocol, not the error envelope.
+const (
+	errInvalidArgument = "invalid_argument" // malformed name, parameter, or body
+	errNotFound        = "not_found"        // unknown dataset or query
+	errConflict        = "conflict"         // registered state disagrees (arity drift, concurrent update)
+	errRateLimited     = "rate_limited"     // admission control refused the request
+	errUnavailable     = "unavailable"      // server draining/shutting down
+	errTimeout         = "timeout"          // preparation exceeded its deadline
+	errInternal        = "internal"         // everything else
+)
+
+// errorBody is the unified error envelope of every /v1 endpoint.
+type errorBody struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+func httpError(w http.ResponseWriter, status int, code string, format string, args ...any) {
+	var body errorBody
+	body.Error.Code = code
+	body.Error.Message = fmt.Sprintf(format, args...)
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(&body)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -313,7 +350,7 @@ type datasetUpload struct {
 func (s *Server) handleDatasetPut(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	if !nameRe.MatchString(name) {
-		httpError(w, http.StatusBadRequest, "invalid dataset name %q", name)
+		httpError(w, http.StatusBadRequest, errInvalidArgument, "invalid dataset name %q", name)
 		return
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
@@ -328,7 +365,7 @@ func (s *Server) handleDatasetPut(w http.ResponseWriter, r *http.Request) {
 		ds, err = s.readJSONDataset(name, r)
 	}
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "dataset %s: %v", name, err)
+		httpError(w, http.StatusBadRequest, errInvalidArgument, "dataset %s: %v", name, err)
 		return
 	}
 	// Collect planner statistics once per upload, outside the lock (one
@@ -336,16 +373,20 @@ func (s *Server) handleDatasetPut(w http.ResponseWriter, r *http.Request) {
 	ds.stats = catalog.Collect(&relation.Relation{
 		Name: name, Attrs: ds.attrs, Tuples: ds.tuples, Weights: ds.weights,
 	})
+	ds.epoch = 1
 	s.mu.Lock()
 	if old, ok := s.datasets[name]; ok {
 		ds.version = old.version + 1
+		ds.statsVersion = old.statsVersion + 1
 	} else {
 		ds.version = 1
+		ds.statsVersion = 1
 	}
 	s.datasets[name] = ds
 	s.mu.Unlock()
 	writeJSON(w, map[string]any{
 		"name": name, "rows": len(ds.tuples), "arity": ds.arity, "version": ds.version,
+		"stats_version": ds.statsVersion, "epoch": ds.epoch,
 	})
 }
 
@@ -422,6 +463,52 @@ func (s *Server) mergeDict(local *relation.Dictionary, tuples []relation.Tuple) 
 	}
 }
 
+// parseJSONTuples decodes an array of JSON tuples (cells are integral
+// numbers or strings — strings encode through the supplied dictionary).
+// arity < 0 infers the arity from the first tuple; otherwise every
+// tuple must match it. Returns the tuples and the (inferred) arity.
+func parseJSONTuples(raws []json.RawMessage, arity int, local *relation.Dictionary) ([]relation.Tuple, int, error) {
+	tuples := make([]relation.Tuple, len(raws))
+	for i, raw := range raws {
+		var cells []any
+		d := json.NewDecoder(bytes.NewReader(raw))
+		d.UseNumber()
+		if err := d.Decode(&cells); err != nil {
+			return nil, 0, fmt.Errorf("tuple %d: %v", i, err)
+		}
+		if arity < 0 {
+			arity = len(cells)
+			if arity == 0 {
+				return nil, 0, fmt.Errorf("tuple %d is empty", i)
+			}
+		} else if len(cells) != arity {
+			return nil, 0, fmt.Errorf("tuple %d has arity %d, want %d", i, len(cells), arity)
+		}
+		t := make(relation.Tuple, arity)
+		for j, c := range cells {
+			switch v := c.(type) {
+			case json.Number:
+				n, err := strconv.ParseInt(v.String(), 10, 64)
+				if err != nil {
+					return nil, 0, fmt.Errorf("tuple %d cell %d: value %v is not an integer (the engine's domain is int64; quote it to treat it as a string)", i, j, v)
+				}
+				// Integers in the dictionary code space would alias string
+				// codes and decode as unrelated strings downstream.
+				if n >= relation.DictBase {
+					return nil, 0, fmt.Errorf("tuple %d cell %d: integer %d collides with the dictionary code space (numeric values must be < 2^40; quote it to treat it as a string)", i, j, n)
+				}
+				t[j] = n
+			case string:
+				t[j] = local.Code(v)
+			default:
+				return nil, 0, fmt.Errorf("tuple %d cell %d: unsupported value %v", i, j, c)
+			}
+		}
+		tuples[i] = t
+	}
+	return tuples, arity, nil
+}
+
 func (s *Server) readJSONDataset(name string, r *http.Request) (*dataset, error) {
 	var up datasetUpload
 	dec := json.NewDecoder(r.Body)
@@ -439,44 +526,9 @@ func (s *Server) readJSONDataset(name string, r *http.Request) (*dataset, error)
 	// into the shared one afterwards) so parsing a large body never
 	// holds the lock streaming handlers decode under.
 	local := relation.NewDictionary()
-	arity := -1
-	tuples := make([]relation.Tuple, len(up.RawTuples))
-	for i, raw := range up.RawTuples {
-		var cells []any
-		d := json.NewDecoder(bytes.NewReader(raw))
-		d.UseNumber()
-		if err := d.Decode(&cells); err != nil {
-			return nil, fmt.Errorf("tuple %d: %v", i, err)
-		}
-		if arity < 0 {
-			arity = len(cells)
-			if arity == 0 {
-				return nil, fmt.Errorf("tuple %d is empty", i)
-			}
-		} else if len(cells) != arity {
-			return nil, fmt.Errorf("tuple %d has arity %d, want %d", i, len(cells), arity)
-		}
-		t := make(relation.Tuple, arity)
-		for j, c := range cells {
-			switch v := c.(type) {
-			case json.Number:
-				n, err := strconv.ParseInt(v.String(), 10, 64)
-				if err != nil {
-					return nil, fmt.Errorf("tuple %d cell %d: value %v is not an integer (the engine's domain is int64; quote it to treat it as a string)", i, j, v)
-				}
-				// Integers in the dictionary code space would alias string
-				// codes and decode as unrelated strings downstream.
-				if n >= relation.DictBase {
-					return nil, fmt.Errorf("tuple %d cell %d: integer %d collides with the dictionary code space (numeric values must be < 2^40; quote it to treat it as a string)", i, j, n)
-				}
-				t[j] = n
-			case string:
-				t[j] = local.Code(v)
-			default:
-				return nil, fmt.Errorf("tuple %d cell %d: unsupported value %v", i, j, c)
-			}
-		}
-		tuples[i] = t
+	tuples, arity, err := parseJSONTuples(up.RawTuples, -1, local)
+	if err != nil {
+		return nil, err
 	}
 	s.mergeDict(local, tuples)
 	weights := up.Weights
@@ -502,10 +554,18 @@ func (s *Server) handleDatasetList(w http.ResponseWriter, r *http.Request) {
 		Rows    int    `json:"rows"`
 		Arity   int    `json:"arity"`
 		Version int    `json:"version"`
+		// StatsVersion is the statistics generation (bumped on every
+		// upload and every delta); Epoch is the last-update epoch: 1 at
+		// registration, +1 per applied PATCH delta.
+		StatsVersion int `json:"stats_version"`
+		Epoch        int `json:"epoch"`
 	}
 	out := make([]dsInfo, 0, len(s.datasets))
 	for _, ds := range s.datasets {
-		out = append(out, dsInfo{Name: ds.name, Rows: len(ds.tuples), Arity: ds.arity, Version: ds.version})
+		out = append(out, dsInfo{
+			Name: ds.name, Rows: len(ds.tuples), Arity: ds.arity, Version: ds.version,
+			StatsVersion: ds.statsVersion, Epoch: ds.epoch,
+		})
 	}
 	s.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
@@ -515,7 +575,7 @@ func (s *Server) handleDatasetList(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleQueryPut(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	if !nameRe.MatchString(name) {
-		httpError(w, http.StatusBadRequest, "invalid query name %q", name)
+		httpError(w, http.StatusBadRequest, errInvalidArgument, "invalid query name %q", name)
 		return
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
@@ -523,17 +583,17 @@ func (s *Server) handleQueryPut(w http.ResponseWriter, r *http.Request) {
 		Atoms []atomDef `json:"atoms"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		httpError(w, http.StatusBadRequest, "query %s: %v", name, err)
+		httpError(w, http.StatusBadRequest, errInvalidArgument, "query %s: %v", name, err)
 		return
 	}
 	if len(body.Atoms) == 0 {
-		httpError(w, http.StatusBadRequest, "query %s: no atoms", name)
+		httpError(w, http.StatusBadRequest, errInvalidArgument, "query %s: no atoms", name)
 		return
 	}
 	for i, a := range body.Atoms {
 		for _, v := range a.Vars {
 			if !nameRe.MatchString(v) {
-				httpError(w, http.StatusBadRequest, "query %s atom %d: invalid variable name %q", name, i, v)
+				httpError(w, http.StatusBadRequest, errInvalidArgument, "query %s atom %d: invalid variable name %q", name, i, v)
 				return
 			}
 		}
@@ -543,12 +603,12 @@ func (s *Server) handleQueryPut(w http.ResponseWriter, r *http.Request) {
 		ds, ok := s.datasets[a.Dataset]
 		if !ok {
 			s.mu.RUnlock()
-			httpError(w, http.StatusBadRequest, "query %s atom %d: unknown dataset %q", name, i, a.Dataset)
+			httpError(w, http.StatusBadRequest, errInvalidArgument, "query %s atom %d: unknown dataset %q", name, i, a.Dataset)
 			return
 		}
 		if len(a.Vars) != ds.arity {
 			s.mu.RUnlock()
-			httpError(w, http.StatusBadRequest, "query %s atom %d: %d vars but dataset %s has arity %d", name, i, len(a.Vars), a.Dataset, ds.arity)
+			httpError(w, http.StatusBadRequest, errInvalidArgument, "query %s atom %d: %d vars but dataset %s has arity %d", name, i, len(a.Vars), a.Dataset, ds.arity)
 			return
 		}
 	}
@@ -561,12 +621,12 @@ func (s *Server) handleQueryPut(w http.ResponseWriter, r *http.Request) {
 	}
 	fp, err := q.Fingerprint()
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "query %s: %v", name, err)
+		httpError(w, http.StatusBadRequest, errInvalidArgument, "query %s: %v", name, err)
 		return
 	}
 	outAttrs, err := q.OutAttrs()
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "query %s: %v", name, err)
+		httpError(w, http.StatusBadRequest, errInvalidArgument, "query %s: %v", name, err)
 		return
 	}
 	qd := &queryDef{name: name, atoms: body.Atoms, fingerprint: fp, outAttrs: outAttrs}
@@ -653,7 +713,7 @@ type topkLine struct {
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	if s.isDraining() {
-		httpError(w, http.StatusServiceUnavailable, "server shutting down")
+		httpError(w, http.StatusServiceUnavailable, errUnavailable, "server shutting down")
 		return
 	}
 	name := r.PathValue("name")
@@ -663,13 +723,13 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	if v := qry.Get("k"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 1 {
-			httpError(w, http.StatusBadRequest, "bad k %q", v)
+			httpError(w, http.StatusBadRequest, errInvalidArgument, "bad k %q", v)
 			return
 		}
 		k = n
 	}
 	if s.cfg.MaxK > 0 && k > s.cfg.MaxK {
-		httpError(w, http.StatusBadRequest, "k %d exceeds maximum %d", k, s.cfg.MaxK)
+		httpError(w, http.StatusBadRequest, errInvalidArgument, "k %d exceeds maximum %d", k, s.cfg.MaxK)
 		return
 	}
 	aggName := qry.Get("agg")
@@ -678,14 +738,14 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	}
 	agg, ok := aggByName[aggName]
 	if !ok {
-		httpError(w, http.StatusBadRequest, "unknown agg %q (sum, sum-desc, max, min-desc, product)", aggName)
+		httpError(w, http.StatusBadRequest, errInvalidArgument, "unknown agg %q (sum, sum-desc, max, min-desc, product)", aggName)
 		return
 	}
 	variant := repro.Lazy
 	if v := qry.Get("variant"); v != "" {
 		variant, ok = variantByName[strings.ToLower(v)]
 		if !ok {
-			httpError(w, http.StatusBadRequest, "unknown variant %q", v)
+			httpError(w, http.StatusBadRequest, errInvalidArgument, "unknown variant %q", v)
 			return
 		}
 	}
@@ -693,7 +753,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	if v := qry.Get("timeout"); v != "" {
 		d, err := time.ParseDuration(v)
 		if err != nil || d <= 0 {
-			httpError(w, http.StatusBadRequest, "bad timeout %q", v)
+			httpError(w, http.StatusBadRequest, errInvalidArgument, "bad timeout %q", v)
 			return
 		}
 		timeout = d
@@ -714,7 +774,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	default:
 		s.rejected.Add(1)
 		w.Header().Set("Retry-After", "1")
-		httpError(w, http.StatusTooManyRequests, "too many in-flight enumerations (max %d)", s.cfg.MaxInflight)
+		httpError(w, http.StatusTooManyRequests, errRateLimited, "too many in-flight enumerations (max %d)", s.cfg.MaxInflight)
 		return
 	}
 	defer func() { <-s.sem }()
@@ -722,7 +782,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	// register before Shutdown flips it (and its drain covers us), or we
 	// are refused here.
 	if !s.acquireStream() {
-		httpError(w, http.StatusServiceUnavailable, "server shutting down")
+		httpError(w, http.StatusServiceUnavailable, errUnavailable, "server shutting down")
 		return
 	}
 	defer s.releaseStream()
@@ -746,11 +806,11 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		return s.buildPlan(bctx, dk, qd, snap, agg)
 	})
 	if err != nil {
-		code := http.StatusInternalServerError
+		status, code := http.StatusInternalServerError, errInternal
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-			code = http.StatusGatewayTimeout
+			status, code = http.StatusGatewayTimeout, errTimeout
 		}
-		httpError(w, code, "prepare %s: %v", name, err)
+		httpError(w, status, code, "prepare %s: %v", name, err)
 		return
 	}
 
@@ -761,7 +821,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		repro.WithContext(ctx),
 	)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, "run %s: %v", name, err)
+		httpError(w, http.StatusInternalServerError, errInternal, "run %s: %v", name, err)
 		return
 	}
 	defer it.Close()
@@ -873,12 +933,12 @@ func (s *Server) resolveQuery(w http.ResponseWriter, name string) (*queryDef, []
 	}
 	s.mu.RUnlock()
 	if !ok {
-		httpError(w, http.StatusNotFound, "unknown query %q (or a dataset it references was removed)", name)
+		httpError(w, http.StatusNotFound, errNotFound, "unknown query %q (or a dataset it references was removed)", name)
 		return nil, nil, nil, false
 	}
 	for i, a := range qd.atoms {
 		if len(a.Vars) != snap[i].arity {
-			httpError(w, http.StatusConflict,
+			httpError(w, http.StatusConflict, errConflict,
 				"query %s atom %d binds %d vars but dataset %s is now version %d with arity %d; re-register the query",
 				name, i, len(a.Vars), a.Dataset, snap[i].version, snap[i].arity)
 			return nil, nil, nil, false
@@ -915,7 +975,10 @@ func (s *Server) buildPlan(ctx context.Context, dk string, qd *queryDef, snap []
 // this (buildPlan); /sample uses the compiled handle directly, since
 // sampling must not trigger any enumeration or bag materialisation.
 func (s *Server) compileSnapshot(ctx context.Context, dk string, qd *queryDef, snap []*dataset) (*repro.Prepared, bool, error) {
-	p, hit, err := s.reg.compiles.get(ctx, dk, func() (*repro.Prepared, error) {
+	// The queryDef rides along as the entry's meta payload so a dataset
+	// delta can rebuild per-atom Delta batches for every resident handle
+	// (propagateDelta) without a reverse index from keys to queries.
+	p, _, hit, err := s.reg.compiles.getMeta(ctx, dk, func() (*repro.Prepared, any, error) {
 		q := repro.NewQuery()
 		// Hand Compile the registration-time statistics of the exact
 		// dataset snapshot this plan binds to, keyed by atom name. A
@@ -930,7 +993,8 @@ func (s *Server) compileSnapshot(ctx context.Context, dk string, qd *queryDef, s
 				cat.Put(atomName, snap[i].version, snap[i].stats)
 			}
 		}
-		return repro.Compile(q, repro.WithContext(ctx), repro.WithStatistics(cat))
+		p, err := repro.Compile(q, repro.WithContext(ctx), repro.WithStatistics(cat))
+		return p, qd, err
 	})
 	return p, hit, err
 }
@@ -965,7 +1029,7 @@ type sampleLine struct {
 func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	if s.isDraining() {
-		httpError(w, http.StatusServiceUnavailable, "server shutting down")
+		httpError(w, http.StatusServiceUnavailable, errUnavailable, "server shutting down")
 		return
 	}
 	name := r.PathValue("name")
@@ -975,13 +1039,13 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 	if v := qry.Get("n"); v != "" {
 		x, err := strconv.Atoi(v)
 		if err != nil || x < 1 {
-			httpError(w, http.StatusBadRequest, "bad n %q", v)
+			httpError(w, http.StatusBadRequest, errInvalidArgument, "bad n %q", v)
 			return
 		}
 		n = x
 	}
 	if s.cfg.MaxK > 0 && n > s.cfg.MaxK {
-		httpError(w, http.StatusBadRequest, "n %d exceeds maximum %d", n, s.cfg.MaxK)
+		httpError(w, http.StatusBadRequest, errInvalidArgument, "n %d exceeds maximum %d", n, s.cfg.MaxK)
 		return
 	}
 	aggName := qry.Get("agg")
@@ -990,7 +1054,7 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 	}
 	agg, ok := aggByName[aggName]
 	if !ok {
-		httpError(w, http.StatusBadRequest, "unknown agg %q (sum, sum-desc, max, min-desc, product)", aggName)
+		httpError(w, http.StatusBadRequest, errInvalidArgument, "unknown agg %q (sum, sum-desc, max, min-desc, product)", aggName)
 		return
 	}
 	var (
@@ -1000,7 +1064,7 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 	if v := qry.Get("seed"); v != "" {
 		x, err := strconv.ParseUint(v, 10, 64)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, "bad seed %q", v)
+			httpError(w, http.StatusBadRequest, errInvalidArgument, "bad seed %q", v)
 			return
 		}
 		seed, seedSet = x, true
@@ -1009,7 +1073,7 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 	if v := qry.Get("timeout"); v != "" {
 		d, err := time.ParseDuration(v)
 		if err != nil || d <= 0 {
-			httpError(w, http.StatusBadRequest, "bad timeout %q", v)
+			httpError(w, http.StatusBadRequest, errInvalidArgument, "bad timeout %q", v)
 			return
 		}
 		timeout = d
@@ -1031,12 +1095,12 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 	default:
 		s.rejected.Add(1)
 		w.Header().Set("Retry-After", "1")
-		httpError(w, http.StatusTooManyRequests, "too many in-flight enumerations (max %d)", s.cfg.MaxInflight)
+		httpError(w, http.StatusTooManyRequests, errRateLimited, "too many in-flight enumerations (max %d)", s.cfg.MaxInflight)
 		return
 	}
 	defer func() { <-s.sem }()
 	if !s.acquireStream() {
-		httpError(w, http.StatusServiceUnavailable, "server shutting down")
+		httpError(w, http.StatusServiceUnavailable, errUnavailable, "server shutting down")
 		return
 	}
 	defer s.releaseStream()
@@ -1057,11 +1121,11 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 		return s.compileSnapshot(bctx, dk, qd, snap)
 	}()
 	if err != nil {
-		code := http.StatusInternalServerError
+		status, code := http.StatusInternalServerError, errInternal
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-			code = http.StatusGatewayTimeout
+			status, code = http.StatusGatewayTimeout, errTimeout
 		}
-		httpError(w, code, "prepare %s: %v", name, err)
+		httpError(w, status, code, "prepare %s: %v", name, err)
 		return
 	}
 
@@ -1144,11 +1208,16 @@ type statsResponse struct {
 		Capacity  int   `json:"capacity"`
 		Shards    int   `json:"shards"`
 	} `json:"registry"`
-	Requests    int64     `json:"requests"`
-	Rejected    int64     `json:"rejected"`
-	Inflight    int64     `json:"inflight"`
-	MaxInflight int       `json:"max_inflight"`
-	Plans       []regPlan `json:"plans"`
+	Requests    int64 `json:"requests"`
+	Rejected    int64 `json:"rejected"`
+	Inflight    int64 `json:"inflight"`
+	MaxInflight int   `json:"max_inflight"`
+	// Patches counts applied dataset deltas (PATCH /v1/datasets/{name});
+	// PlansPatched counts warm registry handles those deltas advanced in
+	// place via ApplyDelta (each kept serving without a cold prepare).
+	Patches      int64     `json:"patches"`
+	PlansPatched int64     `json:"plans_patched"`
+	Plans        []regPlan `json:"plans"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -1167,6 +1236,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Rejected = s.rejected.Load()
 	resp.Inflight = s.inflight.Load()
 	resp.MaxInflight = s.cfg.MaxInflight
+	resp.Patches = s.patches.Load()
+	resp.PlansPatched = s.plansPatched.Load()
 	resp.Plans = s.reg.snapshot()
 	writeJSON(w, &resp)
 }

@@ -1,0 +1,211 @@
+package yannakakis
+
+import (
+	"context"
+
+	"repro/internal/join"
+	"repro/internal/parallel"
+	"repro/internal/relation"
+)
+
+// Reduction is the full reducer's output with the bottom-up
+// intermediates kept, both aligned with tree node ids. Keeping the
+// intermediates is what makes incremental re-reduction possible:
+// BottomUp[u] depends only on u's base relation and its children's
+// BottomUp values, and Final[u] only on BottomUp[u] and the parent's
+// Final, so a delta to one base relation invalidates exactly the
+// nodes on paths through it — everything else aliases the old epoch.
+type Reduction struct {
+	// BottomUp[u] is node u's relation after the bottom-up semi-join
+	// sweep (reduced by its subtree, not yet by its ancestors).
+	BottomUp []*relation.Relation
+	// Final[u] is node u's fully reduced relation, identical to what
+	// FullReduceWith returns.
+	Final []*relation.Relation
+}
+
+// ReduceKeep is FullReduceWith keeping the bottom-up intermediates.
+// Final is element-wise identical to FullReduceWith's result; the
+// extra cost is one slice of relation headers (tuples are shared).
+func (q *Query) ReduceKeep(ctx context.Context, workers int) (*Reduction, error) {
+	n := len(q.Rels)
+	bu := make([]*relation.Relation, n)
+	for i := 0; i < n; i++ {
+		bu[i] = q.queryRel(i)
+	}
+	levels := q.Tree.Levels()
+	for li := len(levels) - 1; li >= 0; li-- {
+		lv := levels[li]
+		err := parallel.ForEach(ctx, workers, len(lv), func(i int) error {
+			u := lv[i]
+			for _, c := range q.Tree.Children[u] {
+				bu[u] = join.SemiJoin(bu[u], bu[c])
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	fin := make([]*relation.Relation, n)
+	copy(fin, bu)
+	for _, lv := range levels {
+		err := parallel.ForEach(ctx, workers, len(lv), func(i int) error {
+			u := lv[i]
+			if p := q.Tree.Parent[u]; p >= 0 {
+				fin[u] = join.SemiJoin(bu[u], fin[p])
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Reduction{BottomUp: bu, Final: fin}, nil
+}
+
+// ReduceDelta re-runs the full reducer only along paths the delta
+// actually reached. changedBase flags, per tree node, the base
+// relations whose content differs from the run that produced old
+// (which must come from ReduceKeep or ReduceDelta over the same join
+// tree). A node's semi-joins are redone only while the propagated
+// inputs differ from the old epoch's: the bottom-up sweep recomputes a
+// node when its base changed or a child's bottom-up result changed,
+// and stops propagating upward as soon as a recomputed result comes
+// out content-identical to the old one; the top-down sweep mirrors
+// that from the root. Everything untouched aliases the old epoch's
+// relations, so the returned Final is bit-identical to a cold
+// ReduceKeep over the new inputs.
+//
+// The returned dirty vector flags the nodes whose Final content
+// differs from old.Final — the seed set for downstream incremental
+// recomputation.
+func (q *Query) ReduceDelta(ctx context.Context, workers int, old *Reduction, changedBase []bool) (*Reduction, []bool, error) {
+	n := len(q.Rels)
+	if old == nil || len(old.BottomUp) != n || len(old.Final) != n || len(changedBase) != n {
+		red, err := q.ReduceKeep(ctx, workers)
+		if err != nil {
+			return nil, nil, err
+		}
+		dirty := make([]bool, n)
+		for i := range dirty {
+			dirty[i] = true
+		}
+		return red, dirty, nil
+	}
+
+	bu := make([]*relation.Relation, n)
+	buDirty := make([]bool, n)
+	levels := q.Tree.Levels()
+	for li := len(levels) - 1; li >= 0; li-- {
+		lv := levels[li]
+		var work []int
+		for _, u := range lv {
+			d := changedBase[u]
+			for _, c := range q.Tree.Children[u] {
+				d = d || buDirty[c]
+			}
+			if !d {
+				bu[u] = old.BottomUp[u]
+				continue
+			}
+			buDirty[u] = true
+			work = append(work, u)
+		}
+		// Recomputed nodes of one level are pairwise unrelated: each
+		// reads only bu slots finalised by deeper levels and writes only
+		// its own bu/buDirty slot.
+		err := parallel.ForEach(ctx, workers, len(work), func(i int) error {
+			u := work[i]
+			r := q.queryRel(u)
+			for _, c := range q.Tree.Children[u] {
+				r = join.SemiJoin(r, bu[c])
+			}
+			if sameContent(r, old.BottomUp[u]) {
+				// The delta didn't reach this node's output (appends that
+				// dangle, deletes of dangling rows, or changes absorbed by
+				// a child's semi-join): alias the old epoch and stop the
+				// upward propagation here.
+				bu[u] = old.BottomUp[u]
+				buDirty[u] = false
+			} else {
+				bu[u] = r
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	fin := make([]*relation.Relation, n)
+	dirty := make([]bool, n)
+	for _, lv := range levels {
+		var work []int
+		for _, u := range lv {
+			d := buDirty[u]
+			if p := q.Tree.Parent[u]; p >= 0 {
+				d = d || dirty[p]
+			}
+			if !d {
+				fin[u] = old.Final[u]
+				continue
+			}
+			dirty[u] = true
+			work = append(work, u)
+		}
+		err := parallel.ForEach(ctx, workers, len(work), func(i int) error {
+			u := work[i]
+			r := bu[u]
+			if p := q.Tree.Parent[u]; p >= 0 {
+				r = join.SemiJoin(bu[u], fin[p])
+			}
+			if sameContent(r, old.Final[u]) {
+				fin[u] = old.Final[u]
+				dirty[u] = false
+			} else {
+				fin[u] = r
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return &Reduction{BottomUp: bu, Final: fin}, dirty, nil
+}
+
+// sameContent reports exact content equality — same tuples in the same
+// row order, bit-equal weights — which is the right notion here
+// because semi-joins preserve left row order, so equal inputs always
+// reproduce the old output verbatim. Shared backing arrays (epochs
+// alias unchanged relations) short-circuit the scan.
+func sameContent(a, b *relation.Relation) bool {
+	if a == b {
+		return true
+	}
+	if a.Len() != b.Len() || a.Arity() != b.Arity() {
+		return false
+	}
+	if a.Len() == 0 {
+		return true
+	}
+	if &a.Tuples[0] == &b.Tuples[0] && &a.Weights[0] == &b.Weights[0] {
+		return true
+	}
+	for i, at := range a.Tuples {
+		if a.Weights[i] != b.Weights[i] {
+			return false
+		}
+		bt := b.Tuples[i]
+		if len(at) > 0 && &at[0] == &bt[0] {
+			continue // rows are shared slices across epochs
+		}
+		for j, v := range at {
+			if v != bt[j] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -47,36 +47,39 @@ const (
 // thousands of top-k requests with different k, ranking functions, or
 // algorithm variants share one compilation.
 //
-// A Prepared handle is immutable after Compile and safe for concurrent
-// Run/TopK/Count/IsEmpty calls; the iterators it returns are not.
+// A handle is epoch-versioned: ApplyDelta installs a new epoch of
+// prepared state for updated input data, patching the previous epoch's
+// artefacts incrementally instead of recompiling. Everything structural
+// — the query shape, join tree, chosen decomposition, output schema —
+// is fixed at Compile time and shared by every epoch; only the data-
+// dependent artefacts (reduced relations, groupings, π weights, bags,
+// statistics-derived sizes) advance.
+//
+// A Prepared handle is safe for concurrent Run/TopK/Count/IsEmpty/
+// Sample/ApplyDelta calls; the iterators it returns are not. Runs
+// concurrent with an ApplyDelta see either the old or the new epoch,
+// atomically; iterators already running keep enumerating their epoch's
+// state to completion.
 type Prepared struct {
 	outAttrs []string
 	kind     queryKind
 	fp       string // Query.Fingerprint, computed once at Compile
 
-	// Acyclic: the validated query (for Count/IsEmpty counting passes)
-	// plus the aggregate-independent T-DP plan.
-	yq   *yannakakis.Query
-	plan *dp.Plan
+	// srcEdges retains the validated query atoms (hyperedges) in
+	// declaration order — the epoch-independent half of the query; each
+	// epoch's planState carries the srcRels aligned with them.
+	srcEdges []hypergraph.Edge
 
-	// Cyclic cycle shapes: the relations reordered (and, for edges
-	// declared against the walk direction, column-flipped) to follow the
-	// cycle.
-	cycleRels []*relation.Relation
+	// Cyclic cycle shapes: the walk order and per-edge flip flags
+	// matchCycleShape derived at Compile time, kept so every epoch can
+	// re-derive its canonical cycle relations from fresh data.
+	cycleOrder []int
+	cycleFlip  []bool
 
-	// Generic cyclic shapes: the query's hyperedges and relations plus
-	// the decomposition found at compile time (the structural search
-	// runs once; only the per-aggregate bag materialisation is
-	// deferred to the first Run with each ranking function).
-	ghdEdges []hypergraph.Edge
-	ghdRels  []*relation.Relation
-	ghdDec   *hypergraph.Decomposition
-
-	// solutions is the exact output cardinality for acyclic handles,
-	// computed once at Compile from the reduced plan's counting pass
-	// (an O(total tuples) DP that must not re-run per Count/PlanStats
-	// call); -1 for cyclic kinds, whose Count enumerates.
-	solutions int
+	// Generic cyclic shapes: the decomposition found at compile time
+	// (the structural search runs once; bag materialisation is deferred
+	// to the first Run with each ranking function and patched per epoch).
+	ghdDec *hypergraph.Decomposition
 
 	// workers is the compile-time default parallelism for the prepare
 	// phase (Instantiate for acyclic queries, bag materialisation for
@@ -87,11 +90,6 @@ type Prepared struct {
 	// Run overrides both for the build that run triggers.
 	workers    int
 	workersSet bool
-
-	// estTuples is the estimated total tuple count the prepare phase
-	// processes (reduced plan nodes for acyclic queries, input relations
-	// for cyclic ones) — the input to the default-parallelism threshold.
-	estTuples int
 
 	// costBased records whether a cost model drove this compilation (see
 	// WithStatistics); when it did, estOutput is the model's output-
@@ -104,24 +102,76 @@ type Prepared struct {
 	estOutput float64
 	estBags   []float64
 
-	// srcEdges/srcRels retain the validated query atoms for every kind
-	// (aligned slices) — the uniform answer sampler walks the original
-	// atoms directly, whatever plan shape the handle compiled to.
-	srcEdges []hypergraph.Edge
-	srcRels  []*relation.Relation
-
 	// hints carries the cost model's Misra–Gries heavy hitters into the
 	// parallel bag materialisation (wcoj heavy/light partitioning); nil
 	// without a cost model.
 	hints wcoj.SkewHints
 
+	// state points at the current epoch's prepared artefacts. Readers
+	// load it once per call and work against that snapshot; ApplyDelta
+	// builds the next epoch aside and swaps the pointer, so in-flight
+	// iterators keep their epoch alive until they finish.
+	state atomic.Pointer[planState]
+
+	// deltaMu serialises ApplyDelta calls (concurrent deltas would race
+	// to build successor epochs from the same base).
+	deltaMu sync.Mutex
+
+	// Cumulative delta counters across the handle's lifetime, surfaced
+	// by PlanStats.
+	deltasApplied        atomic.Int64
+	deltaAppendedRows    atomic.Int64
+	deltaDeletedRows     atomic.Int64
+	deltaBagsReused      atomic.Int64
+	deltaBagsRebuilt     atomic.Int64
+	deltaNodesReused     atomic.Int64
+	deltaNodesRecomputed atomic.Int64
+	lastDeltaNs          atomic.Int64
+}
+
+// planState is one epoch of a handle's prepared state: the input
+// relations as of that epoch plus every data-dependent artefact derived
+// from them. A planState is immutable after it is published via
+// Prepared.state (the caches inside fill lazily but never change a
+// built entry), so concurrent readers need no locks beyond the caches'
+// own.
+type planState struct {
+	// epoch numbers the state: 1 after Compile, +1 per applied delta.
+	epoch int64
+
+	// srcRels are the epoch's relations aligned with Prepared.srcEdges —
+	// the uniform answer sampler walks these directly, whatever plan
+	// shape the handle compiled to.
+	srcRels []*relation.Relation
+
+	// Acyclic: the validated query (for Count/IsEmpty counting passes)
+	// plus the aggregate-independent T-DP plan.
+	yq   *yannakakis.Query
+	plan *dp.Plan
+
+	// Cyclic cycle shapes: the relations reordered (and, for edges
+	// declared against the walk direction, column-flipped) to follow the
+	// cycle.
+	cycleRels []*relation.Relation
+
+	// solutions is the exact output cardinality for acyclic handles,
+	// computed once per epoch from the reduced plan's counting pass
+	// (an O(total tuples) DP that must not re-run per Count/PlanStats
+	// call); -1 for cyclic kinds, whose Count enumerates.
+	solutions int
+
+	// estTuples is the estimated total tuple count the prepare phase
+	// processes (reduced plan nodes for acyclic queries, input relations
+	// for cyclic ones) — the input to the default-parallelism threshold.
+	estTuples int
+
 	tdps    onceCache[*dp.TDP]      // acyclic: T-DP per ranking function
 	decomps onceCache[*decomp.Plan] // cyclic: decomposition per ranking function
 
-	// The sampler builds lazily on the first Sample call (it re-sorts
-	// every atom into its own tries) and is cached for the handle's
-	// lifetime; samplePerm maps outAttrs positions to sampler variable
-	// positions.
+	// The sampler builds lazily on the first Sample call of the epoch
+	// (it re-sorts every atom into its own tries) and is cached for the
+	// epoch's lifetime; samplePerm maps outAttrs positions to sampler
+	// variable positions.
 	samplerMu  sync.Mutex
 	sampler    *sample.Sampler
 	samplerErr error
@@ -191,6 +241,25 @@ func (c *onceCache[V]) get(ctx context.Context, agg ranking.Aggregate, build fun
 	}
 }
 
+// seed installs an already-built value for agg — the delta path uses it
+// to carry patched artefacts into the next epoch's cache so rankings
+// that were warm stay warm. No-op for non-comparable aggregates (which
+// are never cached).
+func (c *onceCache[V]) seed(agg ranking.Aggregate, v V) {
+	if !reflect.TypeOf(agg).Comparable() {
+		return
+	}
+	e := &onceEntry[V]{v: v}
+	e.once.Do(func() {}) // consume the once: the entry is pre-built
+	e.done.Store(true)
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[ranking.Aggregate]*onceEntry[V])
+	}
+	c.m[agg] = e
+	c.mu.Unlock()
+}
+
 // built snapshots the successfully built entries: the per-ranking
 // artefacts a monitoring endpoint can report without triggering (or
 // waiting on) any build. Entries still building, failed, or dropped are
@@ -236,11 +305,11 @@ func resolveWorkers(set bool, workers, estTuples int) int {
 // prepareWorkers resolves the worker count for a build triggered by a
 // Run with config cfg, layering the per-run override over the handle
 // default over the size threshold.
-func (p *Prepared) prepareWorkers(cfg runConfig) int {
+func (p *Prepared) prepareWorkers(cfg runConfig, estTuples int) int {
 	if cfg.workersSet {
 		return cfg.workers
 	}
-	return resolveWorkers(p.workersSet, p.workers, p.estTuples)
+	return resolveWorkers(p.workersSet, p.workers, estTuples)
 }
 
 // Compile analyses and plans the query once, returning a reusable
@@ -250,19 +319,19 @@ func (p *Prepared) prepareWorkers(cfg runConfig) int {
 // the generalized-hypertree-decomposition search and compiles onto the
 // resulting bag tree.
 //
-// Of the run options only WithParallelism, WithContext, WithStatistics
-// and WithCostModel are consulted at compile time. WithParallelism
-// drives the acyclic plan build (full reduction and grouping) and sets
-// the handle's default prepare parallelism (how many workers run
-// Instantiate or materialise decomposition bags on the first Run with
-// each ranking function); when it is omitted, parallelism defaults to
-// GOMAXPROCS for inputs above a size threshold and sequential below it.
-// WithContext makes the acyclic plan build cancelable (a canceled
-// Compile returns ctx.Err() and no handle); it is not retained by the
-// handle. WithStatistics/WithCostModel steer cost-based planning (on by
-// default; see WithStatistics). The other options are per-run and
-// ignored here.
-func Compile(q *Query, opts ...RunOption) (*Prepared, error) {
+// Compile accepts CompileOptions — which include every RunOption.
+// WithParallelism drives the acyclic plan build (full reduction and
+// grouping) and sets the handle's default prepare parallelism (how many
+// workers run Instantiate or materialise decomposition bags on the
+// first Run with each ranking function); when it is omitted,
+// parallelism defaults to GOMAXPROCS for inputs above a size threshold
+// and sequential below it. WithContext makes the acyclic plan build
+// cancelable (a canceled Compile returns ctx.Err() and no handle); it
+// is not retained by the handle. WithStatistics/WithCostModel — the
+// compile-only options — steer cost-based planning (on by default; see
+// WithStatistics). The remaining run options are per-run and ignored
+// here.
+func Compile(q *Query, opts ...CompileOption) (*Prepared, error) {
 	if q.err != nil {
 		return nil, q.err
 	}
@@ -271,7 +340,7 @@ func Compile(q *Query, opts ...RunOption) (*Prepared, error) {
 	}
 	cfg := runConfig{}
 	for _, o := range opts {
-		o(&cfg)
+		o.applyCompile(&cfg)
 	}
 	fp, err := q.Fingerprint()
 	if err != nil {
@@ -314,24 +383,28 @@ func Compile(q *Query, opts ...RunOption) (*Prepared, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Prepared{
+		p := &Prepared{
 			outAttrs:   plan.OutAttrs(),
 			kind:       kindAcyclic,
 			fp:         fp,
-			solutions:  plan.NumSolutions(),
-			yq:         yq,
-			plan:       plan,
 			srcEdges:   q.edges,
-			srcRels:    q.rels,
 			hints:      hints,
 			workers:    cfg.workers,
 			workersSet: cfg.workersSet,
+			costBased:  cm != nil,
+			estOutput:  estOutput,
+		}
+		p.state.Store(&planState{
+			epoch:     1,
+			srcRels:   q.rels,
+			yq:        yq,
+			plan:      plan,
+			solutions: plan.NumSolutions(),
 			// Instantiate passes run over the reduced plan, so the
 			// threshold consults the post-reduction size.
 			estTuples: plan.TotalTuples(),
-			costBased: cm != nil,
-			estOutput: estOutput,
-		}, nil
+		})
+		return p, nil
 	}
 	if l, rels, ok := q.matchCycle(); ok {
 		// The engine enumerates the canonical cycle positions; the handle
@@ -340,15 +413,13 @@ func Compile(q *Query, opts ...RunOption) (*Prepared, error) {
 		order, flip, _ := q.matchCycleShape()
 		p := &Prepared{
 			fp:         fp,
-			solutions:  -1,
 			outAttrs:   cycleWalkVars(q.edges, order, flip),
-			cycleRels:  rels,
+			cycleOrder: order,
+			cycleFlip:  flip,
 			srcEdges:   q.edges,
-			srcRels:    q.rels,
 			hints:      hints,
 			workers:    cfg.workers,
 			workersSet: cfg.workersSet,
-			estTuples:  inputTuples,
 			costBased:  cm != nil,
 			estOutput:  estOutput,
 		}
@@ -366,6 +437,13 @@ func Compile(q *Query, opts ...RunOption) (*Prepared, error) {
 		default:
 			p.kind = kindLongCycle
 		}
+		p.state.Store(&planState{
+			epoch:     1,
+			srcRels:   q.rels,
+			cycleRels: rels,
+			solutions: -1,
+			estTuples: inputTuples,
+		})
 		return p, nil
 	}
 	// Arbitrary cyclic shape: search for a generalized hypertree
@@ -384,28 +462,30 @@ func Compile(q *Query, opts ...RunOption) (*Prepared, error) {
 	if err != nil {
 		return nil, fmt.Errorf("repro: cyclic query %s: %w", h, err)
 	}
-	return &Prepared{
+	p := &Prepared{
 		outAttrs:   decomp.GHDAttrs(q.edges),
 		kind:       kindGeneric,
 		fp:         fp,
-		solutions:  -1,
-		ghdEdges:   q.edges,
-		ghdRels:    q.rels,
 		ghdDec:     dec,
 		srcEdges:   q.edges,
-		srcRels:    q.rels,
 		hints:      hints,
 		workers:    cfg.workers,
 		workersSet: cfg.workersSet,
-		estTuples:  inputTuples,
 		costBased:  cm != nil,
 		estOutput:  estOutput,
 		estBags:    dec.EstBagSizes,
-	}, nil
+	}
+	p.state.Store(&planState{
+		epoch:     1,
+		srcRels:   q.rels,
+		solutions: -1,
+		estTuples: inputTuples,
+	})
+	return p, nil
 }
 
 // Prepare is Compile as a method on the query builder.
-func (q *Query) Prepare(opts ...RunOption) (*Prepared, error) { return Compile(q, opts...) }
+func (q *Query) Prepare(opts ...CompileOption) (*Prepared, error) { return Compile(q, opts...) }
 
 // OutAttrs returns the output schema every iterator of this handle
 // yields. The returned slice must not be modified.
@@ -414,6 +494,10 @@ func (p *Prepared) OutAttrs() []string { return p.outAttrs }
 // Fingerprint returns the shape fingerprint of the compiled query (see
 // Query.Fingerprint), computed once at Compile time.
 func (p *Prepared) Fingerprint() string { return p.fp }
+
+// Epoch returns the handle's current data epoch: 1 after Compile,
+// incremented by every ApplyDelta that changed at least one relation.
+func (p *Prepared) Epoch() int64 { return p.state.Load().epoch }
 
 // PlanStats describes a compiled handle for monitoring: what shape it
 // compiled to, how much input the prepare phase processes, and which
@@ -427,6 +511,9 @@ type PlanStats struct {
 	Kind string `json:"kind"`
 	// OutAttrs is the output schema of every iterator of the handle.
 	OutAttrs []string `json:"out_attrs"`
+	// Epoch is the handle's data epoch: 1 after Compile, +1 per applied
+	// delta batch that changed at least one relation.
+	Epoch int64 `json:"epoch"`
 	// EstTuples is the estimated tuple count the prepare phase processes
 	// (the input to the default-parallelism threshold).
 	EstTuples int `json:"est_tuples"`
@@ -465,15 +552,32 @@ type PlanStats struct {
 	NeedsRecost bool `json:"needs_recost,omitempty"`
 	// AGMBound is the worst-case output bound the uniform answer
 	// sampler draws against (sample.Sampler.Bound); set once a Sample
-	// call has built the sampler.
+	// call has built the sampler for the current epoch.
 	AGMBound float64 `json:"agm_bound,omitempty"`
 	// SampleTrials/SampleAccepts are the sampler's cumulative rejection
-	// walk counters across every Sample call on the handle.
+	// walk counters across every Sample call on the current epoch.
 	SampleTrials  int64 `json:"sample_trials,omitempty"`
 	SampleAccepts int64 `json:"sample_accepts,omitempty"`
 	// EstCardinality is the unbiased estimate of the number of distinct
 	// answers implied by those counters: acceptance rate × AGMBound.
 	EstCardinality float64 `json:"est_cardinality,omitempty"`
+
+	// DeltasApplied counts the ApplyDelta batches that advanced the
+	// epoch; DeltaAppendedRows/DeltaDeletedRows sum the rows they
+	// touched across the handle's lifetime.
+	DeltasApplied     int64 `json:"deltas_applied,omitempty"`
+	DeltaAppendedRows int64 `json:"delta_appended_rows,omitempty"`
+	DeltaDeletedRows  int64 `json:"delta_deleted_rows,omitempty"`
+	// DeltaBagsReused/DeltaBagsRebuilt count decomposition bags carried
+	// over vs re-materialised across all deltas (cyclic kinds);
+	// DeltaNodesReused/DeltaNodesRecomputed count join-tree nodes whose
+	// π pass was skipped vs rerun (acyclic plans and GHD bag trees).
+	DeltaBagsReused      int64 `json:"delta_bags_reused,omitempty"`
+	DeltaBagsRebuilt     int64 `json:"delta_bags_rebuilt,omitempty"`
+	DeltaNodesReused     int64 `json:"delta_nodes_reused,omitempty"`
+	DeltaNodesRecomputed int64 `json:"delta_nodes_recomputed,omitempty"`
+	// LastDeltaNs is the wall time of the most recent ApplyDelta.
+	LastDeltaNs int64 `json:"last_delta_ns,omitempty"`
 }
 
 // RecostThreshold is the EstimatorError factor above which PlanStats
@@ -505,13 +609,15 @@ type RankingStats struct {
 
 // PlanStats snapshots the handle without triggering or waiting on any
 // build: rankings mid-build are simply not listed yet. Safe to call
-// concurrently with Runs.
+// concurrently with Runs and ApplyDelta.
 func (p *Prepared) PlanStats() PlanStats {
+	s := p.state.Load()
 	st := PlanStats{
 		Fingerprint: p.fp,
 		OutAttrs:    p.outAttrs,
-		EstTuples:   p.estTuples,
-		Solutions:   p.solutions,
+		Epoch:       s.epoch,
+		EstTuples:   s.estTuples,
+		Solutions:   s.solutions,
 	}
 	// actualBags flattens one built ranking's materialised bag sizes.
 	// Bag contents (and so sizes) are identical across rankings — only
@@ -521,7 +627,7 @@ func (p *Prepared) PlanStats() PlanStats {
 	switch p.kind {
 	case kindAcyclic:
 		st.Kind = "acyclic"
-		for agg := range p.tdps.built() {
+		for agg := range s.tdps.built() {
 			st.Rankings = append(st.Rankings, RankingStats{Ranking: agg.Name()})
 		}
 	case kindTriangle, kindFourCycle, kindLongCycle, kindGeneric:
@@ -536,7 +642,7 @@ func (p *Prepared) PlanStats() PlanStats {
 			st.Kind = "ghd"
 			st.Decomposition = p.ghdDec.String()
 		}
-		for agg, d := range p.decomps.built() {
+		for agg, d := range s.decomps.built() {
 			st.Rankings = append(st.Rankings, RankingStats{
 				Ranking:           agg.Name(),
 				BagSizes:          d.Stats.BagSizes,
@@ -556,7 +662,7 @@ func (p *Prepared) PlanStats() PlanStats {
 		st.EstBagSizes = p.estBags
 		switch {
 		case p.kind == kindAcyclic:
-			st.EstimatorError = estRatio(p.estOutput, float64(p.solutions))
+			st.EstimatorError = estRatio(p.estOutput, float64(s.solutions))
 		case len(p.estBags) > 0 && len(actualBags) == len(p.estBags):
 			for i, a := range actualBags {
 				if r := estRatio(p.estBags[i], float64(a)); r > st.EstimatorError {
@@ -566,16 +672,25 @@ func (p *Prepared) PlanStats() PlanStats {
 		}
 		st.NeedsRecost = st.EstimatorError > RecostThreshold
 	}
-	p.samplerMu.Lock()
-	if p.samplerSet && p.sampler != nil {
-		st.AGMBound = p.sampler.Bound()
-		st.EstCardinality, st.SampleTrials, st.SampleAccepts = p.sampler.Estimate()
+	s.samplerMu.Lock()
+	if s.samplerSet && s.sampler != nil {
+		st.AGMBound = s.sampler.Bound()
+		st.EstCardinality, st.SampleTrials, st.SampleAccepts = s.sampler.Estimate()
 	}
-	p.samplerMu.Unlock()
+	s.samplerMu.Unlock()
+	st.DeltasApplied = p.deltasApplied.Load()
+	st.DeltaAppendedRows = p.deltaAppendedRows.Load()
+	st.DeltaDeletedRows = p.deltaDeletedRows.Load()
+	st.DeltaBagsReused = p.deltaBagsReused.Load()
+	st.DeltaBagsRebuilt = p.deltaBagsRebuilt.Load()
+	st.DeltaNodesReused = p.deltaNodesReused.Load()
+	st.DeltaNodesRecomputed = p.deltaNodesRecomputed.Load()
+	st.LastDeltaNs = p.lastDeltaNs.Load()
 	return st
 }
 
-// runConfig collects the per-execution options of one Run.
+// runConfig collects the per-execution options of one Run (and, for the
+// compile-only options, one Compile).
 type runConfig struct {
 	agg        ranking.Aggregate
 	variant    Variant
@@ -590,10 +705,28 @@ type runConfig struct {
 	seedSet    bool
 }
 
+// CompileOption configures one Compile (or Query.Prepare) call. Every
+// RunOption is also a CompileOption — Compile consults WithParallelism
+// and WithContext and ignores the rest — while the compile-only options
+// (WithStatistics, WithCostModel) are *not* RunOptions: passing them to
+// Run is a compile-time error rather than a silent no-op.
+type CompileOption interface {
+	applyCompile(*runConfig)
+}
+
 // RunOption configures one execution of a Prepared query. The defaults
 // are WithRanking(SumCost), WithVariant(Lazy), no k limit, and
-// context.Background().
+// context.Background(). Every RunOption may also be passed to Compile
+// (it implements CompileOption).
 type RunOption func(*runConfig)
+
+// applyCompile lets every RunOption double as a CompileOption.
+func (o RunOption) applyCompile(c *runConfig) { o(c) }
+
+// compileOption is the concrete type of the compile-only options.
+type compileOption func(*runConfig)
+
+func (o compileOption) applyCompile(c *runConfig) { o(c) }
 
 // WithRanking selects the ranking function for this run. The first run
 // with each ranking function pays one linear pass (and, for cyclic
@@ -652,20 +785,20 @@ func WithParallelism(n int) RunOption {
 // collects statistics from the relations on the spot. Passing a nil
 // catalog disables cost-based planning altogether, reproducing the
 // purely structural plans (min-degree/min-fill decomposition search,
-// wcoj.SuggestOrder variable orders) bit for bit. Consulted only by
-// Compile; ignored on Run.
-func WithStatistics(c *catalog.Catalog) RunOption {
-	return func(cfg *runConfig) {
+// wcoj.SuggestOrder variable orders) bit for bit. A compile-only
+// option: the type system rejects it on Run.
+func WithStatistics(c *catalog.Catalog) CompileOption {
+	return compileOption(func(cfg *runConfig) {
 		cfg.cat = c
 		cfg.catSet = true
-	}
+	})
 }
 
 // WithCostModel supplies a pre-built cost model, overriding both
-// WithStatistics and the default statistics collection. Consulted only
-// by Compile; ignored on Run.
-func WithCostModel(m *catalog.CostModel) RunOption {
-	return func(cfg *runConfig) { cfg.cm = m }
+// WithStatistics and the default statistics collection. A compile-only
+// option: the type system rejects it on Run.
+func WithCostModel(m *catalog.CostModel) CompileOption {
+	return compileOption(func(cfg *runConfig) { cfg.cm = m })
 }
 
 // WithSeed fixes the RNG seed of a Sample call, making its draws
@@ -683,16 +816,18 @@ func WithSeed(seed uint64) RunOption {
 // Run executes the compiled plan and returns a ranked iterator. Always
 // Close the iterator (idempotent) and check Err after Next reports
 // false. Concurrent Runs on one handle are safe and share the cached
-// per-ranking plan.
+// per-ranking plan. A Run concurrent with ApplyDelta enumerates either
+// entirely the old or entirely the new epoch.
 func (p *Prepared) Run(opts ...RunOption) (Iterator, error) {
 	//anykvet:allow ctxplumb -- documented option default; callers attach cancellation via WithContext
 	cfg := runConfig{agg: SumCost, variant: Lazy, ctx: context.Background()}
 	for _, o := range opts {
 		o(&cfg)
 	}
+	st := p.state.Load()
 	var it Iterator
 	if p.kind == kindAcyclic {
-		t, err := p.tdpFor(cfg.agg, cfg.ctx, p.prepareWorkers(cfg))
+		t, err := p.tdpFor(st, cfg.agg, cfg.ctx, p.prepareWorkers(cfg, st.estTuples))
 		if err != nil {
 			return nil, err
 		}
@@ -701,7 +836,7 @@ func (p *Prepared) Run(opts ...RunOption) (Iterator, error) {
 			return nil, err
 		}
 	} else {
-		d, err := p.decompFor(cfg.agg, cfg.ctx, p.prepareWorkers(cfg))
+		d, err := p.decompFor(st, cfg.agg, cfg.ctx, p.prepareWorkers(cfg, st.estTuples))
 		if err != nil {
 			return nil, err
 		}
@@ -737,7 +872,7 @@ func (p *Prepared) TopK(k int, opts ...RunOption) ([]Result, error) {
 // full cardinality.
 func (p *Prepared) Count(opts ...RunOption) (int, error) {
 	if p.kind == kindAcyclic {
-		return p.solutions, nil
+		return p.state.Load().solutions, nil
 	}
 	it, err := p.Run(append(append([]RunOption(nil), opts...), WithK(0))...)
 	if err != nil {
@@ -757,7 +892,7 @@ func (p *Prepared) Count(opts ...RunOption) (int, error) {
 // with early termination.
 func (p *Prepared) IsEmpty(opts ...RunOption) (bool, error) {
 	if p.kind == kindAcyclic {
-		return p.plan.Empty(), nil
+		return p.state.Load().plan.Empty(), nil
 	}
 	it, err := p.Run(opts...)
 	if err != nil {
@@ -772,35 +907,37 @@ func (p *Prepared) IsEmpty(opts ...RunOption) (bool, error) {
 }
 
 // tdpFor returns (instantiating and caching on first use) the T-DP of
-// the acyclic plan under agg. The ctx and worker count only matter to
-// the Run that triggers the build; cache hits ignore them. Instantiate
-// is cancelable between node tasks, and a canceled instantiation fails
-// with ctx.Err() and is dropped from the cache (the onceCache
-// retry-on-cancel policy), so one run's cancellation never poisons the
-// per-aggregate entry — the next Run rebuilds. Parallel instantiations
-// are bit-identical to sequential ones, so the cached TDP does not
-// depend on which Run won the build.
-func (p *Prepared) tdpFor(agg ranking.Aggregate, ctx context.Context, workers int) (*dp.TDP, error) {
-	return p.tdps.get(ctx, agg, func(a ranking.Aggregate) (*dp.TDP, error) {
-		return p.plan.Instantiate(a, dp.WithContext(ctx), dp.WithWorkers(workers))
+// the epoch's acyclic plan under agg. The ctx and worker count only
+// matter to the Run that triggers the build; cache hits ignore them.
+// Instantiate is cancelable between node tasks, and a canceled
+// instantiation fails with ctx.Err() and is dropped from the cache (the
+// onceCache retry-on-cancel policy), so one run's cancellation never
+// poisons the per-aggregate entry — the next Run rebuilds. Parallel
+// instantiations are bit-identical to sequential ones, so the cached
+// TDP does not depend on which Run won the build.
+func (p *Prepared) tdpFor(st *planState, agg ranking.Aggregate, ctx context.Context, workers int) (*dp.TDP, error) {
+	return st.tdps.get(ctx, agg, func(a ranking.Aggregate) (*dp.TDP, error) {
+		return st.plan.Instantiate(a, dp.WithContext(ctx), dp.WithWorkers(workers))
 	})
 }
 
-// decompFor returns (building and caching on first use) the cyclic
-// decomposition plan under agg: a Generic-Join bag for the triangle,
-// the submodular-width union of three trees for the 4-cycle, the
-// fhtw-2 fan plan for longer cycles, and the GHD bag tree for every
+// decompFor returns (building and caching on first use) the epoch's
+// cyclic decomposition plan under agg: a Generic-Join bag for the
+// triangle, the submodular-width union of three trees for the 4-cycle,
+// the fhtw-2 fan plan for longer cycles, and the GHD bag tree for every
 // other cyclic shape. The ctx and worker count only matter to the Run
 // that triggers the build; cache hits ignore them. Parallel builds are
 // bit-identical to sequential ones, so the cached plan does not depend
 // on which Run won the build.
-func (p *Prepared) decompFor(agg ranking.Aggregate, ctx context.Context, workers int) (*decomp.Plan, error) {
-	return p.decomps.get(ctx, agg, func(a ranking.Aggregate) (*decomp.Plan, error) {
-		return p.buildDecomp(a, ctx, workers)
+func (p *Prepared) decompFor(st *planState, agg ranking.Aggregate, ctx context.Context, workers int) (*decomp.Plan, error) {
+	return st.decomps.get(ctx, agg, func(a ranking.Aggregate) (*decomp.Plan, error) {
+		return p.buildDecomp(st, a, ctx, workers)
 	})
 }
 
-func (p *Prepared) buildDecomp(agg ranking.Aggregate, ctx context.Context, workers int) (*decomp.Plan, error) {
+// decompOpts assembles the PrepareOptions every decomposition build of
+// this handle uses (cold and delta alike).
+func (p *Prepared) decompOpts(ctx context.Context, workers int) []decomp.PrepareOption {
 	opts := []decomp.PrepareOption{decomp.WithWorkers(workers), decomp.WithContext(ctx)}
 	if p.hints != nil {
 		// Catalog heavy hitters guide the intra-bag heavy/light split;
@@ -815,19 +952,24 @@ func (p *Prepared) buildDecomp(agg ranking.Aggregate, ctx context.Context, worke
 		// golden files pin.
 		opts = append(opts, decomp.WithOrderChooser(catalog.ChooseOrder))
 	}
+	return opts
+}
+
+func (p *Prepared) buildDecomp(st *planState, agg ranking.Aggregate, ctx context.Context, workers int) (*decomp.Plan, error) {
+	opts := p.decompOpts(ctx, workers)
 	switch p.kind {
 	case kindTriangle:
 		var three [3]*relation.Relation
-		copy(three[:], p.cycleRels)
+		copy(three[:], st.cycleRels)
 		return decomp.PrepareTriangle(three, agg, opts...)
 	case kindFourCycle:
 		var four [4]*relation.Relation
-		copy(four[:], p.cycleRels)
+		copy(four[:], st.cycleRels)
 		return decomp.PrepareFourCycleSubmodular(four, agg, opts...)
 	case kindGeneric:
-		return decomp.PrepareGHDWith(p.ghdDec, p.ghdEdges, p.ghdRels, agg, opts...)
+		return decomp.PrepareGHDWith(p.ghdDec, p.srcEdges, st.srcRels, agg, opts...)
 	default:
-		return decomp.PrepareCycleSingleTree(p.cycleRels, agg, opts...)
+		return decomp.PrepareCycleSingleTree(st.cycleRels, agg, opts...)
 	}
 }
 
@@ -840,27 +982,29 @@ var ErrTrialBudget = sample.ErrTrialBudget
 // sampleSeq feeds default seeds to Sample calls that pass no WithSeed.
 var sampleSeq atomic.Uint64
 
-// samplerFor returns the handle's uniform answer sampler, building and
+// samplerFor returns the epoch's uniform answer sampler, building and
 // caching it on first use: the query atoms are sorted into fresh tries
 // and the AGM-optimal fractional edge cover (hypergraph.AGMCover)
 // supplies the walk's per-prefix bounds. The build is independent of
 // ranking functions and plan shape — it walks the original atoms — and
-// costs one sort per atom, never a bag materialisation.
-func (p *Prepared) samplerFor() (*sample.Sampler, []int, error) {
-	p.samplerMu.Lock()
-	defer p.samplerMu.Unlock()
-	if p.samplerSet {
-		return p.sampler, p.samplePerm, p.samplerErr
+// costs one sort per atom, never a bag materialisation. Each epoch
+// builds its own sampler over its own relations, so fixed-seed draws
+// after a delta equal those of a cold handle on the same data.
+func (p *Prepared) samplerFor(st *planState) (*sample.Sampler, []int, error) {
+	st.samplerMu.Lock()
+	defer st.samplerMu.Unlock()
+	if st.samplerSet {
+		return st.sampler, st.samplePerm, st.samplerErr
 	}
 	build := func() (*sample.Sampler, []int, error) {
 		h := hypergraph.New(p.srcEdges...)
 		atoms := make([]wcoj.Atom, len(p.srcEdges))
 		sizes := make([]float64, len(p.srcEdges))
 		for i, e := range p.srcEdges {
-			atoms[i] = wcoj.Atom{Rel: p.srcRels[i], Vars: e.Vars}
+			atoms[i] = wcoj.Atom{Rel: st.srcRels[i], Vars: e.Vars}
 			// Clamp empties to 1: the cover LP needs positive sizes, and
 			// the sampler itself reports an empty relation as bound 0.
-			sizes[i] = math.Max(1, float64(p.srcRels[i].Len()))
+			sizes[i] = math.Max(1, float64(st.srcRels[i].Len()))
 		}
 		lambda, _, err := h.AGMCover(sizes)
 		if err != nil {
@@ -884,9 +1028,9 @@ func (p *Prepared) samplerFor() (*sample.Sampler, []int, error) {
 		}
 		return s, perm, nil
 	}
-	p.sampler, p.samplePerm, p.samplerErr = build()
-	p.samplerSet = true
-	return p.sampler, p.samplePerm, p.samplerErr
+	st.sampler, st.samplePerm, st.samplerErr = build()
+	st.samplerSet = true
+	return st.sampler, st.samplePerm, st.samplerErr
 }
 
 // Sample draws up to n uniform random samples from the query's answer
@@ -906,7 +1050,8 @@ func (p *Prepared) Sample(n int, opts ...RunOption) ([]Result, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	s, perm, err := p.samplerFor()
+	st := p.state.Load()
+	s, perm, err := p.samplerFor(st)
 	if err != nil {
 		return nil, err
 	}
