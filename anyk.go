@@ -49,6 +49,15 @@
 // Generic-Join, and the acyclic bag tree feeds the same any-k
 // machinery. See internal/hypergraph.Decompose and internal/decomp
 // PrepareGHD for the width heuristics and per-bag weight charging.
+//
+// Execution is observable per phase: when the context passed via
+// WithContext carries an internal/obs trace recorder (the serving
+// layer installs one per request), Compile, Run, Sample, and
+// ApplyDelta record a span tree — decompose, cost-model, reduce,
+// per-bag materialize, instantiate, enumerate with first-/k'th-result
+// marks, per-node delta reuse decisions — that anykd surfaces at
+// /v1/traces/{id}. Library callers that install no recorder pay
+// nothing: the span plumbing is allocation-free in that case.
 package repro
 
 import (

@@ -37,6 +37,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"sync"
 	"syscall"
@@ -341,6 +342,12 @@ type benchReport struct {
 	ServeClients   int     `json:"serve_clients,omitempty"`
 	ServeK         int     `json:"serve_k,omitempty"`
 	ServeCacheHits int64   `json:"serve_cache_hits,omitempty"`
+	// The same QPS run with Config.DisableObservability (no tracing, no
+	// per-request metrics middleware) — the uninstrumented baseline; the
+	// overhead percentage is (noobs − obs)/noobs · 100, the figure the CI
+	// diff gate holds under 2%.
+	ServeTopKQPSNoObs   float64 `json:"serve_topk_qps_noobs,omitempty"`
+	ServeObsOverheadPct float64 `json:"serve_obs_overhead_pct"`
 	// After the QPS run, one PATCH delta lands on a dataset and one more
 	// warm request follows: serve_patch_warm records whether the plan
 	// registry kept the entry warm across the delta (X-Plan-Cache: hit —
@@ -471,8 +478,8 @@ func measurePrepare(q *repro.Query, opts ...repro.CompileOption) (time.Duration,
 // one PATCH delta lands on the first dataset and one more request
 // follows: patchWarm reports whether the registry entry survived the
 // delta (X-Plan-Cache: hit), patchNs the PATCH round-trip.
-func measureServe(inst *workload.Instance, k, clients, requests int) (qps float64, cacheHits int64, patchWarm bool, patchNs int64, err error) {
-	s := server.New(server.Config{MaxInflight: clients * 2})
+func measureServe(inst *workload.Instance, k, clients, requests int, disableObs bool) (qps float64, cacheHits int64, patchWarm bool, patchNs int64, err error) {
+	s := server.New(server.Config{MaxInflight: clients * 2, DisableObservability: disableObs})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	defer s.Close()
@@ -928,11 +935,38 @@ func writeBenchJSON(name, scale string, cfg scaleCfg, workers int, serve bool) (
 	report.DeltaNodesRecomputed = dps.DeltaNodesRecomputed
 
 	if serve {
-		clients, requests, serveK := 4, 400, 10
-		qps, cacheHits, patchWarm, patchNs, err := measureServe(inst, serveK, clients, requests)
-		if err != nil {
-			return "", fmt.Errorf("serve: %w", err)
+		// k=100 so per-request enumeration dominates fixed HTTP cost —
+		// at tiny k the in-process benchmark client's own CPU share
+		// (same GOMAXPROCS pool) is what moves, not the server.
+		clients, requests, serveK := 4, 800, 100
+		// Five interleaved rounds per mode, medians compared: a single
+		// sub-second burst on a shared CI core sees ±20% scheduling
+		// noise, far above the 2% observability budget being judged;
+		// interleaving cancels drift (thermal, GC, neighbours) that
+		// back-to-back passes would bake into the comparison.
+		var obsQ, noObsQ []float64
+		var cacheHits, patchNs int64
+		var patchWarm bool
+		for round := 0; round < 5; round++ {
+			q, hits, warm, pns, err := measureServe(inst, serveK, clients, requests, false)
+			if err != nil {
+				return "", fmt.Errorf("serve: %w", err)
+			}
+			obsQ = append(obsQ, q)
+			if round == 0 {
+				cacheHits, patchWarm, patchNs = hits, warm, pns
+			}
+			// Same pass with observability stripped: the uninstrumented
+			// baseline the ≤2% overhead budget is measured against.
+			qn, _, _, _, err := measureServe(inst, serveK, clients, requests, true)
+			if err != nil {
+				return "", fmt.Errorf("serve (no obs): %w", err)
+			}
+			noObsQ = append(noObsQ, qn)
 		}
+		sort.Float64s(obsQ)
+		sort.Float64s(noObsQ)
+		qps, qpsNoObs := obsQ[len(obsQ)/2], noObsQ[len(noObsQ)/2]
 		report.ServeTopKQPS = qps
 		report.ServeRequests = requests
 		report.ServeClients = clients
@@ -940,6 +974,10 @@ func writeBenchJSON(name, scale string, cfg scaleCfg, workers int, serve bool) (
 		report.ServeCacheHits = cacheHits
 		report.ServePatchWarm = patchWarm
 		report.ServePatchNs = patchNs
+		report.ServeTopKQPSNoObs = qpsNoObs
+		if qpsNoObs > 0 {
+			report.ServeObsOverheadPct = (qpsNoObs - qps) / qpsNoObs * 100
+		}
 	}
 
 	path := fmt.Sprintf("BENCH_%s.json", name)

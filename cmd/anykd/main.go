@@ -21,6 +21,16 @@
 // hit/miss counters, admission state, and per-plan statistics. SIGINT
 // or SIGTERM triggers a graceful shutdown: new streams are refused,
 // in-flight enumerations drain within -grace, stragglers are canceled.
+//
+// Observability: GET /metrics exposes Prometheus text metrics (request
+// counts and latencies, per-ranking TTF/TT(k) histograms, plan-cache
+// and delta counters, Go runtime series); every /topk, /sample, and
+// dataset PATCH records a phase-level trace retrievable via the
+// response's X-Trace-Id header at GET /v1/traces/{id}; -access-log
+// writes one JSON line per request; -slow-query logs any request over
+// the threshold with its trace id. -admin-addr starts a second,
+// operator-only listener with net/http/pprof under /debug/pprof/ plus
+// a /metrics alias — bind it to loopback, never the public address.
 package main
 
 import (
@@ -47,21 +57,49 @@ func main() {
 	registryCap := flag.Int("registry-cap", 128, "max resident prepared plans")
 	registryShards := flag.Int("registry-shards", 8, "plan-registry shards")
 	grace := flag.Duration("grace", 15*time.Second, "graceful-shutdown drain window")
+	adminAddr := flag.String("admin-addr", "", "operator-only listen address for pprof + /metrics (empty = off; bind to loopback)")
+	rateLimit := flag.Float64("rate-limit", 0, "per-query token-bucket rate for /topk and /sample in requests/second (0 = off)")
+	traceCap := flag.Int("trace-cap", 64, "recorded request traces kept for GET /v1/traces/{id}")
+	slowQuery := flag.Duration("slow-query", 0, "log requests at or above this duration with their trace id (0 = off)")
+	accessLog := flag.Bool("access-log", false, "write one JSON access-log line per request to stderr")
 	flag.Parse()
 
-	s := server.New(server.Config{
-		MaxInflight:      *maxInflight,
-		DefaultTimeout:   *timeout,
-		MaxTimeout:       *maxTimeout,
-		MaxBodyBytes:     *maxBody,
-		MaxK:             *maxK,
-		RegistryCapacity: *registryCap,
-		RegistryShards:   *registryShards,
-	})
+	cfg := server.Config{
+		MaxInflight:        *maxInflight,
+		DefaultTimeout:     *timeout,
+		MaxTimeout:         *maxTimeout,
+		MaxBodyBytes:       *maxBody,
+		MaxK:               *maxK,
+		RegistryCapacity:   *registryCap,
+		RegistryShards:     *registryShards,
+		RateLimit:          *rateLimit,
+		TraceCapacity:      *traceCap,
+		SlowQueryThreshold: *slowQuery,
+		SlowQueryLog:       os.Stderr,
+	}
+	if *accessLog {
+		cfg.AccessLog = os.Stderr
+	}
+	s := server.New(cfg)
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	var admin *http.Server
+	if *adminAddr != "" {
+		admin = &http.Server{
+			Addr:              *adminAddr,
+			Handler:           s.AdminHandler(),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			log.Printf("anykd admin (pprof, metrics) listening on %s", *adminAddr)
+			if err := admin.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("anykd admin: %v", err)
+			}
+		}()
 	}
 
 	errCh := make(chan error, 1)
@@ -87,6 +125,9 @@ func main() {
 	}
 	if err := hs.Shutdown(shCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("anykd: http shutdown: %v", err)
+	}
+	if admin != nil {
+		admin.Shutdown(shCtx)
 	}
 	log.Print("anykd: bye")
 	os.Exit(0)

@@ -4,11 +4,13 @@ import (
 	"context"
 	"encoding/binary"
 	"fmt"
+	"strconv"
 	"time"
 
 	"repro/internal/decomp"
 	"repro/internal/dp"
 	"repro/internal/hypergraph"
+	"repro/internal/obs"
 	"repro/internal/ranking"
 	"repro/internal/relation"
 	"repro/internal/yannakakis"
@@ -89,6 +91,9 @@ func (p *Prepared) ApplyDelta(deltas []Delta, opts ...RunOption) error {
 	}
 
 	start := time.Now()
+	var deltaSpan *obs.Span
+	cfg.ctx, deltaSpan = obs.StartSpan(cfg.ctx, "apply-delta")
+	defer deltaSpan.End()
 	newRels := append([]*relation.Relation(nil), old.srcRels...)
 	changed := make([]bool, len(newRels))
 	var appended, deleted int64
@@ -102,6 +107,7 @@ func (p *Prepared) ApplyDelta(deltas []Delta, opts ...RunOption) error {
 		changed[i] = true
 		deleted += int64(del)
 		appended += int64(len(d.Append))
+		deltaSpan.Event("changed:" + d.Rel)
 	}
 	anyChanged := false
 	for _, c := range changed {
@@ -195,6 +201,15 @@ func (p *Prepared) ApplyDelta(deltas []Delta, opts ...RunOption) error {
 		}
 	}
 
+	if deltaSpan != nil {
+		deltaSpan.SetAttr("epoch", strconv.FormatInt(st.epoch, 10))
+		deltaSpan.SetAttr("appended", strconv.FormatInt(appended, 10))
+		deltaSpan.SetAttr("deleted", strconv.FormatInt(deleted, 10))
+		deltaSpan.SetAttr("bags_reused", strconv.FormatInt(bagsReused, 10))
+		deltaSpan.SetAttr("bags_rebuilt", strconv.FormatInt(bagsRebuilt, 10))
+		deltaSpan.SetAttr("nodes_reused", strconv.FormatInt(nodesReused, 10))
+		deltaSpan.SetAttr("nodes_recomputed", strconv.FormatInt(nodesRecomputed, 10))
+	}
 	p.state.Store(st)
 	p.deltasApplied.Add(1)
 	p.deltaAppendedRows.Add(appended)

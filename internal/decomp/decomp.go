@@ -33,6 +33,7 @@ import (
 	"repro/internal/dp"
 	"repro/internal/heap"
 	"repro/internal/hypergraph"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/ranking"
 	"repro/internal/relation"
@@ -230,7 +231,10 @@ func PrepareTriangle(rels [3]*relation.Relation, agg ranking.Aggregate, opts ...
 		{Rel: rels[2], Vars: []string{"C", "A"}},
 	}
 	// A single bag: all parallelism goes intra-bag, partitioning A.
-	out, _, err := wcoj.MaterializeParallelHinted(cfg.ctx, atoms, TriangleAttrs, agg, cfg.workers, cfg.hints)
+	bctx, bsp := obs.StartSpan(cfg.ctx, "materialize")
+	bsp.SetAttr("bag", "triangle")
+	out, _, err := wcoj.MaterializeParallelHinted(bctx, atoms, TriangleAttrs, agg, cfg.workers, cfg.hints)
+	bsp.End()
 	if err != nil {
 		return nil, err
 	}

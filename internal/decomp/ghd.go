@@ -3,9 +3,11 @@ package decomp
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"repro/internal/dp"
 	"repro/internal/hypergraph"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/ranking"
 	"repro/internal/relation"
@@ -124,6 +126,9 @@ func PrepareGHDWith(d *hypergraph.Decomposition, edges []hypergraph.Edge, rels [
 	deps := make([][]int, len(d.Bags))
 	bags := make([]*relation.Relation, len(d.Bags))
 	err := parallel.ForEach(cfg.ctx, bagWorkers, len(d.Bags), func(bi int) error {
+		bctx, bsp := obs.StartSpan(cfg.ctx, "materialize")
+		bsp.SetAttr("bag", "G"+strconv.Itoa(bi))
+		defer bsp.End()
 		bagVars := d.Bags[bi]
 		srcs, err := projectionSources(d, bi, bagVars, edges, qrels)
 		if err != nil {
@@ -134,7 +139,9 @@ func PrepareGHDWith(d *hypergraph.Decomposition, edges []hypergraph.Edge, rels [
 		if err != nil {
 			return err
 		}
+		_, osp := obs.StartSpan(bctx, "join-order")
 		order := cfg.chooseOrder(atoms)
+		osp.End()
 		if len(order) != len(bagVars) {
 			return fmt.Errorf("decomp: bag %v atoms cover %d of %d variables", bagVars, len(order), len(bagVars))
 		}
@@ -142,11 +149,12 @@ func PrepareGHDWith(d *hypergraph.Decomposition, edges []hypergraph.Edge, rels [
 		if bi < intraRem {
 			intra++
 		}
-		bag, _, err := wcoj.MaterializeParallelHinted(cfg.ctx, atoms, order, agg, intra, cfg.hints)
+		bag, _, err := wcoj.MaterializeParallelHinted(bctx, atoms, order, agg, intra, cfg.hints)
 		if err != nil {
 			return err
 		}
 		bag.Name = fmt.Sprintf("G%d", bi)
+		bsp.SetAttr("rows", strconv.Itoa(bag.Len()))
 		bags[bi] = bag
 		return nil
 	})
@@ -222,6 +230,9 @@ func PrepareGHDDelta(old *Plan, edges []hypergraph.Edge, rels []*relation.Relati
 		return nil, nil, fmt.Errorf("decomp: %d relations / %d changed flags for %d hyperedges", len(rels), len(changed), len(edges))
 	}
 	cfg := newPrepCfg(opts)
+	var sp *obs.Span
+	cfg.ctx, sp = obs.StartSpan(cfg.ctx, "ghd-delta")
+	defer sp.End()
 	d := old.ghd.dec
 	for i, e := range edges {
 		if len(e.Vars) != rels[i].Arity() {
@@ -286,6 +297,9 @@ func PrepareGHDDelta(old *Plan, edges []hypergraph.Edge, rels []*relation.Relati
 	}
 	err := parallel.ForEach(cfg.ctx, bagWorkers, len(rebuild), func(i int) error {
 		bi := rebuild[i]
+		bctx, bsp := obs.StartSpan(cfg.ctx, "materialize")
+		bsp.SetAttr("bag", "G"+strconv.Itoa(bi))
+		defer bsp.End()
 		bagVars := d.Bags[bi]
 		srcs := deps[bi][len(d.Contains[bi]):]
 		atoms, err := bagAtoms(d, bi, bagVars, edges, qrels, charged, srcs, agg)
@@ -300,11 +314,12 @@ func PrepareGHDDelta(old *Plan, edges []hypergraph.Edge, rels []*relation.Relati
 		if i < intraRem {
 			intra++
 		}
-		bag, _, err := wcoj.MaterializeParallelHinted(cfg.ctx, atoms, order, agg, intra, cfg.hints)
+		bag, _, err := wcoj.MaterializeParallelHinted(bctx, atoms, order, agg, intra, cfg.hints)
 		if err != nil {
 			return err
 		}
 		bag.Name = fmt.Sprintf("G%d", bi)
+		bsp.SetAttr("rows", strconv.Itoa(bag.Len()))
 		bags[bi] = bag
 		return nil
 	})
@@ -340,6 +355,8 @@ func PrepareGHDDelta(old *Plan, edges []hypergraph.Edge, rels []*relation.Relati
 		Bags: len(bags), BagsRebuilt: len(rebuild),
 		TreeNodes: dst.Nodes, TreeRegrouped: dst.Regrouped, TreeRecomputed: recomputed,
 	}
+	sp.SetAttr("bags_rebuilt", strconv.Itoa(ds.BagsRebuilt))
+	sp.SetAttr("bags_reused", strconv.Itoa(ds.Bags-ds.BagsRebuilt))
 	memo := &ghdMemo{dec: d, deps: deps, bags: bags}
 	return &Plan{Stats: st, agg: agg, trees: []*treePlan{{t: t, plan: plan, perm: perm}}, ghd: memo}, ds, nil
 }

@@ -2,7 +2,9 @@ package dp
 
 import (
 	"fmt"
+	"strconv"
 
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/ranking"
 	"repro/internal/relation"
@@ -39,6 +41,9 @@ type DeltaStats struct {
 // with every node treated as changed-unless-content-equal.
 func NewPlanDelta(q *yannakakis.Query, old *Plan, changedBase []bool, opts ...Option) (*Plan, *DeltaStats, error) {
 	cfg := newConfig(opts)
+	var sp *obs.Span
+	cfg.ctx, sp = obs.StartSpan(cfg.ctx, "plan-delta")
+	defer sp.End()
 	tree := q.Tree
 	m := len(tree.Order)
 
@@ -151,6 +156,8 @@ func NewPlanDelta(q *yannakakis.Query, old *Plan, changedBase []bool, opts ...Op
 	}); err != nil {
 		return nil, nil, err
 	}
+	sp.SetAttr("nodes", strconv.Itoa(st.Nodes))
+	sp.SetAttr("regrouped", strconv.Itoa(st.Regrouped))
 	return t, st, nil
 }
 
@@ -232,6 +239,10 @@ func (p *Plan) InstantiateDelta(agg ranking.Aggregate, old *TDP, changed []bool,
 		return nil, 0, fmt.Errorf("dp: InstantiateDelta shape mismatch (%d plan nodes, %d old, %d changed flags)", m, len(old.Nodes), len(changed))
 	}
 	cfg := newConfig(opts)
+	var sp *obs.Span
+	cfg.ctx, sp = obs.StartSpan(cfg.ctx, "instantiate-delta")
+	sp.SetAttr("ranking", agg.Name())
+	defer sp.End()
 	t := &TDP{Agg: agg, Nodes: make([]*Node, m), OutAttrs: p.outAttrs, emits: p.emits}
 	dirty := make([]bool, m)
 	copy(dirty, changed)
@@ -277,6 +288,8 @@ func (p *Plan) InstantiateDelta(agg ranking.Aggregate, old *TDP, changed []bool,
 			return nil, 0, err
 		}
 	}
+	sp.SetAttr("recomputed", strconv.Itoa(recomputed))
+	sp.SetAttr("reused", strconv.Itoa(m-recomputed))
 	return t, recomputed, nil
 }
 

@@ -18,6 +18,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/ranking"
 	"repro/internal/relation"
@@ -179,6 +180,9 @@ func Build(q *yannakakis.Query, agg ranking.Aggregate) (*TDP, error) {
 // ChildGroup slot on the parent — fans out across all nodes at once.
 func NewPlan(q *yannakakis.Query, opts ...Option) (*Plan, error) {
 	cfg := newConfig(opts)
+	var sp *obs.Span
+	cfg.ctx, sp = obs.StartSpan(cfg.ctx, "plan-build")
+	defer sp.End()
 	red, err := q.ReduceKeep(cfg.ctx, cfg.workers)
 	if err != nil {
 		return nil, err
@@ -232,9 +236,12 @@ func NewPlan(q *yannakakis.Query, opts ...Option) (*Plan, error) {
 	}
 
 	// Group rows by parent key, one independent task per node.
-	if err := parallel.ForEach(cfg.ctx, cfg.workers, m, func(pos int) error {
+	gctx, gsp := obs.StartSpan(cfg.ctx, "group")
+	err = parallel.ForEach(gctx, cfg.workers, m, func(pos int) error {
 		return groupNode(t.nodes, pos)
-	}); err != nil {
+	})
+	gsp.End()
+	if err != nil {
 		return nil, err
 	}
 	return t, nil
@@ -328,6 +335,10 @@ func groupNode(nodes []*Node, pos int) error {
 // Instantiate returns ctx.Err() and no TDP.
 func (p *Plan) Instantiate(agg ranking.Aggregate, opts ...Option) (*TDP, error) {
 	cfg := newConfig(opts)
+	var sp *obs.Span
+	cfg.ctx, sp = obs.StartSpan(cfg.ctx, "instantiate")
+	sp.SetAttr("ranking", agg.Name())
+	defer sp.End()
 	m := len(p.nodes)
 	t := &TDP{Agg: agg, Nodes: make([]*Node, m), OutAttrs: p.outAttrs, emits: p.emits}
 	for pos, sn := range p.nodes {

@@ -1,0 +1,369 @@
+// Package obs is the stdlib-only observability layer of the
+// reproduction: lock-free metric primitives with a Prometheus
+// text-exposition writer, and a lightweight span recorder threaded
+// through context.Context.
+//
+// Metrics. A Registry holds counters, gauges, and fixed-bucket
+// histograms, each optionally labeled. Hot-path updates are single
+// atomic operations (histograms add one CAS for the float sum), so
+// instrumenting a streaming loop costs nanoseconds and never takes a
+// lock; the registry mutex is touched only at registration and scrape
+// time. WritePrometheus renders the whole registry in the Prometheus
+// text exposition format (version 0.0.4), which is what the serving
+// layer's GET /metrics returns.
+//
+// Tracing. NewTrace installs a recorder on a context; StartSpan then
+// opens one timed span per engine phase (decompose, reduce,
+// materialize, instantiate, enumerate, ...) wherever that context
+// flows. When no recorder is installed — every library-only caller —
+// StartSpan returns a nil span whose methods are no-ops, and the whole
+// plumbing allocates nothing, so un-traced execution pays a single
+// context lookup per phase. Finished traces go into a TraceStore ring
+// buffer, which backs the serving layer's GET /v1/traces/{id}.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one metric dimension: a key/value pair rendered into the
+// series' label set.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing counter. The zero value is
+// ready to use; Add with a negative delta is a programming error the
+// type does not guard against.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 for the exposition to stay monotonic).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// atomicFloat is a float64 updated with CAS — the histogram sum.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		if f.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) Value() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram. Observe is lock-free: one
+// atomic add into the bucket, one into the total count, one CAS loop
+// for the float sum. Buckets are cumulative only at exposition time —
+// internally each slot counts its own interval, so concurrent Observe
+// calls never contend beyond the hardware atomics.
+type Histogram struct {
+	bounds []float64 // upper bounds, ascending; +Inf is implicit
+	counts []atomic.Int64
+	total  atomic.Int64
+	sum    atomicFloat
+}
+
+// NewHistogram returns an unregistered histogram with the given
+// ascending upper bounds (the +Inf bucket is implicit). Most callers
+// want Registry.Histogram instead.
+func NewHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Binary search for the first bound >= v; the last slot is +Inf.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	h.counts[lo].Add(1)
+	h.total.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.total.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// Snapshot returns the cumulative per-bucket counts aligned with
+// Bounds() plus the +Inf bucket as the final entry.
+func (h *Histogram) Snapshot() []int64 {
+	out := make([]int64, len(h.counts))
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		out[i] = cum
+	}
+	return out
+}
+
+// Bounds returns the configured upper bounds (without +Inf).
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// DefDurationBuckets are the default latency buckets in seconds,
+// spanning 100µs to 10s — wide enough for both per-result delays and
+// whole-request times.
+var DefDurationBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// series is one labeled instance of a metric family.
+type series struct {
+	labels []Label
+	// exactly one of these is set
+	counter     *Counter
+	gauge       *Gauge
+	hist        *Histogram
+	counterFunc func() float64
+	gaugeFunc   func() float64
+}
+
+// family is one metric name with its help text, type, and series.
+type family struct {
+	name   string
+	help   string
+	typ    string // "counter", "gauge", "histogram"
+	order  []string
+	series map[string]*series
+}
+
+// Registry is a set of metric families. The zero value is not usable;
+// call NewRegistry. Registration is get-or-create: asking for the same
+// name and label set twice returns the same metric, so instrumented
+// code can resolve its series once and hold the pointer. Registering
+// one name with two different types panics — a programming error.
+type Registry struct {
+	mu       sync.Mutex
+	order    []string
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = l.Key + "\x00" + l.Value
+	}
+	return strings.Join(parts, "\x01")
+}
+
+// getSeries returns (creating if needed) the series for name+labels,
+// enforcing one type per family.
+func (r *Registry) getSeries(name, help, typ string, labels []Label, make_ func() *series) *series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, series: map[string]*series{}}
+		r.families[name] = f
+		r.order = append(r.order, name)
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %s registered as %s and %s", name, f.typ, typ))
+	}
+	key := labelKey(labels)
+	s, ok := f.series[key]
+	if !ok {
+		s = make_()
+		s.labels = append([]Label(nil), labels...)
+		f.series[key] = s
+		f.order = append(f.order, key)
+	}
+	return s
+}
+
+// Counter returns the counter for name+labels, registering it on first
+// use.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	s := r.getSeries(name, help, "counter", labels, func() *series {
+		return &series{counter: &Counter{}}
+	})
+	return s.counter
+}
+
+// Gauge returns the gauge for name+labels, registering it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	s := r.getSeries(name, help, "gauge", labels, func() *series {
+		return &series{gauge: &Gauge{}}
+	})
+	return s.gauge
+}
+
+// Histogram returns the histogram for name+labels with the given upper
+// bounds, registering it on first use (the bounds of an existing series
+// win).
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	s := r.getSeries(name, help, "histogram", labels, func() *series {
+		return &series{hist: NewHistogram(bounds)}
+	})
+	return s.hist
+}
+
+// CounterFunc registers a counter whose value is read from f at scrape
+// time — for counters another subsystem already maintains.
+func (r *Registry) CounterFunc(name, help string, f func() float64, labels ...Label) {
+	r.getSeries(name, help, "counter", labels, func() *series {
+		return &series{counterFunc: f}
+	})
+}
+
+// GaugeFunc registers a gauge whose value is read from f at scrape
+// time.
+func (r *Registry) GaugeFunc(name, help string, f func() float64, labels ...Label) {
+	r.getSeries(name, help, "gauge", labels, func() *series {
+		return &series{gaugeFunc: f}
+	})
+}
+
+// escapeLabel escapes a label value per the text exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// escapeHelp escapes a HELP string per the text exposition format.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// renderLabels renders a label set (plus an optional extra label, used
+// for histogram le) as {k="v",...}; empty sets render as "".
+func renderLabels(labels []Label, extra ...Label) string {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	parts := make([]string, len(all))
+	for i, l := range all {
+		parts[i] = fmt.Sprintf("%s=%q", l.Key, escapeLabel(l.Value))
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// formatValue renders a sample value; Prometheus accepts Go's shortest
+// float representation, with +Inf/-Inf/NaN spelled out.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strings.TrimSuffix(fmt.Sprintf("%g", v), ".0")
+}
+
+// WritePrometheus renders every registered family in the Prometheus
+// text exposition format: families in registration order, one HELP and
+// TYPE comment per family, then each series' samples (histograms expand
+// into cumulative _bucket lines plus _sum and _count). The write
+// snapshots each metric with its own atomic loads; a scrape concurrent
+// with updates sees per-series values that are each internally
+// consistent.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	type famSnap struct {
+		f      *family
+		series []*series
+	}
+	fams := make([]famSnap, 0, len(r.order))
+	for _, name := range r.order {
+		f := r.families[name]
+		fs := famSnap{f: f}
+		for _, key := range f.order {
+			fs.series = append(fs.series, f.series[key])
+		}
+		fams = append(fams, fs)
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, fs := range fams {
+		f := fs.f
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range fs.series {
+			switch {
+			case s.counter != nil:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, renderLabels(s.labels), s.counter.Value())
+			case s.counterFunc != nil:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, renderLabels(s.labels), formatValue(s.counterFunc()))
+			case s.gauge != nil:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, renderLabels(s.labels), s.gauge.Value())
+			case s.gaugeFunc != nil:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, renderLabels(s.labels), formatValue(s.gaugeFunc()))
+			case s.hist != nil:
+				cum := s.hist.Snapshot()
+				for i, bound := range s.hist.Bounds() {
+					fmt.Fprintf(&b, "%s_bucket%s %d\n",
+						f.name, renderLabels(s.labels, L("le", formatValue(bound))), cum[i])
+				}
+				fmt.Fprintf(&b, "%s_bucket%s %d\n",
+					f.name, renderLabels(s.labels, L("le", "+Inf")), cum[len(cum)-1])
+				fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, renderLabels(s.labels), formatValue(s.hist.Sum()))
+				fmt.Fprintf(&b, "%s_count%s %d\n", f.name, renderLabels(s.labels), s.hist.Count())
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

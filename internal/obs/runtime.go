@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// memSampler caches runtime.ReadMemStats results so scrapes don't pay
+// a stop-the-world per series: the first GaugeFunc read in a scrape
+// refreshes the snapshot, the rest within ttl reuse it.
+type memSampler struct {
+	mu   sync.Mutex
+	at   time.Time
+	ttl  time.Duration
+	stat runtime.MemStats
+}
+
+func (m *memSampler) get() *runtime.MemStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if time.Since(m.at) > m.ttl {
+		runtime.ReadMemStats(&m.stat)
+		m.at = time.Now()
+	}
+	return &m.stat
+}
+
+// RegisterRuntime registers the Go runtime series (goroutines, heap,
+// GC) on r. Heap and GC values come from a shared MemStats snapshot
+// refreshed at most once per second.
+func RegisterRuntime(r *Registry) {
+	ms := &memSampler{ttl: time.Second}
+	r.GaugeFunc("go_goroutines", "Number of live goroutines.", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	r.GaugeFunc("go_heap_alloc_bytes", "Bytes of allocated heap objects.", func() float64 {
+		return float64(ms.get().HeapAlloc)
+	})
+	r.GaugeFunc("go_heap_objects", "Number of allocated heap objects.", func() float64 {
+		return float64(ms.get().HeapObjects)
+	})
+	r.CounterFunc("go_gc_cycles_total", "Completed GC cycles.", func() float64 {
+		return float64(ms.get().NumGC)
+	})
+	r.CounterFunc("go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.", func() float64 {
+		return float64(ms.get().PauseTotalNs) / 1e9
+	})
+}

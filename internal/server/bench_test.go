@@ -1,0 +1,66 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// benchServer builds a server with one registered dataset + query and a
+// warmed plan, returning the handler for direct ServeHTTP calls — no
+// TCP, so the benchmark isolates handler-path cost (the observability
+// overhead budget) from network noise.
+func benchServer(b *testing.B, cfg Config) http.Handler {
+	b.Helper()
+	s := New(cfg)
+	b.Cleanup(func() { s.Close() })
+	h := s.Handler()
+
+	do := func(method, path, body string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest(method, path, nil)
+		if body != "" {
+			req = httptest.NewRequest(method, path, strings.NewReader(body))
+			req.Header.Set("Content-Type", "application/json")
+		}
+		rw := httptest.NewRecorder()
+		h.ServeHTTP(rw, req)
+		if rw.Code != http.StatusOK {
+			b.Fatalf("%s %s: status %d: %s", method, path, rw.Code, rw.Body.String())
+		}
+		return rw
+	}
+	tuples, weights := "[", "["
+	for i := 0; i < 50; i++ {
+		if i > 0 {
+			tuples += ","
+			weights += ","
+		}
+		tuples += fmt.Sprintf("[%d,%d]", i, i+1)
+		weights += "1"
+	}
+	tuples += "]"
+	weights += "]"
+	do("POST", "/v1/datasets/e", `{"tuples":`+tuples+`,"weights":`+weights+`}`)
+	do("POST", "/v1/queries/q", `{"atoms":[{"dataset":"e","vars":["A","B"]},{"dataset":"e","vars":["B","C"]}]}`)
+	do("GET", "/v1/query/q/topk?k=10", "") // warm the plan
+	return h
+}
+
+func benchWarmTopK(b *testing.B, cfg Config) {
+	h := benchServer(b, cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("GET", "/v1/query/q/topk?k=10", nil)
+		rw := httptest.NewRecorder()
+		h.ServeHTTP(rw, req)
+		if rw.Code != http.StatusOK {
+			b.Fatalf("status %d", rw.Code)
+		}
+	}
+}
+
+func BenchmarkWarmTopKObs(b *testing.B)   { benchWarmTopK(b, Config{}) }
+func BenchmarkWarmTopKNoObs(b *testing.B) { benchWarmTopK(b, Config{DisableObservability: true}) }

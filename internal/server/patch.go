@@ -12,6 +12,7 @@ import (
 
 	"repro"
 	"repro/internal/catalog"
+	"repro/internal/obs"
 	"repro/internal/relation"
 )
 
@@ -41,7 +42,7 @@ type datasetPatch struct {
 // the trailing weight column unless ?weights=false) or ?mode=delete
 // (value columns only by default — deletes match values, not weights).
 func (s *Server) handleDatasetPatch(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
+	s.met.queryRequests.Inc()
 	name := r.PathValue("name")
 	if !nameRe.MatchString(name) {
 		httpError(w, http.StatusBadRequest, errInvalidArgument, "invalid dataset name %q", name)
@@ -105,10 +106,10 @@ func (s *Server) handleDatasetPatch(w http.ResponseWriter, r *http.Request) {
 	}
 	s.datasets[name] = ds
 	s.mu.Unlock()
-	s.patches.Add(1)
+	s.met.patches.Inc()
 
-	patched := s.propagateDelta(name, old.version, ds.version, deleteT, appendT, appendW)
-	s.plansPatched.Add(int64(patched))
+	patched := s.propagateDelta(r.Context(), name, old.version, ds.version, deleteT, appendT, appendW)
+	s.met.plansPatched.Add(int64(patched))
 	writeJSON(w, map[string]any{
 		"name": name, "rows": len(ds.tuples), "arity": ds.arity, "version": ds.version,
 		"appended": len(appendT), "deleted": removed,
@@ -233,7 +234,7 @@ func patchTupleKey(t relation.Tuple) string {
 // PATCH, an in-flight build publishing under the old key) is merely
 // unreachable and ages out of the LRU — it can never serve stale data
 // under a live key.
-func (s *Server) propagateDelta(dsName string, oldVer, newVer int, deleteT, appendT []relation.Tuple, appendW []float64) int {
+func (s *Server) propagateDelta(ctx context.Context, dsName string, oldVer, newVer int, deleteT, appendT []relation.Tuple, appendW []float64) int {
 	oldBind := fmt.Sprintf("%s@%d(", dsName, oldVer)
 	patched := 0
 	s.reg.compiles.eachMeta(func(key string, p *repro.Prepared, meta any) {
@@ -257,8 +258,11 @@ func (s *Server) propagateDelta(dsName string, oldVer, newVer int, deleteT, appe
 			return
 		}
 		newKey := rewriteDataKey(key, dsName, oldVer, newVer)
+		// Patch under the server's lifetime (like plan builds), but keep
+		// the PATCH request's trace so the per-plan apply-delta spans land
+		// in it.
 		bctx, bcancel := context.WithTimeout(s.baseCtx, s.cfg.MaxTimeout)
-		err := p.ApplyDelta(deltas, repro.WithContext(bctx))
+		err := p.ApplyDelta(deltas, repro.WithContext(obs.Adopt(bctx, ctx)))
 		bcancel()
 		if err != nil {
 			// Drop the stale entries outright: the next request under the

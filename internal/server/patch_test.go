@@ -96,7 +96,7 @@ func TestDatasetPatchWarmPlans(t *testing.T) {
 
 	// /v1/stats counts the delta and the patched handle, and the resident
 	// plan's own stats expose its advanced epoch.
-	if got := s.patches.Load(); got != 1 {
+	if got := s.met.patches.Value(); got != 1 {
 		t.Fatalf("patches counter = %d", got)
 	}
 	respS, bodyS := doJSON(t, "GET", ts.URL+"/v1/stats", nil)

@@ -38,18 +38,20 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"regexp"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro"
 	"repro/internal/catalog"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/ranking"
 	"repro/internal/relation"
 )
@@ -74,6 +76,27 @@ type Config struct {
 	RegistryCapacity int
 	// RegistryShards is the number of plan-registry shards. Default 8.
 	RegistryShards int
+	// RateLimit is the per-query-name token-bucket rate (requests per
+	// second, bursting to max(1, RateLimit)) applied to /topk and
+	// /sample. 0 disables rate limiting.
+	RateLimit float64
+	// TraceCapacity bounds the in-memory ring of recorded request
+	// traces served by GET /v1/traces/{id}. Default 64.
+	TraceCapacity int
+	// SlowQueryThreshold, when positive, logs a structured slow-query
+	// line (with the trace id) for any request at or above it.
+	SlowQueryThreshold time.Duration
+	// AccessLog, when non-nil, receives one JSON line per request
+	// (log/slog). Nil disables access logging.
+	AccessLog io.Writer
+	// SlowQueryLog receives slow-query lines; nil falls back to the
+	// AccessLog destination.
+	SlowQueryLog io.Writer
+	// DisableObservability strips the per-request middleware (tracing,
+	// access logs, per-endpoint metrics) — the uninstrumented baseline
+	// the overhead benchmark compares against. The /v1/stats counters
+	// and the /metrics endpoint itself remain live.
+	DisableObservability bool
 }
 
 func (c Config) withDefaults() Config {
@@ -94,6 +117,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RegistryShards <= 0 {
 		c.RegistryShards = 8
+	}
+	if c.TraceCapacity <= 0 {
+		c.TraceCapacity = 64
 	}
 	return c
 }
@@ -129,11 +155,19 @@ type Server struct {
 	dictMu sync.RWMutex
 	dict   *relation.Dictionary // shared across datasets so string joins line up
 
-	requests     atomic.Int64
-	rejected     atomic.Int64
-	inflight     atomic.Int64
-	patches      atomic.Int64 // PATCH deltas applied to datasets
-	plansPatched atomic.Int64 // warm registry handles advanced in place by deltas
+	// Observability: the metric surface (also backing /v1/stats), the
+	// request-trace ring served by /v1/traces/{id}, the structured
+	// loggers, and the per-query rate-limit buckets. now is the clock
+	// every duration observation reads — a test seam for the TTF/TT(k)
+	// histograms.
+	met    *serverMetrics
+	traces *obs.TraceStore
+	access *slog.Logger
+	slow   *slog.Logger
+	now    func() time.Time
+
+	limitMu  sync.Mutex
+	limiters map[string]*tokenBucket
 }
 
 // dataset is an immutable registered relation instance. Re-registering
@@ -196,18 +230,32 @@ func New(cfg Config) *Server {
 		datasets:   make(map[string]*dataset),
 		queries:    make(map[string]*queryDef),
 		dict:       relation.NewDictionary(),
+		now:        time.Now,
+		limiters:   make(map[string]*tokenBucket),
 	}
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("POST /v1/datasets/{name}", s.handleDatasetPut)
-	s.mux.HandleFunc("PUT /v1/datasets/{name}", s.handleDatasetPut)
-	s.mux.HandleFunc("PATCH /v1/datasets/{name}", s.handleDatasetPatch)
-	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasetList)
-	s.mux.HandleFunc("POST /v1/queries/{name}", s.handleQueryPut)
-	s.mux.HandleFunc("PUT /v1/queries/{name}", s.handleQueryPut)
-	s.mux.HandleFunc("GET /v1/queries", s.handleQueryList)
-	s.mux.HandleFunc("GET /v1/query/{name}/topk", s.handleTopK)
-	s.mux.HandleFunc("GET /v1/query/{name}/sample", s.handleSample)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.met = newServerMetrics(s)
+	s.traces = obs.NewTraceStore(cfg.TraceCapacity)
+	if cfg.AccessLog != nil {
+		s.access = slog.New(slog.NewJSONHandler(cfg.AccessLog, nil))
+	}
+	if slowW := cfg.SlowQueryLog; slowW != nil {
+		s.slow = slog.New(slog.NewJSONHandler(slowW, nil))
+	} else {
+		s.slow = s.access
+	}
+	s.mux.HandleFunc("GET /healthz", s.wrap("healthz", false, s.handleHealthz))
+	s.mux.HandleFunc("POST /v1/datasets/{name}", s.wrap("dataset_put", false, s.handleDatasetPut))
+	s.mux.HandleFunc("PUT /v1/datasets/{name}", s.wrap("dataset_put", false, s.handleDatasetPut))
+	s.mux.HandleFunc("PATCH /v1/datasets/{name}", s.wrap("dataset_patch", true, s.handleDatasetPatch))
+	s.mux.HandleFunc("GET /v1/datasets", s.wrap("dataset_list", false, s.handleDatasetList))
+	s.mux.HandleFunc("POST /v1/queries/{name}", s.wrap("query_put", false, s.handleQueryPut))
+	s.mux.HandleFunc("PUT /v1/queries/{name}", s.wrap("query_put", false, s.handleQueryPut))
+	s.mux.HandleFunc("GET /v1/queries", s.wrap("query_list", false, s.handleQueryList))
+	s.mux.HandleFunc("GET /v1/query/{name}/topk", s.wrap("topk", true, s.handleTopK))
+	s.mux.HandleFunc("GET /v1/query/{name}/sample", s.wrap("sample", true, s.handleSample))
+	s.mux.HandleFunc("GET /v1/stats", s.wrap("stats", false, s.handleStats))
+	s.mux.HandleFunc("GET /v1/traces/{id}", s.handleTrace)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
 }
 
@@ -312,10 +360,14 @@ const (
 )
 
 // errorBody is the unified error envelope of every /v1 endpoint.
+// RequestID echoes the request's X-Request-ID (generated or
+// client-supplied) so an error response correlates with the access log
+// without the client having read the headers.
 type errorBody struct {
 	Error struct {
-		Code    string `json:"code"`
-		Message string `json:"message"`
+		Code      string `json:"code"`
+		Message   string `json:"message"`
+		RequestID string `json:"request_id,omitempty"`
 	} `json:"error"`
 }
 
@@ -323,6 +375,10 @@ func httpError(w http.ResponseWriter, status int, code string, format string, ar
 	var body errorBody
 	body.Error.Code = code
 	body.Error.Message = fmt.Sprintf(format, args...)
+	// The middleware stamped the id onto the response headers before the
+	// handler ran; reading it back here spares every call site a
+	// parameter.
+	body.Error.RequestID = w.Header().Get("X-Request-Id")
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(&body)
@@ -711,7 +767,8 @@ type topkLine struct {
 }
 
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
+	t0 := s.now()
+	s.met.queryRequests.Inc()
 	if s.isDraining() {
 		httpError(w, http.StatusServiceUnavailable, errUnavailable, "server shutting down")
 		return
@@ -767,12 +824,19 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Admission control: reject instead of queueing, so saturation is
-	// visible to clients (and load balancers) immediately.
+	// Per-query rate limit, then global admission control: reject
+	// instead of queueing, so saturation is visible to clients (and
+	// load balancers) immediately.
+	if !s.allowQuery(name) {
+		s.met.rejected.Inc()
+		w.Header().Set("Retry-After", s.rateRetryAfter())
+		httpError(w, http.StatusTooManyRequests, errRateLimited, "query %s exceeds its rate limit (%g/s)", name, s.cfg.RateLimit)
+		return
+	}
 	select {
 	case s.sem <- struct{}{}:
 	default:
-		s.rejected.Add(1)
+		s.met.rejected.Inc()
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusTooManyRequests, errRateLimited, "too many in-flight enumerations (max %d)", s.cfg.MaxInflight)
 		return
@@ -786,8 +850,8 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.releaseStream()
-	s.inflight.Add(1)
-	defer s.inflight.Add(-1)
+	s.met.inflight.Add(1)
+	defer s.met.inflight.Add(-1)
 
 	// Request context: client disconnect + per-request deadline + server
 	// shutdown all funnel into one cancellation the iterator observes.
@@ -797,14 +861,22 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	defer stop()
 
 	dk := dataKey(qd.fingerprint, qd.atoms, versions, qd.outAttrs)
+	prepStart := s.now()
 	p, hit, err := s.reg.get(ctx, planKey(dk, aggName), func() (*repro.Prepared, error) {
 		// Build under the server's lifetime (bounded by MaxTimeout), not
 		// this request's context: the winner disconnecting or timing out
 		// must not fail every healthy request waiting on the same build.
+		// Adopt carries this request's trace onto the detached context so
+		// a cold build's compile/prepare spans land in the request trace.
 		bctx, bcancel := context.WithTimeout(s.baseCtx, s.cfg.MaxTimeout)
 		defer bcancel()
-		return s.buildPlan(bctx, dk, qd, snap, agg)
+		return s.buildPlan(obs.Adopt(bctx, ctx), dk, qd, snap, agg)
 	})
+	if hit {
+		s.met.prepareHit.Observe(s.now().Sub(prepStart).Seconds())
+	} else {
+		s.met.prepareMiss.Observe(s.now().Sub(prepStart).Seconds())
+	}
 	if err != nil {
 		status, code := http.StatusInternalServerError, errInternal
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
@@ -859,6 +931,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		defer close(watchdogExit)
 		select {
 		case <-ctx.Done():
+			s.met.watchdogCloses.Inc()
 			it.Close()
 			rc.SetWriteDeadline(time.Now().Add(cancelWriteGrace))
 		case <-watchdogDone:
@@ -873,10 +946,15 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	count := 0
+	defer func() { s.met.rowsStreamed.Add(int64(count)) }()
+	ttfH, ttkH := s.met.ttf[aggName], s.met.ttk[aggName]
 	for {
 		res, ok := it.Next()
 		if !ok {
 			break
+		}
+		if count == 0 {
+			ttfH.Observe(s.now().Sub(t0).Seconds())
 		}
 		line := topkLine{Tuple: s.decodeTuple(res.Tuple), Weight: &res.Weight}
 		if err := enc.Encode(line); err != nil {
@@ -884,6 +962,9 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		count++
+		if count == k {
+			ttkH.Observe(s.now().Sub(t0).Seconds())
+		}
 		if flusher != nil {
 			flusher.Flush()
 		}
@@ -1027,7 +1108,7 @@ type sampleLine struct {
 // one uniformly chosen witness row per atom under ?agg= (default sum);
 // equal ?seed= values reproduce equal draws.
 func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
+	s.met.queryRequests.Inc()
 	if s.isDraining() {
 		httpError(w, http.StatusServiceUnavailable, errUnavailable, "server shutting down")
 		return
@@ -1087,13 +1168,20 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Sampling shares the enumeration admission semaphore: a rejection
-	// walk is cheaper than a ranked stream but not free, and one shared
-	// bound keeps saturation behaviour predictable.
+	// Per-query rate limit first, then the shared enumeration admission
+	// semaphore: a rejection walk is cheaper than a ranked stream but
+	// not free, and one shared bound keeps saturation behaviour
+	// predictable.
+	if !s.allowQuery(name) {
+		s.met.rejected.Inc()
+		w.Header().Set("Retry-After", s.rateRetryAfter())
+		httpError(w, http.StatusTooManyRequests, errRateLimited, "query %s exceeds its rate limit (%g/s)", name, s.cfg.RateLimit)
+		return
+	}
 	select {
 	case s.sem <- struct{}{}:
 	default:
-		s.rejected.Add(1)
+		s.met.rejected.Inc()
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusTooManyRequests, errRateLimited, "too many in-flight enumerations (max %d)", s.cfg.MaxInflight)
 		return
@@ -1104,8 +1192,8 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.releaseStream()
-	s.inflight.Add(1)
-	defer s.inflight.Add(-1)
+	s.met.inflight.Add(1)
+	defer s.met.inflight.Add(-1)
 
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
@@ -1113,13 +1201,20 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 	defer stop()
 
 	dk := dataKey(qd.fingerprint, qd.atoms, versions, qd.outAttrs)
+	prepStart := s.now()
 	p, hit, err := func() (*repro.Prepared, bool, error) {
 		// Compile detached from this request (bounded by MaxTimeout) so
 		// the winner disconnecting cannot fail waiters joining the build.
+		// Adopt keeps the request's trace attached to the detached build.
 		bctx, bcancel := context.WithTimeout(s.baseCtx, s.cfg.MaxTimeout)
 		defer bcancel()
-		return s.compileSnapshot(bctx, dk, qd, snap)
+		return s.compileSnapshot(obs.Adopt(bctx, ctx), dk, qd, snap)
 	}()
+	if hit {
+		s.met.prepareHit.Observe(s.now().Sub(prepStart).Seconds())
+	} else {
+		s.met.prepareMiss.Observe(s.now().Sub(prepStart).Seconds())
+	}
 	if err != nil {
 		status, code := http.StatusInternalServerError, errInternal
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
@@ -1148,6 +1243,7 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	count := 0
+	defer func() { s.met.rowsStreamed.Add(int64(count)) }()
 	for i := range samples {
 		if err := enc.Encode(sampleLine{Tuple: s.decodeTuple(samples[i].Tuple), Weight: &samples[i].Weight}); err != nil {
 			return
@@ -1232,12 +1328,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Registry.Size = s.reg.size()
 	resp.Registry.Capacity = s.cfg.RegistryCapacity
 	resp.Registry.Shards = s.cfg.RegistryShards
-	resp.Requests = s.requests.Load()
-	resp.Rejected = s.rejected.Load()
-	resp.Inflight = s.inflight.Load()
+	resp.Requests = s.met.queryRequests.Value()
+	resp.Rejected = s.met.rejected.Value()
+	resp.Inflight = s.met.inflight.Value()
 	resp.MaxInflight = s.cfg.MaxInflight
-	resp.Patches = s.patches.Load()
-	resp.PlansPatched = s.plansPatched.Load()
+	resp.Patches = s.met.patches.Value()
+	resp.PlansPatched = s.met.plansPatched.Value()
 	resp.Plans = s.reg.snapshot()
 	writeJSON(w, &resp)
 }

@@ -519,8 +519,8 @@ func TestAdmissionControl429(t *testing.T) {
 	if resp2.Header.Get("Retry-After") == "" {
 		t.Fatal("429 without Retry-After")
 	}
-	if s.rejected.Load() != 1 {
-		t.Fatalf("rejected = %d, want 1", s.rejected.Load())
+	if s.met.rejected.Value() != 1 {
+		t.Fatalf("rejected = %d, want 1", s.met.rejected.Value())
 	}
 
 	// Releasing the slot (client disconnect) re-admits requests.

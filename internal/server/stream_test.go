@@ -44,7 +44,7 @@ func TestMidStreamDisconnectReleasesEverything(t *testing.T) {
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	waitFor(t, "baseline idle", func() bool { return s.inflight.Load() == 0 })
+	waitFor(t, "baseline idle", func() bool { return s.met.inflight.Value() == 0 })
 	base := runtime.NumGoroutine()
 
 	for trial := 0; trial < 5; trial++ {
@@ -113,5 +113,5 @@ func TestMidStreamDeadlineTrailer(t *testing.T) {
 	if !strings.Contains(last, "deadline") {
 		t.Fatalf("final line %q does not mention the deadline (total %d lines)", last, len(lines))
 	}
-	waitFor(t, "inflight to drain", func() bool { return s.inflight.Load() == 0 })
+	waitFor(t, "inflight to drain", func() bool { return s.met.inflight.Value() == 0 })
 }

@@ -3,7 +3,10 @@ package wcoj
 import (
 	"context"
 	"sort"
+	"strconv"
+	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/ranking"
 	"repro/internal/relation"
@@ -271,6 +274,12 @@ func MaterializeParallel(ctx context.Context, atoms []Atom, varOrder []string, a
 func MaterializeParallelHinted(ctx context.Context, atoms []Atom, varOrder []string, agg ranking.Aggregate, workers int, hints SkewHints) (*relation.Relation, *Instr, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
+	}
+	ctx, sp := obs.StartSpan(ctx, "generic-join")
+	defer sp.End()
+	if sp != nil {
+		sp.SetAttr("order", strings.Join(varOrder, ","))
+		sp.SetAttr("workers", strconv.Itoa(parallel.Degree(workers)))
 	}
 	workers = parallel.Degree(workers)
 	if workers <= 1 || len(varOrder) == 0 {

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"repro/internal/join"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/relation"
 )
@@ -28,6 +29,8 @@ type Reduction struct {
 // Final is element-wise identical to FullReduceWith's result; the
 // extra cost is one slice of relation headers (tuples are shared).
 func (q *Query) ReduceKeep(ctx context.Context, workers int) (*Reduction, error) {
+	ctx, sp := obs.StartSpan(ctx, "reduce")
+	defer sp.End()
 	n := len(q.Rels)
 	bu := make([]*relation.Relation, n)
 	for i := 0; i < n; i++ {
@@ -81,6 +84,8 @@ func (q *Query) ReduceKeep(ctx context.Context, workers int) (*Reduction, error)
 // differs from old.Final — the seed set for downstream incremental
 // recomputation.
 func (q *Query) ReduceDelta(ctx context.Context, workers int, old *Reduction, changedBase []bool) (*Reduction, []bool, error) {
+	ctx, sp := obs.StartSpan(ctx, "reduce-delta")
+	defer sp.End()
 	n := len(q.Rels)
 	if old == nil || len(old.BottomUp) != n || len(old.Final) != n || len(changedBase) != n {
 		red, err := q.ReduceKeep(ctx, workers)

@@ -15,6 +15,7 @@ import (
 	"repro/internal/decomp"
 	"repro/internal/dp"
 	"repro/internal/hypergraph"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/ranking"
 	"repro/internal/relation"
@@ -346,6 +347,12 @@ func Compile(q *Query, opts ...CompileOption) (*Prepared, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The compile span (and its children below) only record when the
+	// caller's context carries an obs trace; otherwise every StartSpan
+	// is a free no-op.
+	var compileSpan *obs.Span
+	cfg.ctx, compileSpan = obs.StartSpan(cfg.ctx, "compile")
+	defer compileSpan.End()
 	inputTuples := 0
 	for _, r := range q.rels {
 		inputTuples += r.Len()
@@ -356,10 +363,12 @@ func Compile(q *Query, opts ...CompileOption) (*Prepared, error) {
 	// otherwise build one from the supplied catalog (statistics for
 	// atoms it misses are collected from the query's relations on the
 	// spot — the default-on path when no option was passed at all).
+	_, cmSpan := obs.StartSpan(cfg.ctx, "cost-model")
 	cm := cfg.cm
 	if cm == nil && !(cfg.catSet && cfg.cat == nil) {
 		cm = catalog.NewCostModel(q.edges, q.rels, cfg.cat)
 	}
+	cmSpan.End()
 	estOutput := 0.0
 	var hints wcoj.SkewHints
 	if cm != nil {
@@ -367,6 +376,7 @@ func Compile(q *Query, opts ...CompileOption) (*Prepared, error) {
 		hints = cm.HeavyValues
 	}
 	if h.IsAcyclic() {
+		compileSpan.SetAttr("kind", "acyclic")
 		yq, err := yannakakis.NewQuery(h, q.rels)
 		if err != nil {
 			return nil, err
@@ -407,6 +417,7 @@ func Compile(q *Query, opts ...CompileOption) (*Prepared, error) {
 		return p, nil
 	}
 	if l, rels, ok := q.matchCycle(); ok {
+		compileSpan.SetAttr("kind", "cycle")
 		// The engine enumerates the canonical cycle positions; the handle
 		// labels them with the user's variables in walk order (the same
 		// schema Query.OutAttrs reports).
@@ -453,14 +464,20 @@ func Compile(q *Query, opts ...CompileOption) (*Prepared, error) {
 	// structural width criteria. The explicit nil-check matters: an
 	// interface holding a typed nil would not reproduce the structural
 	// path.
+	compileSpan.SetAttr("kind", "ghd")
 	var dec *hypergraph.Decomposition
+	_, decSpan := obs.StartSpan(cfg.ctx, "decompose")
 	if cm != nil {
 		dec, err = h.DecomposeCosted(cm)
 	} else {
 		dec, err = h.Decompose()
 	}
+	decSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("repro: cyclic query %s: %w", h, err)
+	}
+	if decSpan != nil {
+		decSpan.SetAttr("decomposition", dec.String())
 	}
 	p := &Prepared{
 		outAttrs:   decomp.GHDAttrs(q.edges),
@@ -825,9 +842,15 @@ func (p *Prepared) Run(opts ...RunOption) (Iterator, error) {
 		o(&cfg)
 	}
 	st := p.state.Load()
+	// The prepare span covers the first-run physical build (instantiate
+	// or bag materialisation); on a cache hit it records ~0 duration,
+	// which is itself the signal a dashboard wants. Without a trace on
+	// cfg.ctx every span call here is a no-op.
+	pctx, prepSpan := obs.StartSpan(cfg.ctx, "prepare")
 	var it Iterator
 	if p.kind == kindAcyclic {
-		t, err := p.tdpFor(st, cfg.agg, cfg.ctx, p.prepareWorkers(cfg, st.estTuples))
+		t, err := p.tdpFor(st, cfg.agg, pctx, p.prepareWorkers(cfg, st.estTuples))
+		prepSpan.End()
 		if err != nil {
 			return nil, err
 		}
@@ -836,7 +859,8 @@ func (p *Prepared) Run(opts ...RunOption) (Iterator, error) {
 			return nil, err
 		}
 	} else {
-		d, err := p.decompFor(st, cfg.agg, cfg.ctx, p.prepareWorkers(cfg, st.estTuples))
+		d, err := p.decompFor(st, cfg.agg, pctx, p.prepareWorkers(cfg, st.estTuples))
+		prepSpan.End()
 		if err != nil {
 			return nil, err
 		}
@@ -848,7 +872,47 @@ func (p *Prepared) Run(opts ...RunOption) (Iterator, error) {
 	if cfg.k > 0 {
 		it = core.Limit(it, cfg.k)
 	}
+	if _, enumSpan := obs.StartSpan(cfg.ctx, "enumerate"); enumSpan != nil {
+		enumSpan.SetAttr("ranking", cfg.agg.Name())
+		it = &traceIter{it: it, span: enumSpan, k: cfg.k}
+	}
 	return it, nil
+}
+
+// traceIter instruments an iterator with the "enumerate" span of a
+// traced run: point events mark the first and the k'th result, and the
+// span ends when enumeration is exhausted or the iterator is closed —
+// whichever comes first (Span.End is idempotent and safe against the
+// serving layer's watchdog Close racing a consumer's Next).
+type traceIter struct {
+	it    Iterator
+	span  *obs.Span
+	k     int
+	count int
+}
+
+func (t *traceIter) Next() (Result, bool) {
+	r, ok := t.it.Next()
+	if ok {
+		t.count++
+		if t.count == 1 {
+			t.span.Event("first-result")
+		}
+		if t.k > 0 && t.count == t.k {
+			t.span.Event("kth-result")
+		}
+	} else {
+		t.span.End()
+	}
+	return r, ok
+}
+
+func (t *traceIter) Err() error { return t.it.Err() }
+
+func (t *traceIter) Close() error {
+	err := t.it.Close()
+	t.span.End()
+	return err
 }
 
 // TopK runs the plan and collects the k best results (k <= 0 collects
@@ -1059,7 +1123,9 @@ func (p *Prepared) Sample(n int, opts ...RunOption) ([]Result, error) {
 	if !cfg.seedSet {
 		seed = sampleSeq.Add(1)
 	}
-	ans, err := s.Sample(cfg.ctx, n, seed, cfg.agg)
+	sctx, sampleSpan := obs.StartSpan(cfg.ctx, "sample")
+	ans, err := s.Sample(sctx, n, seed, cfg.agg)
+	sampleSpan.End()
 	out := make([]Result, len(ans))
 	for i, a := range ans {
 		t := make(relation.Tuple, len(perm))
